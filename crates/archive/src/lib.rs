@@ -1,0 +1,400 @@
+//! # fxrz-archive — a multi-field container for compressed snapshots
+//!
+//! Scientific campaigns store many named fields per snapshot (the paper's
+//! motivation: HDF5/ADIOS2/NetCDF workflows). This crate provides a small
+//! self-describing archive that holds any mix of streams produced by the
+//! workspace's compressors, with an index for **selective decompression**
+//! — read one field without touching the rest, the access pattern
+//! post-hoc analysis needs.
+//!
+//! Layout:
+//!
+//! ```text
+//! "FXRZA1" | varint n | n × { varint name_len, name,
+//!                             varint blob_len }   (index)
+//! blob_0 … blob_{n-1}                             (compressor streams)
+//! ```
+//!
+//! Each blob is a self-describing compressor stream (magic + header), so
+//! the archive needs no per-entry compressor metadata.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fxrz_codec::bitstream::{read_varint, write_varint};
+use fxrz_compressors::{detect, Compressor, ErrorConfig};
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_core::FxrzError;
+use fxrz_datagen::Field;
+use std::collections::HashMap;
+
+/// Archive file magic.
+const MAGIC: &[u8; 6] = b"FXRZA1";
+
+/// Errors raised by archive operations.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Buffer does not start with the archive magic.
+    NotAnArchive,
+    /// The index or a blob is malformed / truncated.
+    Corrupt(&'static str),
+    /// No entry with the requested name.
+    NoSuchField(String),
+    /// Duplicate entry name at build time.
+    DuplicateField(String),
+    /// A compressor failed.
+    Compress(fxrz_compressors::CompressError),
+    /// The fixed-ratio engine failed.
+    Fxrz(FxrzError),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::NotAnArchive => write!(f, "not an fxrz archive"),
+            ArchiveError::Corrupt(m) => write!(f, "corrupt archive: {m}"),
+            ArchiveError::NoSuchField(n) => write!(f, "no field named `{n}`"),
+            ArchiveError::DuplicateField(n) => write!(f, "duplicate field name `{n}`"),
+            ArchiveError::Compress(e) => write!(f, "compression failed: {e}"),
+            ArchiveError::Fxrz(e) => write!(f, "fixed-ratio engine failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<fxrz_compressors::CompressError> for ArchiveError {
+    fn from(e: fxrz_compressors::CompressError) -> Self {
+        ArchiveError::Compress(e)
+    }
+}
+
+impl From<FxrzError> for ArchiveError {
+    fn from(e: FxrzError) -> Self {
+        ArchiveError::Fxrz(e)
+    }
+}
+
+/// Builds an archive incrementally.
+#[derive(Default)]
+pub struct ArchiveWriter {
+    entries: Vec<(String, Vec<u8>)>,
+    names: HashMap<String, ()>,
+}
+
+impl ArchiveWriter {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: String, blob: Vec<u8>) -> Result<(), ArchiveError> {
+        if self.names.insert(name.clone(), ()).is_some() {
+            return Err(ArchiveError::DuplicateField(name));
+        }
+        self.entries.push((name, blob));
+        Ok(())
+    }
+
+    /// Adds a field compressed with an explicit error configuration.
+    ///
+    /// # Errors
+    /// Fails on duplicate names or compressor errors.
+    pub fn add_field(
+        &mut self,
+        compressor: &dyn Compressor,
+        field: &Field,
+        cfg: &ErrorConfig,
+    ) -> Result<(), ArchiveError> {
+        let blob = compressor.compress(field, cfg)?;
+        self.push(field.name().to_owned(), blob)
+    }
+
+    /// Adds a field compressed to a target ratio via a trained FXRZ model.
+    /// Returns the measured ratio.
+    ///
+    /// # Errors
+    /// Fails on duplicate names, estimation or compressor errors.
+    pub fn add_fixed_ratio(
+        &mut self,
+        frc: &FixedRatioCompressor,
+        field: &Field,
+        tcr: f64,
+    ) -> Result<f64, ArchiveError> {
+        let out = frc.compress(field, tcr)?;
+        self.push(field.name().to_owned(), out.bytes)?;
+        Ok(out.measured_ratio)
+    }
+
+    /// Adds a pre-compressed blob under `name` (must be a stream from one
+    /// of the workspace compressors).
+    ///
+    /// # Errors
+    /// Fails on duplicates or unrecognized stream magic.
+    pub fn add_raw(&mut self, name: &str, blob: Vec<u8>) -> Result<(), ArchiveError> {
+        if detect(&blob).is_none() {
+            return Err(ArchiveError::Corrupt("unrecognized compressor stream"));
+        }
+        self.push(name.to_owned(), blob)
+    }
+
+    /// Number of entries so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the archive.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, self.entries.len() as u64);
+        for (name, blob) in &self.entries {
+            write_varint(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            write_varint(&mut out, blob.len() as u64);
+        }
+        for (_, blob) in &self.entries {
+            out.extend_from_slice(blob);
+        }
+        out
+    }
+}
+
+/// One index entry of an opened archive.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Field name.
+    pub name: String,
+    /// Offset of the blob within the archive buffer.
+    offset: usize,
+    /// Blob length in bytes.
+    pub compressed_len: usize,
+}
+
+/// A read-only view over an archive buffer with selective decompression.
+pub struct Archive<'a> {
+    buf: &'a [u8],
+    entries: Vec<Entry>,
+}
+
+impl<'a> Archive<'a> {
+    /// Parses the index (no decompression happens here).
+    ///
+    /// # Errors
+    /// Fails on bad magic or a malformed index.
+    pub fn open(buf: &'a [u8]) -> Result<Self, ArchiveError> {
+        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+            return Err(ArchiveError::NotAnArchive);
+        }
+        let mut pos = MAGIC.len();
+        let n = read_varint(buf, &mut pos).ok_or(ArchiveError::Corrupt("missing count"))? as usize;
+        if n > buf.len() {
+            return Err(ArchiveError::Corrupt("entry count exceeds buffer"));
+        }
+        let mut meta = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name_len = read_varint(buf, &mut pos)
+                .ok_or(ArchiveError::Corrupt("missing name len"))?
+                as usize;
+            if pos + name_len > buf.len() {
+                return Err(ArchiveError::Corrupt("name overruns buffer"));
+            }
+            let name = std::str::from_utf8(&buf[pos..pos + name_len])
+                .map_err(|_| ArchiveError::Corrupt("name not utf-8"))?
+                .to_owned();
+            pos += name_len;
+            let blob_len = read_varint(buf, &mut pos)
+                .ok_or(ArchiveError::Corrupt("missing blob len"))?
+                as usize;
+            meta.push((name, blob_len));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut offset = pos;
+        for (name, blob_len) in meta {
+            if offset + blob_len > buf.len() {
+                return Err(ArchiveError::Corrupt("blob overruns buffer"));
+            }
+            entries.push(Entry {
+                name,
+                offset,
+                compressed_len: blob_len,
+            });
+            offset += blob_len;
+        }
+        Ok(Self { buf, entries })
+    }
+
+    /// Index entries in archive order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the archive holds no fields.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Raw compressed bytes of one entry.
+    ///
+    /// # Errors
+    /// Fails when the name is absent.
+    pub fn raw(&self, name: &str) -> Result<&'a [u8], ArchiveError> {
+        let e = self
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| ArchiveError::NoSuchField(name.to_owned()))?;
+        Ok(&self.buf[e.offset..e.offset + e.compressed_len])
+    }
+
+    /// Decompresses one field by name (selective read — other entries are
+    /// untouched).
+    ///
+    /// # Errors
+    /// Fails on missing names or corrupt blobs.
+    pub fn get(&self, name: &str) -> Result<Field, ArchiveError> {
+        let blob = self.raw(name)?;
+        let comp = detect(blob).ok_or(ArchiveError::Corrupt("unknown stream magic"))?;
+        Ok(comp.decompress(blob)?)
+    }
+
+    /// Compressor name of one entry (from its stream magic).
+    ///
+    /// # Errors
+    /// Fails on missing names or unknown magic.
+    pub fn compressor_of(&self, name: &str) -> Result<&'static str, ArchiveError> {
+        let blob = self.raw(name)?;
+        let comp = detect(blob).ok_or(ArchiveError::Corrupt("unknown stream magic"))?;
+        Ok(comp.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxrz_compressors::{fpzip::Fpzip, sz::Sz, zfp::Zfp};
+    use fxrz_datagen::Dims;
+
+    fn field(name: &str, seed: usize) -> Field {
+        Field::from_fn(name, Dims::d3(8, 8, 8), |c| {
+            ((c[0] * 64 + c[1] * 8 + c[2] + seed) as f32 * 0.1).sin()
+        })
+    }
+
+    #[test]
+    fn roundtrip_mixed_compressors() {
+        let mut w = ArchiveWriter::new();
+        w.add_field(&Sz, &field("density", 0), &ErrorConfig::Abs(1e-3))
+            .expect("sz");
+        w.add_field(
+            &Zfp::default(),
+            &field("temperature", 1),
+            &ErrorConfig::Abs(1e-3),
+        )
+        .expect("zfp");
+        w.add_field(&Fpzip, &field("velocity", 2), &ErrorConfig::Precision(16))
+            .expect("fpzip");
+        assert_eq!(w.len(), 3);
+        let bytes = w.finish();
+
+        let a = Archive::open(&bytes).expect("open");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.compressor_of("density").expect("c"), "sz");
+        assert_eq!(a.compressor_of("temperature").expect("c"), "zfp");
+        assert_eq!(a.compressor_of("velocity").expect("c"), "fpzip");
+
+        for name in ["density", "temperature", "velocity"] {
+            let f = a.get(name).expect("get");
+            assert_eq!(f.dims(), Dims::d3(8, 8, 8));
+            assert_eq!(f.name(), name);
+        }
+    }
+
+    #[test]
+    fn selective_access_does_not_need_other_blobs() {
+        let mut w = ArchiveWriter::new();
+        w.add_field(&Sz, &field("a", 0), &ErrorConfig::Abs(1e-2))
+            .expect("a");
+        w.add_field(&Sz, &field("b", 1), &ErrorConfig::Abs(1e-2))
+            .expect("b");
+        let bytes = w.finish();
+        let a = Archive::open(&bytes).expect("open");
+        // corrupt blob `b` in place; reading `a` must still work
+        let mut broken = bytes.clone();
+        let b_entry = a.entries().iter().find(|e| e.name == "b").expect("b");
+        broken[b_entry.offset + 5] ^= 0xFF;
+        let archive = Archive::open(&broken).expect("open");
+        assert!(archive.get("a").is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut w = ArchiveWriter::new();
+        w.add_field(&Sz, &field("x", 0), &ErrorConfig::Abs(1e-2))
+            .expect("first");
+        let err = w.add_field(&Sz, &field("x", 1), &ErrorConfig::Abs(1e-2));
+        assert!(matches!(err, Err(ArchiveError::DuplicateField(_))));
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let mut w = ArchiveWriter::new();
+        w.add_field(&Sz, &field("x", 0), &ErrorConfig::Abs(1e-2))
+            .expect("x");
+        let bytes = w.finish();
+        let a = Archive::open(&bytes).expect("open");
+        assert!(matches!(a.get("nope"), Err(ArchiveError::NoSuchField(_))));
+    }
+
+    #[test]
+    fn empty_archive_roundtrips() {
+        let bytes = ArchiveWriter::new().finish();
+        let a = Archive::open(&bytes).expect("open");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut w = ArchiveWriter::new();
+        w.add_field(&Sz, &field("x", 0), &ErrorConfig::Abs(1e-2))
+            .expect("x");
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            if let Ok(a) = Archive::open(&bytes[..cut]) {
+                let _ = a.get("x");
+            }
+        }
+    }
+
+    #[test]
+    fn not_an_archive_detected() {
+        assert!(matches!(
+            Archive::open(b"GARBAGE"),
+            Err(ArchiveError::NotAnArchive)
+        ));
+        assert!(matches!(
+            Archive::open(b""),
+            Err(ArchiveError::NotAnArchive)
+        ));
+    }
+
+    #[test]
+    fn add_raw_validates_magic() {
+        let mut w = ArchiveWriter::new();
+        assert!(w.add_raw("junk", vec![0u8; 16]).is_err());
+        let blob = Sz
+            .compress(&field("ok", 0), &ErrorConfig::Abs(1e-2))
+            .expect("compress");
+        assert!(w.add_raw("ok", blob).is_ok());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion bench for the paper's headline cost comparison (Table VIII):
+//! FXRZ's compression-free analysis vs FRaZ's iterative search vs one real
+//! compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fxrz_compressors::sz::Sz;
+use fxrz_compressors::{Compressor, ErrorConfig};
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_core::train::Trainer;
+use fxrz_datagen::nyx::{self, NyxConfig};
+use fxrz_datagen::Dims;
+use fxrz_fraz::FrazSearcher;
+
+fn bench_analysis(c: &mut Criterion) {
+    let dims = Dims::d3(32, 32, 32);
+    let train: Vec<_> = (0..4)
+        .map(|t| nyx::baryon_density(dims, NyxConfig::default().with_timestep(t)))
+        .collect();
+    let mut trainer = Trainer::new();
+    trainer.config.stationary_points = 15;
+    let model = trainer.train(&Sz, &train).expect("train");
+    let frc = FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind");
+    let field = nyx::baryon_density(dims, NyxConfig::default().with_timestep(8));
+    let tcr = 15.0;
+
+    let mut group = c.benchmark_group("fixed_ratio_analysis");
+    group.bench_function("fxrz_estimate", |b| {
+        b.iter(|| frc.estimate(&field, tcr).expect("estimate"))
+    });
+    group.bench_function("fraz6_search", |b| {
+        let fraz = FrazSearcher::with_total_iters(6);
+        b.iter(|| fraz.search(frc.compressor(), &field, tcr).expect("search"))
+    });
+    group.bench_function("fraz15_search", |b| {
+        let fraz = FrazSearcher::with_total_iters(15);
+        b.iter(|| fraz.search(frc.compressor(), &field, tcr).expect("search"))
+    });
+    group.bench_function("one_compression", |b| {
+        let sz = Sz;
+        let eb = field.stats().range * 1e-2;
+        b.iter(|| {
+            sz.compress(&field, &ErrorConfig::Abs(eb))
+                .expect("compress")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analysis
+}
+criterion_main!(benches);

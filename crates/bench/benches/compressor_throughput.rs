@@ -1,0 +1,44 @@
+//! Criterion micro-bench: compression / decompression throughput of the
+//! four compressors on a Nyx-analogue field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fxrz_compressors::{all_compressors, ErrorConfig};
+use fxrz_datagen::nyx::{self, NyxConfig};
+use fxrz_datagen::Dims;
+
+fn bench_compressors(c: &mut Criterion) {
+    let field = nyx::baryon_density(Dims::d3(32, 32, 32), NyxConfig::default());
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(field.nbytes() as u64));
+    for comp in all_compressors() {
+        let cfg = match comp.name() {
+            "fpzip" => ErrorConfig::Precision(16),
+            _ => ErrorConfig::Abs(field.stats().range * 1e-3),
+        };
+        group.bench_function(BenchmarkId::from_parameter(comp.name()), |b| {
+            b.iter(|| comp.compress(&field, &cfg).expect("compress"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(field.nbytes() as u64));
+    for comp in all_compressors() {
+        let cfg = match comp.name() {
+            "fpzip" => ErrorConfig::Precision(16),
+            _ => ErrorConfig::Abs(field.stats().range * 1e-3),
+        };
+        let bytes = comp.compress(&field, &cfg).expect("compress");
+        group.bench_function(BenchmarkId::from_parameter(comp.name()), |b| {
+            b.iter(|| comp.decompress(&bytes).expect("decompress"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compressors
+}
+criterion_main!(benches);

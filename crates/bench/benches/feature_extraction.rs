@@ -1,0 +1,36 @@
+//! Criterion micro-bench: feature extraction cost vs sampling stride —
+//! quantifies the paper's "1.5 % sampling makes analysis ~20× faster"
+//! claim (§V-F).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fxrz_core::features;
+use fxrz_core::sampling::StridedSampler;
+use fxrz_datagen::nyx::{self, NyxConfig};
+use fxrz_datagen::Dims;
+
+fn bench_features(c: &mut Criterion) {
+    let field = nyx::baryon_density(Dims::d3(64, 64, 64), NyxConfig::default());
+    let mut group = c.benchmark_group("feature_extraction");
+    group.throughput(Throughput::Bytes(field.nbytes() as u64));
+    for stride in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(stride), |b| {
+            let sampler = StridedSampler::new(stride);
+            b.iter(|| features::extract(&field, sampler))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compressibility_adjustment");
+    group.bench_function("block4_lambda0.15", |b| {
+        let ca = fxrz_core::ca::CompressibilityAdjuster::default();
+        b.iter(|| ca.non_constant_ratio(&field))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_features
+}
+criterion_main!(benches);

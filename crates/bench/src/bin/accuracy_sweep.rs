@@ -1,0 +1,69 @@
+//! `accuracy_sweep` — FXRZ estimation error per application under all
+//! combinations of (relative coordinate, CA). Used to pick the framework
+//! defaults; kept as a tuning tool.
+//!
+//! Usage: `accuracy_sweep [tiny|small|medium|paper] [sz|zfp|mgard|fpzip]`
+
+use fxrz_bench::runner::{evaluate_field, pick_targets, trainer_for};
+use fxrz_bench::Ctx;
+use fxrz_compressors::by_name;
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_datagen::suite::{test_fields, train_fields, App};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .and_then(|s| Ctx::parse_scale(s))
+        .unwrap_or(fxrz_datagen::Scale::Small);
+    let comp_name = args.get(1).map(|s| s.as_str()).unwrap_or("sz");
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "app", "rel+ca", "rel", "ca", "none"
+    );
+    let mut sums = [0.0f64; 4];
+    for app in App::ALL {
+        let trains = train_fields(app, scale);
+        let tests = test_fields(app, scale);
+        let mut cells = Vec::new();
+        for (rel, ca) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut trainer = trainer_for(scale);
+            trainer.config.relative_coordinate = rel;
+            if !ca {
+                trainer.config.ca = None;
+            }
+            let comp = by_name(comp_name).expect("compressor");
+            let model = trainer.train(comp.as_ref(), &trains).expect("train");
+            let frc =
+                FixedRatioCompressor::new(model, by_name(comp_name).expect("c")).expect("bind");
+            let mut errs = Vec::new();
+            for field in &tests {
+                let targets = pick_targets(&frc, field, 6);
+                for e in evaluate_field(&frc, field, &targets, &[]) {
+                    errs.push(e.fxrz_error());
+                }
+            }
+            cells.push(errs.iter().sum::<f64>() / errs.len().max(1) as f64);
+        }
+        for (s, c) in sums.iter_mut().zip(&cells) {
+            *s += c;
+        }
+        println!(
+            "{:<10} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            app.name(),
+            cells[0] * 100.0,
+            cells[1] * 100.0,
+            cells[2] * 100.0,
+            cells[3] * 100.0
+        );
+    }
+    println!(
+        "{:<10} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+        "AVERAGE",
+        sums[0] / 4.0 * 100.0,
+        sums[1] / 4.0 * 100.0,
+        sums[2] / 4.0 * 100.0,
+        sums[3] / 4.0 * 100.0
+    );
+}

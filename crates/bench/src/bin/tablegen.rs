@@ -1,0 +1,98 @@
+//! `tablegen` — regenerates every table and figure of the FXRZ paper.
+//!
+//! ```text
+//! tablegen <experiment|all> [--scale tiny|small|medium|paper]
+//!          [--targets N] [--out DIR]
+//! tablegen list
+//! ```
+
+use fxrz_bench::{experiments, Ctx};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tablegen <experiment|all|list> [--scale tiny|small|medium|paper] [--targets N] [--out DIR]");
+    eprintln!("experiments:");
+    for (id, desc, _) in experiments::registry() {
+        eprintln!("  {id:<16} {desc}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut ctx = Ctx::default();
+    let mut selected: Option<String> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(scale) = args.get(i).and_then(|s| Ctx::parse_scale(s)) else {
+                    eprintln!("bad --scale value");
+                    return usage();
+                };
+                ctx.scale = scale;
+            }
+            "--targets" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("bad --targets value");
+                    return usage();
+                };
+                ctx.targets = n.max(2);
+            }
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("bad --out value");
+                    return usage();
+                };
+                ctx.out_dir = dir.into();
+            }
+            "list" => {
+                for (id, desc, _) in experiments::registry() {
+                    println!("{id:<16} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other if selected.is_none() && !other.starts_with('-') => {
+                selected = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(selected) = selected else {
+        return usage();
+    };
+
+    let registry = experiments::registry();
+    if selected == "all" {
+        for (id, _, run) in &registry {
+            eprintln!(">>> running {id} (scale {:?})", ctx.scale);
+            let t0 = std::time::Instant::now();
+            run(&ctx);
+            eprintln!("<<< {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        }
+        return ExitCode::SUCCESS;
+    }
+    match registry.iter().find(|(id, _, _)| *id == selected) {
+        Some((id, _, run)) => {
+            eprintln!(">>> running {id} (scale {:?})", ctx.scale);
+            let t0 = std::time::Instant::now();
+            run(&ctx);
+            eprintln!("<<< {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown experiment `{selected}`");
+            usage()
+        }
+    }
+}

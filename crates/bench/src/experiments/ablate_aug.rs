@@ -1,0 +1,48 @@
+//! Ablation (beyond the paper): sweep the number of stationary points and
+//! augmented samples — the training-cost vs accuracy dial of §IV-B.
+
+use crate::runner::{evaluate_field, pick_targets, trainer_for};
+use crate::{fmt, pct, Ctx, Table};
+use fxrz_compressors::by_name;
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_datagen::suite::{test_fields, train_fields, App};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "ablate_aug",
+        &[
+            "stationary_points",
+            "augment_per_field",
+            "avg_estimation_error",
+            "train_stationary_s",
+        ],
+    );
+    let trains = train_fields(App::Nyx, ctx.scale);
+    let tests = test_fields(App::Nyx, ctx.scale);
+
+    for (sp, aug) in [(4usize, 16usize), (8, 30), (15, 60), (25, 100)] {
+        let mut trainer = trainer_for(ctx.scale);
+        trainer.config.stationary_points = sp;
+        trainer.config.augment_per_field = aug;
+        let comp = by_name("sz").expect("compressor");
+        let model = trainer.train(comp.as_ref(), &trains).expect("train");
+        let stationary_s = model.timings.stationary.as_secs_f64();
+        let frc = FixedRatioCompressor::new(model, by_name("sz").expect("c")).expect("bind");
+        let mut errs = Vec::new();
+        for field in &tests {
+            let targets = pick_targets(&frc, field, ctx.targets.min(5));
+            for e in evaluate_field(&frc, field, &targets, &[]) {
+                errs.push(e.fxrz_error());
+            }
+        }
+        let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        table.row(vec![
+            sp.to_string(),
+            aug.to_string(),
+            pct(avg),
+            fmt(stationary_s),
+        ]);
+    }
+    table.emit(ctx);
+}

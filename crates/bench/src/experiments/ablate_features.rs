@@ -1,0 +1,43 @@
+//! Ablation (beyond the paper): drop each of the five adopted features in
+//! turn and measure the estimation-error impact, quantifying how much each
+//! feature contributes to the Table II story.
+
+use crate::runner::{evaluate_field, pick_targets, trainer_for};
+use crate::{pct, Ctx, Table};
+use fxrz_compressors::by_name;
+use fxrz_core::features::FeatureSet;
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_datagen::suite::{test_fields, train_fields, App};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new("ablate_features", &["feature_set", "avg_estimation_error"]);
+    let trains = train_fields(App::Nyx, ctx.scale);
+    let tests = test_fields(App::Nyx, ctx.scale);
+
+    let mut variants: Vec<(String, FeatureSet)> = vec![("all-five".into(), FeatureSet::Adopted)];
+    for (i, name) in ["value_range", "mean_value", "mnd", "mld", "msd"]
+        .iter()
+        .enumerate()
+    {
+        variants.push((format!("minus-{name}"), FeatureSet::AdoptedMinus(i as u8)));
+    }
+
+    for (label, set) in variants {
+        let mut trainer = trainer_for(ctx.scale);
+        trainer.config.feature_set = set;
+        let comp = by_name("sz").expect("compressor");
+        let model = trainer.train(comp.as_ref(), &trains).expect("train");
+        let frc = FixedRatioCompressor::new(model, by_name("sz").expect("c")).expect("bind");
+        let mut errs = Vec::new();
+        for field in &tests {
+            let targets = pick_targets(&frc, field, ctx.targets.min(5));
+            for e in evaluate_field(&frc, field, &targets, &[]) {
+                errs.push(e.fxrz_error());
+            }
+        }
+        let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        table.row(vec![label, pct(avg)]);
+    }
+    table.emit(ctx);
+}

@@ -1,0 +1,45 @@
+//! Beyond the paper: compressor-agnosticism check. FXRZ claims any
+//! error-controlled compressor can sit under the framework unchanged; we
+//! verify with the SZ3-style interpolation compressor ("szi") that the
+//! paper never saw — same trainer, same features, same model.
+
+use crate::runner::{evaluate_field, pick_targets, trainer_for};
+use crate::{pct, Ctx, Table};
+use fxrz_compressors::by_name;
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_datagen::suite::{test_fields, train_fields, App};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "fifth_compressor",
+        &["app", "fxrz_err_szi", "fraz15_err_szi"],
+    );
+    for app in App::ALL {
+        let trains = train_fields(app, ctx.scale);
+        let tests = test_fields(app, ctx.scale);
+        let comp = by_name("szi").expect("szi registered");
+        let model = trainer_for(ctx.scale)
+            .train(comp.as_ref(), &trains)
+            .expect("train");
+        let frc = FixedRatioCompressor::new(model, by_name("szi").expect("c")).expect("bind");
+        let mut fxrz_errs = Vec::new();
+        let mut fraz_errs = Vec::new();
+        for field in &tests {
+            let targets = pick_targets(&frc, field, ctx.targets.min(6));
+            for e in evaluate_field(&frc, field, &targets, &[15]) {
+                fxrz_errs.push(e.fxrz_error());
+                if let Some(err) = e.fraz_error(15) {
+                    fraz_errs.push(err);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        table.row(vec![
+            app.name().into(),
+            pct(avg(&fxrz_errs)),
+            pct(avg(&fraz_errs)),
+        ]);
+    }
+    table.emit(ctx);
+}

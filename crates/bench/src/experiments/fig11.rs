@@ -1,0 +1,28 @@
+//! Fig 11: the valid compression-ratio range per dataset (with SZ) — the
+//! ratio envelope reachable across the whole error-bound space, from which
+//! the evaluation's TCRs are drawn.
+
+use crate::{fmt, Ctx, Table};
+use fxrz_compressors::sz::Sz;
+use fxrz_core::augment::RateCurve;
+use fxrz_datagen::suite::table1_datasets;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "fig11_valid_ranges",
+        &["dataset", "cr_min", "cr_max", "curve_points"],
+    );
+    let sz = Sz;
+    for field in table1_datasets(ctx.scale) {
+        let curve = RateCurve::build(&sz, &field, 20).expect("curve");
+        let (lo, hi) = curve.valid_range();
+        table.row(vec![
+            field.name().into(),
+            fmt(lo),
+            fmt(hi),
+            curve.len().to_string(),
+        ]);
+    }
+    table.emit(ctx);
+}

@@ -1,0 +1,46 @@
+//! Fig 12: measured vs target ratio curves — Ground Truth / FXRZ /
+//! FRaZ-6 / FRaZ-15 — one test dataset per application, SZ and ZFP.
+
+use crate::runner::{evaluate_field, pick_targets, train_app};
+use crate::{fmt, Ctx, Table};
+use fxrz_datagen::suite::App;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "fig12_mcr_vs_tcr",
+        &[
+            "app",
+            "compressor",
+            "tcr_ground_truth",
+            "fxrz_mcr",
+            "fraz6_mcr",
+            "fraz15_mcr",
+        ],
+    );
+    for app in App::ALL {
+        for comp_name in ["sz", "zfp"] {
+            let (frc, tests) = train_app(app, comp_name, ctx.scale);
+            let field = &tests[0];
+            let targets = pick_targets(&frc, field, ctx.targets);
+            for e in evaluate_field(&frc, field, &targets, &[6, 15]) {
+                let fraz = |iters: usize| {
+                    e.fraz
+                        .iter()
+                        .find(|&&(b, _, _)| b == iters)
+                        .map(|&(_, mcr, _)| mcr)
+                        .unwrap_or(f64::NAN)
+                };
+                table.row(vec![
+                    app.name().into(),
+                    comp_name.into(),
+                    fmt(e.tcr),
+                    fmt(e.fxrz_mcr),
+                    fmt(fraz(6)),
+                    fmt(fraz(15)),
+                ]);
+            }
+        }
+    }
+    table.emit(ctx);
+}

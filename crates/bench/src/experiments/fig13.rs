@@ -1,0 +1,60 @@
+//! Fig 13: average estimation error per testing dataset, all four
+//! compressors, FXRZ vs FRaZ-6 vs FRaZ-15 — plus the paper's headline
+//! averages (FXRZ ≈ 8.24 %, FRaZ-6 ≈ 34.48 %, FRaZ-15 ≈ 19.37 %).
+
+use crate::runner::{evaluate_field, pick_targets, train_app, COMPRESSORS};
+use crate::{pct, Ctx, Table};
+use fxrz_datagen::suite::App;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "fig13_estimation_errors",
+        &[
+            "app",
+            "compressor",
+            "test_field",
+            "fxrz_err",
+            "fraz6_err",
+            "fraz15_err",
+        ],
+    );
+    let mut all_fxrz = Vec::new();
+    let mut all_f6 = Vec::new();
+    let mut all_f15 = Vec::new();
+
+    for app in App::ALL {
+        for comp_name in COMPRESSORS {
+            let (frc, tests) = train_app(app, comp_name, ctx.scale);
+            for field in &tests {
+                let targets = pick_targets(&frc, field, ctx.targets);
+                let evals = evaluate_field(&frc, field, &targets, &[6, 15]);
+                let n = evals.len().max(1) as f64;
+                let fxrz: f64 = evals.iter().map(|e| e.fxrz_error()).sum::<f64>() / n;
+                let f6: f64 = evals.iter().filter_map(|e| e.fraz_error(6)).sum::<f64>() / n;
+                let f15: f64 = evals.iter().filter_map(|e| e.fraz_error(15)).sum::<f64>() / n;
+                all_fxrz.push(fxrz);
+                all_f6.push(f6);
+                all_f15.push(f15);
+                table.row(vec![
+                    app.name().into(),
+                    comp_name.into(),
+                    field.name().into(),
+                    pct(fxrz),
+                    pct(f6),
+                    pct(f15),
+                ]);
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    table.row(vec![
+        "AVERAGE".into(),
+        "-".into(),
+        "(paper: 8.24% / 34.48% / 19.37%)".into(),
+        pct(avg(&all_fxrz)),
+        pct(avg(&all_f6)),
+        pct(avg(&all_f15)),
+    ]);
+    table.emit(ctx);
+}

@@ -1,0 +1,52 @@
+//! Fig 14: robustness across application scopes — FXRZ trained on Nyx +
+//! QMCPack + Hurricane + RTM-SmallScale jointly, tested on RTM-BigScale,
+//! for all four compressors; compared against FRaZ-15.
+//!
+//! Paper: FXRZ 11.49 / 6.76 / 13.66 / 19.81 % vs FRaZ 17.85 / 35.51 /
+//! 14.31 / 10.11 % for SZ / ZFP / MGARD+ / FPZIP.
+
+use crate::runner::{evaluate_field, pick_targets, trainer_for, COMPRESSORS};
+use crate::{pct, Ctx, Table};
+use fxrz_compressors::by_name;
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_datagen::suite::{test_fields, train_fields, App};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "fig14_cross_scope",
+        &["compressor", "fxrz_err", "fraz15_err"],
+    );
+    // union of all applications' training sets
+    let mut trains = Vec::new();
+    for app in App::ALL {
+        trains.extend(train_fields(app, ctx.scale));
+    }
+    let tests = test_fields(App::Rtm, ctx.scale); // RTM-BigScale snapshots
+
+    for comp_name in COMPRESSORS {
+        let comp = by_name(comp_name).expect("compressor");
+        let trained = trainer_for(ctx.scale)
+            .train(comp.as_ref(), &trains)
+            .expect("train");
+        let frc = FixedRatioCompressor::new(trained, by_name(comp_name).expect("c")).expect("bind");
+        let mut fxrz_errs = Vec::new();
+        let mut fraz_errs = Vec::new();
+        for field in &tests {
+            let targets = pick_targets(&frc, field, ctx.targets);
+            for e in evaluate_field(&frc, field, &targets, &[15]) {
+                fxrz_errs.push(e.fxrz_error());
+                if let Some(err) = e.fraz_error(15) {
+                    fraz_errs.push(err);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        table.row(vec![
+            comp_name.into(),
+            pct(avg(&fxrz_errs)),
+            pct(avg(&fraz_errs)),
+        ]);
+    }
+    table.emit(ctx);
+}

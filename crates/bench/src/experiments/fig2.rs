@@ -1,0 +1,98 @@
+//! Fig 2: stationary points and the interpolated error-bound ↔ ratio
+//! curve, plus the interpolation-accuracy numbers quoted in §IV-B
+//! (3.04 % / 3.96 % / 5.48 % / 4.34 % for SZ / ZFP / FPZIP / MGARD+).
+
+use crate::runner::COMPRESSORS;
+use crate::{fmt, pct, Ctx, Table};
+use fxrz_compressors::by_name;
+use fxrz_core::augment::RateCurve;
+use fxrz_datagen::nyx::{self, NyxConfig};
+use fxrz_datagen::suite::Scale;
+use fxrz_datagen::Dims;
+
+fn dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Tiny => Dims::d3(16, 16, 16),
+        Scale::Small => Dims::d3(32, 32, 32),
+        Scale::Medium => Dims::d3(64, 64, 64),
+        Scale::Paper => Dims::d3(512, 512, 512),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let field = nyx::baryon_density(dims(ctx.scale), NyxConfig::default());
+
+    // Part 1: measured stationary points AND the interpolated curve for SZ
+    // and ZFP (the two the figure shows).
+    let mut curve_table = Table::new(
+        "fig2_curves",
+        &["compressor", "kind", "coordinate", "ratio"],
+    );
+    for name in ["sz", "zfp"] {
+        let comp = by_name(name).expect("compressor");
+        // measured stationary points (what the dots in Fig 2 are)
+        let space = comp.config_space();
+        let range = field.stats().range;
+        let mut points = Vec::new();
+        for i in 0..25 {
+            let cfg = space.at(i as f64 / 24.0, range);
+            let cr = comp.ratio(&field, &cfg).expect("ratio");
+            curve_table.row(vec![
+                name.into(),
+                "measured".into(),
+                fmt(cfg.coordinate()),
+                fmt(cr),
+            ]);
+            points.push((cr, cfg.coordinate()));
+        }
+        // the interpolated curve FXRZ trains on
+        let curve = RateCurve::from_points(points);
+        for (cr, coord) in curve.augment(50) {
+            curve_table.row(vec![
+                name.into(),
+                "interpolated".into(),
+                fmt(coord),
+                fmt(cr),
+            ]);
+        }
+    }
+    curve_table.emit(ctx);
+
+    // Part 2: interpolation accuracy — interpolate a config for CRs midway
+    // between stationary points, run the compressor, compare.
+    let mut acc_table = Table::new(
+        "fig2_interp_accuracy",
+        &["compressor", "mean_deviation", "paper_reported"],
+    );
+    let paper = [
+        ("sz", "3.04%"),
+        ("zfp", "3.96%"),
+        ("fpzip", "5.48%"),
+        ("mgard", "4.34%"),
+    ];
+    for name in COMPRESSORS {
+        let comp = by_name(name).expect("compressor");
+        let curve = RateCurve::build(comp.as_ref(), &field, 25).expect("curve");
+        let (lo, hi) = curve.valid_range();
+        let mut dev_sum = 0.0;
+        let mut n = 0usize;
+        for i in 1..12 {
+            let target = lo + (hi - lo) * (i as f64 + 0.5) / 13.0;
+            let coord = curve.coordinate_for_ratio(target);
+            let cfg = comp
+                .config_space()
+                .from_coordinate(coord, field.stats().range);
+            let measured = comp.ratio(&field, &cfg).expect("ratio");
+            dev_sum += (measured - target).abs() / target;
+            n += 1;
+        }
+        let reported = paper
+            .iter()
+            .find(|&&(p, _)| p == name)
+            .map(|&(_, v)| v)
+            .unwrap_or("-");
+        acc_table.row(vec![name.into(), pct(dev_sum / n as f64), reported.into()]);
+    }
+    acc_table.emit(ctx);
+}

@@ -1,0 +1,60 @@
+//! Figs 8–9: the train/test variability demonstration — value-distribution
+//! histograms and standard deviations for training vs testing datasets
+//! (Hurricane QCLOUD and Nyx Baryon Density in the paper).
+
+use crate::{fmt, Ctx, Table};
+use fxrz_datagen::suite::{test_fields, train_fields, App};
+use fxrz_datagen::Field;
+
+fn hist_row(label: &str, field: &Field, bins: usize) -> Vec<String> {
+    let (_, counts) = field.histogram(bins);
+    let total: u64 = counts.iter().sum();
+    let mut cells = vec![label.to_owned()];
+    cells.extend(counts.iter().map(|&c| fmt(c as f64 / total.max(1) as f64)));
+    cells
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    // Fig 8: normalized 10-bin histograms, first train field vs test field.
+    let mut f8 = Table::new(
+        "fig8_distributions",
+        &[
+            "dataset", "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "b9",
+        ],
+    );
+    for (app, pick) in [(App::Hurricane, 0usize), (App::Nyx, 0usize)] {
+        let train = train_fields(app, ctx.scale);
+        let test = test_fields(app, ctx.scale);
+        f8.row(hist_row(
+            &format!("{}-train({})", app.name(), train[pick].name()),
+            &train[pick],
+            10,
+        ));
+        f8.row(hist_row(
+            &format!("{}-test({})", app.name(), test[pick].name()),
+            &test[pick],
+            10,
+        ));
+    }
+    f8.emit(ctx);
+
+    // Fig 9: per-field standard deviation across all four applications.
+    let mut f9 = Table::new("fig9_stddev", &["app", "split", "field", "std_dev"]);
+    for app in App::ALL {
+        for (split, fields) in [
+            ("train", train_fields(app, ctx.scale)),
+            ("test", test_fields(app, ctx.scale)),
+        ] {
+            for f in &fields {
+                f9.row(vec![
+                    app.name().into(),
+                    split.into(),
+                    f.name().into(),
+                    fmt(f.stats().std_dev),
+                ]);
+            }
+        }
+    }
+    f9.emit(ctx);
+}

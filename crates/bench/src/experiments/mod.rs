@@ -1,0 +1,126 @@
+//! One module per reproduced table/figure. Every module exposes
+//! `run(ctx: &Ctx)`, prints its table(s) and saves TSV into `ctx.out_dir`.
+
+pub mod ablate_aug;
+pub mod ablate_features;
+pub mod fifth_compressor;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig3_tab1;
+pub mod fig7;
+pub mod fig8_9;
+pub mod opt_sampling;
+pub mod par;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+pub mod tab6;
+pub mod tab7;
+pub mod zfp_modes;
+
+use crate::Ctx;
+
+/// One experiment: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(&Ctx));
+
+/// Experiment registry.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        (
+            "fig2",
+            "stationary points + interpolated eb<->CR curves (SZ, ZFP on Nyx baryon)",
+            fig2::run,
+        ),
+        (
+            "fig3_tab1",
+            "Fig 3 CRs across datasets/compressors + Table I feature values",
+            fig3_tab1::run,
+        ),
+        (
+            "tab2",
+            "Table II: feature <-> compressibility Pearson correlations",
+            tab2::run,
+        ),
+        (
+            "tab3",
+            "Table III: estimation error of RFR vs AdaBoost vs SVR",
+            tab3::run,
+        ),
+        (
+            "tab4",
+            "Table IV: lambda sweep for CA thresholds",
+            tab4::run,
+        ),
+        ("fig7", "Fig 7: MCR vs TCR with and without CA", fig7::run),
+        (
+            "fig8_9",
+            "Figs 8-9: train/test distribution divergence",
+            fig8_9::run,
+        ),
+        (
+            "fig10",
+            "Fig 10: distortion & halo mislocation vs error bound",
+            fig10::run,
+        ),
+        (
+            "fig11",
+            "Fig 11: valid compression-ratio ranges",
+            fig11::run,
+        ),
+        (
+            "fig12",
+            "Fig 12: MCR vs TCR — FXRZ vs FRaZ-6/15 per app (SZ, ZFP)",
+            fig12::run,
+        ),
+        (
+            "fig13",
+            "Fig 13: per-dataset estimation error, all compressors",
+            fig13::run,
+        ),
+        (
+            "fig14",
+            "Fig 14: cross-application-scope training",
+            fig14::run,
+        ),
+        ("tab6", "Table VI: training-time breakdown", tab6::run),
+        (
+            "tab7",
+            "Table VIII: analysis-time cost relative to compression (FXRZ vs FRaZ)",
+            tab7::run,
+        ),
+        (
+            "par",
+            "Parallel data dumping: end-to-end gain vs FRaZ (weak scaling)",
+            par::run,
+        ),
+        (
+            "opt_sampling",
+            "§V-F: sampling-stride ablation (accuracy vs analysis speed)",
+            opt_sampling::run,
+        ),
+        (
+            "ablate_features",
+            "ablation: drop each adopted feature",
+            ablate_features::run,
+        ),
+        (
+            "ablate_aug",
+            "ablation: augmentation sample-count sweep",
+            ablate_aug::run,
+        ),
+        (
+            "zfp_modes",
+            "related-work check: ZFP fixed-rate vs fixed-accuracy rate/distortion",
+            zfp_modes::run,
+        ),
+        (
+            "fifth_compressor",
+            "beyond the paper: FXRZ on the unseen SZ3-style compressor (agnosticism)",
+            fifth_compressor::run,
+        ),
+    ]
+}

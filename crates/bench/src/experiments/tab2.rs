@@ -1,0 +1,92 @@
+//! Table II: average Pearson correlation between each candidate feature
+//! and the compression ratio, per compressor.
+//!
+//! Protocol (§IV-C): for each application, take its snapshot/configuration
+//! variants; at each of several error bounds, correlate a feature's value
+//! across variants with the measured ratios; average |r| across bounds and
+//! applications. The paper finds the five adopted features strongly
+//! correlated and the gradient features weakest.
+
+use crate::runner::COMPRESSORS;
+use crate::{fmt, Ctx, Table};
+use fxrz_compressors::{by_name, ErrorConfig};
+use fxrz_core::features::{extract, FeatureVector};
+use fxrz_core::sampling::StridedSampler;
+use fxrz_datagen::suite::{train_fields, App};
+use fxrz_ml::metrics::pearson;
+
+type Getter = fn(&FeatureVector) -> f64;
+const FEATURES: [(&str, Getter); 8] = [
+    ("ValueRange", |f| f.value_range),
+    ("MeanValue", |f| f.mean_value),
+    ("MND", |f| f.mnd),
+    ("MLD", |f| f.mld),
+    ("MSD", |f| f.msd),
+    ("MeanGrad", |f| f.mean_gradient),
+    ("MinGrad", |f| f.min_gradient),
+    ("MaxGrad", |f| f.max_gradient),
+];
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "tab2_correlations",
+        &[
+            "compressor",
+            "ValueRange",
+            "MeanValue",
+            "MND",
+            "MLD",
+            "MSD",
+            "MeanGrad",
+            "MinGrad",
+            "MaxGrad",
+        ],
+    );
+
+    for comp_name in COMPRESSORS {
+        let comp = by_name(comp_name).expect("compressor");
+        let mut acc = [0.0f64; 8];
+        let mut acc_n = 0usize;
+        for app in App::ALL {
+            let fields = train_fields(app, ctx.scale);
+            if fields.len() < 3 {
+                continue;
+            }
+            let fvs: Vec<FeatureVector> = fields
+                .iter()
+                .map(|f| extract(f, StridedSampler::default()))
+                .collect();
+            // several relative error bounds for compressibility diversity
+            for rel in [1e-4, 1e-3, 1e-2] {
+                let crs: Vec<f64> = fields
+                    .iter()
+                    .map(|f| {
+                        let cfg = match comp_name {
+                            "fpzip" => {
+                                // map the relative bound loosely onto precision
+                                let p = match rel {
+                                    r if r >= 1e-2 => 8,
+                                    r if r >= 1e-3 => 14,
+                                    _ => 20,
+                                };
+                                ErrorConfig::Precision(p)
+                            }
+                            _ => ErrorConfig::Abs((f.stats().range * rel).max(1e-12)),
+                        };
+                        comp.ratio(f, &cfg).expect("ratio")
+                    })
+                    .collect();
+                for (i, (_, get)) in FEATURES.iter().enumerate() {
+                    let xs: Vec<f64> = fvs.iter().map(get).collect();
+                    acc[i] += pearson(&xs, &crs).abs();
+                }
+                acc_n += 1;
+            }
+        }
+        let mut cells = vec![comp_name.to_string()];
+        cells.extend(acc.iter().map(|&a| fmt(a / acc_n.max(1) as f64)));
+        table.row(cells);
+    }
+    table.emit(ctx);
+}

@@ -1,0 +1,48 @@
+//! Table III: average estimation error of the three candidate regression
+//! models (RFR, AdaBoost, SVR), on three example applications with SZ and
+//! ZFP. The paper adopts RFR (lowest error overall); SVR suffers the most.
+
+use crate::runner::{evaluate_field, pick_targets, trainer_for};
+use crate::{pct, Ctx, Table};
+use fxrz_compressors::by_name;
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_datagen::suite::{test_fields, train_fields, App};
+use fxrz_ml::ModelKind;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "tab3_models",
+        &["app", "compressor", "model", "avg_estimation_error"],
+    );
+    let apps = [App::Nyx, App::QmcPack, App::Rtm];
+    for app in apps {
+        let trains = train_fields(app, ctx.scale);
+        let tests = test_fields(app, ctx.scale);
+        for comp_name in ["sz", "zfp"] {
+            for model in ModelKind::ALL {
+                let mut trainer = trainer_for(ctx.scale);
+                trainer.config.model = model;
+                let comp = by_name(comp_name).expect("compressor");
+                let trained = trainer.train(comp.as_ref(), &trains).expect("train");
+                let frc = FixedRatioCompressor::new(trained, by_name(comp_name).expect("c"))
+                    .expect("bind");
+                let mut errs = Vec::new();
+                for field in &tests {
+                    let targets = pick_targets(&frc, field, ctx.targets.min(6));
+                    for e in evaluate_field(&frc, field, &targets, &[]) {
+                        errs.push(e.fxrz_error());
+                    }
+                }
+                let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+                table.row(vec![
+                    app.name().into(),
+                    comp_name.into(),
+                    model.name().into(),
+                    pct(avg),
+                ]);
+            }
+        }
+    }
+    table.emit(ctx);
+}

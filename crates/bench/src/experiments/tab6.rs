@@ -1,0 +1,47 @@
+//! Table VI: FXRZ total training time per application × compressor, broken
+//! into stationary-point generation (the compressor runs), augmentation
+//! (features + interpolation) and model fitting.
+//!
+//! The paper averages 13.59 minutes at `512^3`-class field sizes; scaled
+//! grids here produce proportionally smaller absolute times, but the
+//! *structure* — stationary points dominate; MGARD slowest, FPZIP fastest —
+//! carries over.
+
+use crate::runner::{trainer_for, COMPRESSORS};
+use crate::{fmt, Ctx, Table};
+use fxrz_compressors::by_name;
+use fxrz_datagen::suite::{train_fields, App};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "tab6_training_time",
+        &[
+            "app",
+            "compressor",
+            "stationary_s",
+            "augment_s",
+            "fit_s",
+            "total_s",
+        ],
+    );
+    for app in App::ALL {
+        let fields = train_fields(app, ctx.scale);
+        for comp_name in COMPRESSORS {
+            let comp = by_name(comp_name).expect("compressor");
+            let model = trainer_for(ctx.scale)
+                .train(comp.as_ref(), &fields)
+                .expect("train");
+            let t = model.timings;
+            table.row(vec![
+                app.name().into(),
+                comp_name.into(),
+                fmt(t.stationary.as_secs_f64()),
+                fmt(t.augment.as_secs_f64()),
+                fmt(t.fit.as_secs_f64()),
+                fmt(t.total().as_secs_f64()),
+            ]);
+        }
+    }
+    table.emit(ctx);
+}

@@ -1,0 +1,65 @@
+//! Table VIII (the paper's analysis-cost table): average analysis time
+//! relative to one compression, FXRZ vs FRaZ-15 — and the resulting
+//! speedup (the paper's headline: FRaZ is ~108× slower on average).
+//!
+//! FXRZ's analysis is a sampled feature pass + model prediction
+//! (compression-free); FRaZ's analysis runs the compressor ~15 times.
+
+use crate::runner::{evaluate_field, mean_duration, pick_targets, train_app, COMPRESSORS};
+use crate::{fmt, Ctx, Table};
+use fxrz_datagen::suite::App;
+use std::time::Duration;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let mut table = Table::new(
+        "tab7_analysis_cost",
+        &[
+            "app",
+            "compressor",
+            "fxrz_cost",   // analysis / compression
+            "fraz15_cost", // search / compression
+            "speedup",     // fraz / fxrz
+        ],
+    );
+    let mut speedups = Vec::new();
+    for app in App::ALL {
+        for comp_name in COMPRESSORS {
+            let (frc, tests) = train_app(app, comp_name, ctx.scale);
+            let mut fxrz_t: Vec<Duration> = Vec::new();
+            let mut fraz_t: Vec<Duration> = Vec::new();
+            let mut comp_t: Vec<Duration> = Vec::new();
+            for field in &tests {
+                let targets = pick_targets(&frc, field, ctx.targets.min(5));
+                for e in evaluate_field(&frc, field, &targets, &[15]) {
+                    fxrz_t.push(e.fxrz_analysis);
+                    comp_t.push(e.compress_time);
+                    if let Some(&(_, _, t)) = e.fraz.first() {
+                        fraz_t.push(t);
+                    }
+                }
+            }
+            let comp_s = mean_duration(&comp_t).as_secs_f64().max(1e-9);
+            let fxrz_cost = mean_duration(&fxrz_t).as_secs_f64() / comp_s;
+            let fraz_cost = mean_duration(&fraz_t).as_secs_f64() / comp_s;
+            let speedup = fraz_cost / fxrz_cost.max(1e-12);
+            speedups.push(speedup);
+            table.row(vec![
+                app.name().into(),
+                comp_name.into(),
+                fmt(fxrz_cost),
+                fmt(fraz_cost),
+                fmt(speedup),
+            ]);
+        }
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    table.row(vec![
+        "AVERAGE".into(),
+        "(paper: ~108x)".into(),
+        "-".into(),
+        "-".into(),
+        fmt(avg),
+    ]);
+    table.emit(ctx);
+}

@@ -1,0 +1,60 @@
+//! Related-work check (§II): ZFP's native fixed-rate mode "suffers from
+//! much lower compression ratio (≈2×) at the same distortion" than its
+//! fixed-accuracy mode — the observation that motivates building a
+//! fixed-ratio framework on top of error-bounded modes at all.
+//!
+//! For a sweep of fixed-accuracy bounds we record (ratio, max error), then
+//! ask fixed-rate mode for the *same ratio* and compare its error.
+
+use crate::{fmt, Ctx, Table};
+use fxrz_compressors::zfp::Zfp;
+use fxrz_compressors::{Compressor, ErrorConfig};
+use fxrz_datagen::nyx::{self, NyxConfig};
+use fxrz_datagen::suite::Scale;
+use fxrz_datagen::Dims;
+
+fn dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Tiny => Dims::d3(16, 16, 16),
+        Scale::Small => Dims::d3(32, 32, 32),
+        Scale::Medium => Dims::d3(64, 64, 64),
+        Scale::Paper => Dims::d3(512, 512, 512),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    let field = nyx::baryon_density(dims(ctx.scale), NyxConfig::default());
+    let acc = Zfp::fixed_accuracy();
+    let rate = Zfp::fixed_rate();
+
+    let mut table = Table::new(
+        "zfp_modes",
+        &[
+            "ratio",
+            "fixed_accuracy_max_err",
+            "fixed_rate_max_err",
+            "err_penalty",
+        ],
+    );
+    for eb in [1e-4, 1e-3, 1e-2, 5e-2] {
+        let bytes = acc.compress(&field, &ErrorConfig::Abs(eb)).expect("acc");
+        let ratio = field.nbytes() as f64 / bytes.len() as f64;
+        let acc_err = field.max_abs_diff(&acc.decompress(&bytes).expect("d"));
+
+        // ask fixed-rate mode for the same output size
+        let bits_per_value = 32.0 / ratio;
+        let rbytes = rate
+            .compress(&field, &ErrorConfig::Rate(bits_per_value))
+            .expect("rate");
+        let rate_err = field.max_abs_diff(&rate.decompress(&rbytes).expect("d"));
+
+        table.row(vec![
+            fmt(ratio),
+            fmt(acc_err),
+            fmt(rate_err),
+            fmt(rate_err / acc_err.max(1e-12)),
+        ]);
+    }
+    table.emit(ctx);
+}

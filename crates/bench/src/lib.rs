@@ -1,0 +1,150 @@
+//! # fxrz-bench — the experiment harness
+//!
+//! One module per paper artifact; the `tablegen` binary dispatches to them
+//! (`cargo run --release -p fxrz-bench --bin tablegen -- <experiment>`).
+//! Each experiment prints a TSV table to stdout and mirrors it into
+//! `results/<id>.tsv`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+use fxrz_datagen::Scale;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Shared experiment context: grid scale and output directory.
+#[derive(Clone, Debug)]
+pub struct Ctx {
+    /// Grid-size preset for all generated datasets.
+    pub scale: Scale,
+    /// Directory receiving `<id>.tsv` result files.
+    pub out_dir: PathBuf,
+    /// Target-ratio count per dataset (the paper uses ~25; smaller values
+    /// shorten FRaZ-heavy experiments).
+    pub targets: usize,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            out_dir: PathBuf::from("results"),
+            targets: 10,
+        }
+    }
+}
+
+impl Ctx {
+    /// Parses a scale name (`tiny|small|medium|paper`).
+    pub fn parse_scale(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// A simple TSV table builder that prints to stdout and saves to disk.
+#[derive(Debug)]
+pub struct Table {
+    id: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table for experiment `id` with the given column names.
+    pub fn new(id: &str, header: &[&str]) -> Self {
+        Self {
+            id: id.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the TSV content.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join("\t"));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.join("\t"));
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `out_dir/<id>.tsv`.
+    pub fn emit(&self, ctx: &Ctx) {
+        let rendered = self.render();
+        println!("== {} ==", self.id);
+        print!("{rendered}");
+        let _ = std::fs::create_dir_all(&ctx.out_dir);
+        let path = ctx.out_dir.join(format!("{}.tsv", self.id));
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("(saved {})", path.display());
+        }
+    }
+}
+
+/// Formats a float with sensible width for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_tsv() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render(), "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_checks_columns() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1.234e3");
+        assert_eq!(fmt(0.25), "0.2500");
+        assert_eq!(pct(0.0824), "8.24%");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Ctx::parse_scale("tiny"), Some(Scale::Tiny));
+        assert_eq!(Ctx::parse_scale("paper"), Some(Scale::Paper));
+        assert_eq!(Ctx::parse_scale("nope"), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared evaluation machinery: train FXRZ per (application, compressor),
+//! pick valid target ratios, and evaluate FXRZ vs FRaZ on test fields.
+
+use fxrz_compressors::{by_name, Compressor};
+use fxrz_core::augment::RateCurve;
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_core::sampling::StridedSampler;
+use fxrz_core::train::{Trainer, TrainerConfig};
+use fxrz_datagen::suite::{test_fields, train_fields};
+use fxrz_datagen::{App, Field, Scale};
+use fxrz_fraz::FrazSearcher;
+use std::time::Duration;
+
+/// The four compressor names in the paper's reporting order.
+pub const COMPRESSORS: [&str; 4] = ["sz", "zfp", "mgard", "fpzip"];
+
+/// Scale-appropriate trainer defaults.
+pub fn trainer_for(scale: Scale) -> Trainer {
+    let stationary_points = match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 15,
+        _ => 25,
+    };
+    Trainer {
+        config: TrainerConfig {
+            stationary_points,
+            augment_per_field: 60,
+            sampler: match scale {
+                Scale::Tiny => StridedSampler::new(2),
+                _ => StridedSampler::new(4),
+            },
+            ..TrainerConfig::default()
+        },
+    }
+}
+
+/// Trains FXRZ for one (application, compressor) pair per the paper's
+/// train/test protocol, returning the bound fixed-ratio compressor and the
+/// app's test fields.
+pub fn train_app(
+    app: App,
+    compressor_name: &str,
+    scale: Scale,
+) -> (FixedRatioCompressor, Vec<Field>) {
+    let compressor = by_name(compressor_name).expect("known compressor");
+    let fields = train_fields(app, scale);
+    let model = trainer_for(scale)
+        .train(compressor.as_ref(), &fields)
+        .expect("training failed");
+    let frc =
+        FixedRatioCompressor::new(model, by_name(compressor_name).expect("known")).expect("bind");
+    (frc, test_fields(app, scale))
+}
+
+/// Ground-truth achievable ratio range of `field` under `compressor`
+/// (requires real compressor runs — evaluation-only).
+pub fn achievable_range(compressor: &dyn Compressor, field: &Field, probes: usize) -> (f64, f64) {
+    let curve = RateCurve::build(compressor, field, probes.max(2)).expect("curve");
+    curve.valid_range()
+}
+
+/// Picks `n` target ratios uniformly inside the intersection of the
+/// model's trained valid range and the test field's achievable range
+/// (mirroring how the paper selects "reasonable/applicable" TCRs after its
+/// Fig 11 analysis).
+pub fn pick_targets(frc: &FixedRatioCompressor, field: &Field, n: usize) -> Vec<f64> {
+    let (m_lo, m_hi) = frc.model().valid_ratio_range;
+    let (f_lo, f_hi) = achievable_range(frc.compressor(), field, 9);
+    // The paper draws TCRs from the "valid range … according to reasonable
+    // data distortion" (Fig 11): it excludes the near-lossless floor and
+    // the extreme flat tail (Nyx caps near CR 500). The floor also scales
+    // with 1/R so Compressibility Adjustment cannot push the model into
+    // the near-lossless regime on sparse fields.
+    let r = frc
+        .model()
+        .ca
+        .map(|ca| ca.non_constant_ratio(field))
+        .unwrap_or(1.0)
+        .max(1e-3);
+    let lo = (m_lo.max(f_lo) * 1.10).max(4.0).max(4.0 / r);
+    let hi = (m_hi.min(f_hi) * 0.90).min(500.0);
+    if hi <= lo {
+        // degenerate intersection: fall back to the field's own range
+        let lo = (f_lo * 1.1).max(2.0);
+        let hi = (f_hi * 0.9).max(lo * 1.1);
+        return (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n.max(2) - 1) as f64)
+            .collect();
+    }
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n.max(2) - 1) as f64)
+        .collect()
+}
+
+/// One target's evaluation across FXRZ and FRaZ budgets.
+#[derive(Clone, Debug)]
+pub struct TargetEval {
+    /// Target compression ratio (ground truth line in Fig 12).
+    pub tcr: f64,
+    /// Measured ratio from FXRZ's estimated configuration.
+    pub fxrz_mcr: f64,
+    /// FXRZ pure analysis time.
+    pub fxrz_analysis: Duration,
+    /// Time of the single compression FXRZ performs.
+    pub compress_time: Duration,
+    /// `(total_iters, measured ratio, search time)` per FRaZ budget.
+    pub fraz: Vec<(usize, f64, Duration)>,
+}
+
+impl TargetEval {
+    /// Formula-5 estimation error for FXRZ.
+    pub fn fxrz_error(&self) -> f64 {
+        (self.tcr - self.fxrz_mcr).abs() / self.tcr
+    }
+
+    /// Formula-5 estimation error for the FRaZ run with budget `iters`.
+    pub fn fraz_error(&self, iters: usize) -> Option<f64> {
+        self.fraz
+            .iter()
+            .find(|&&(b, _, _)| b == iters)
+            .map(|&(_, mcr, _)| (self.tcr - mcr).abs() / self.tcr)
+    }
+}
+
+/// Evaluates one test field at each target, with FXRZ and each FRaZ
+/// iteration budget.
+pub fn evaluate_field(
+    frc: &FixedRatioCompressor,
+    field: &Field,
+    tcrs: &[f64],
+    fraz_budgets: &[usize],
+) -> Vec<TargetEval> {
+    tcrs.iter()
+        .map(|&tcr| {
+            let out = frc.compress(field, tcr).expect("fxrz compress");
+            let fraz = fraz_budgets
+                .iter()
+                .map(|&iters| {
+                    let res = FrazSearcher::with_total_iters(iters)
+                        .search(frc.compressor(), field, tcr)
+                        .expect("fraz search");
+                    (iters, res.measured_ratio, res.search_time)
+                })
+                .collect();
+            TargetEval {
+                tcr,
+                fxrz_mcr: out.measured_ratio,
+                fxrz_analysis: out.estimate.analysis_time,
+                compress_time: out.compression_time,
+                fraz,
+            }
+        })
+        .collect()
+}
+
+/// Mean of a duration slice.
+pub fn mean_duration(ds: &[Duration]) -> Duration {
+    if ds.is_empty() {
+        return Duration::ZERO;
+    }
+    let total: Duration = ds.iter().sum();
+    total / ds.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_and_evaluate_tiny_nyx_sz() {
+        let (frc, tests) = train_app(App::Nyx, "sz", Scale::Tiny);
+        assert_eq!(tests.len(), 4);
+        let targets = pick_targets(&frc, &tests[0], 3);
+        assert_eq!(targets.len(), 3);
+        assert!(targets.windows(2).all(|w| w[1] > w[0]));
+        let evals = evaluate_field(&frc, &tests[0], &targets, &[6]);
+        assert_eq!(evals.len(), 3);
+        for e in &evals {
+            assert!(e.fxrz_mcr > 1.0);
+            assert!(e.fxrz_error().is_finite());
+            assert!(e.fraz_error(6).expect("budget present").is_finite());
+            assert!(e.fraz_error(15).is_none());
+        }
+    }
+
+    #[test]
+    fn mean_duration_basics() {
+        assert_eq!(mean_duration(&[]), Duration::ZERO);
+        let m = mean_duration(&[Duration::from_secs(1), Duration::from_secs(3)]);
+        assert_eq!(m, Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,311 @@
+//! LSB-first bit-level I/O over byte buffers.
+//!
+//! All entropy coders in this crate serialize through [`BitWriter`] /
+//! [`BitReader`]. Bits are packed least-significant-bit first within each
+//! byte, which keeps single-bit writes branch-free and matches the layout
+//! used by DEFLATE-family formats.
+
+/// Accumulates bits into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// bit cursor within the last byte (0..8); 0 means byte-aligned
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+            bit_pos: 0,
+        }
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) & 7;
+    }
+
+    /// Appends the low `n` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    /// Panics when `n > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in 0..n {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        self.bit_pos = 0;
+    }
+
+    /// Appends whole bytes (aligning first).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.align();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finishes and returns the underlying buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits back from a byte slice produced by [`BitWriter`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Reads one bit; `None` at end of input.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.byte_pos >= self.buf.len() {
+            return None;
+        }
+        let bit = (self.buf[self.byte_pos] >> self.bit_pos) & 1 == 1;
+        self.bit_pos += 1;
+        if self.bit_pos == 8 {
+            self.bit_pos = 0;
+            self.byte_pos += 1;
+        }
+        Some(bit)
+    }
+
+    /// Reads `n` bits LSB-first; `None` when fewer remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for i in 0..n {
+            if self.read_bit()? {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align(&mut self) {
+        if self.bit_pos != 0 {
+            self.bit_pos = 0;
+            self.byte_pos += 1;
+        }
+    }
+
+    /// Reads `n` whole bytes (aligning first); `None` when fewer remain.
+    pub fn read_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.align();
+        if self.byte_pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.byte_pos..self.byte_pos + n];
+        self.byte_pos += n;
+        Some(s)
+    }
+
+    /// Remaining whole bytes after the cursor (rounded down).
+    pub fn remaining_bytes(&self) -> usize {
+        self.buf
+            .len()
+            .saturating_sub(self.byte_pos + usize::from(self.bit_pos > 0))
+    }
+}
+
+/// Writes `v` as a LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`. `None` on truncation/overflow.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag-encodes a signed integer so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(32), Some(0xDEADBEEF));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bytes(&[0xAB, 0xCD]);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bytes(2), Some(&[0xAB, 0xCD][..]));
+    }
+
+    #[test]
+    fn bit_len_counts() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 5);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_is_none() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [
+            -1_000_000i64,
+            -2,
+            -1,
+            0,
+            1,
+            2,
+            1_000_000,
+            i64::MIN,
+            i64::MAX,
+        ] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

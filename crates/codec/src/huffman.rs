@@ -1,0 +1,410 @@
+//! Canonical, length-limited Huffman coding over `u32` alphabets.
+//!
+//! The SZ-style compressor emits quantization codes from a potentially huge
+//! but sparsely-used alphabet, so the encoder maps observed symbols to dense
+//! indices, builds a Huffman code over their frequencies, length-limits it
+//! to [`MAX_CODE_LEN`] bits, and serializes canonical code lengths plus the
+//! symbol dictionary ahead of the payload bits.
+
+use crate::bitstream::{read_varint, write_varint, BitReader, BitWriter};
+use crate::CodecError;
+use std::collections::HashMap;
+
+/// Upper bound on any code length, enforced by Kraft-sum adjustment.
+pub const MAX_CODE_LEN: u32 = 32;
+
+/// Computes Huffman code lengths for the given positive frequencies.
+///
+/// Returns one length per input slot. Zero-frequency slots get length 0
+/// (unused). A single-symbol alphabet gets length 1.
+fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lens = vec![0u32; freqs.len()];
+    match used.len() {
+        0 => return lens,
+        1 => {
+            lens[used[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Heap-free O(n log n) Huffman: sort leaves by frequency, then the
+    // classic two-queue merge.
+    let mut leaves: Vec<(u64, usize)> = used.iter().map(|&i| (freqs[i], i)).collect();
+    leaves.sort_unstable();
+
+    // nodes: (freq, left, right); leaves are 0..n, internal nodes follow.
+    let n = leaves.len();
+    let mut node_freq: Vec<u64> = leaves.iter().map(|&(f, _)| f).collect();
+    let mut children: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut leaf_q = 0usize; // next unconsumed leaf
+    let mut int_q = n; // next unconsumed internal node
+    let mut next_int = n;
+
+    let take_min =
+        |node_freq: &Vec<u64>, leaf_q: &mut usize, int_q: &mut usize, next_int: usize| -> usize {
+            let leaf_ok = *leaf_q < n;
+            let int_ok = *int_q < next_int;
+            let pick_leaf = match (leaf_ok, int_ok) {
+                (true, true) => node_freq[*leaf_q] <= node_freq[*int_q],
+                (true, false) => true,
+                (false, true) => false,
+                (false, false) => unreachable!("huffman queue underflow"),
+            };
+            if pick_leaf {
+                let i = *leaf_q;
+                *leaf_q += 1;
+                i
+            } else {
+                let i = *int_q;
+                *int_q += 1;
+                i
+            }
+        };
+
+    while (n - leaf_q) + (next_int - int_q) > 1 {
+        let a = take_min(&node_freq, &mut leaf_q, &mut int_q, next_int);
+        let b = take_min(&node_freq, &mut leaf_q, &mut int_q, next_int);
+        node_freq.push(node_freq[a] + node_freq[b]);
+        children.push(Some((a, b)));
+        next_int += 1;
+    }
+
+    // Depth-first depth assignment from the root (last created node).
+    let root = next_int - 1;
+    let mut depth = vec![0u32; node_freq.len()];
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        if let Some((l, r)) = children[i] {
+            depth[l] = depth[i] + 1;
+            depth[r] = depth[i] + 1;
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+    for (slot, &(_f, orig)) in leaves.iter().enumerate() {
+        lens[orig] = depth[slot].max(1);
+    }
+
+    limit_lengths(&mut lens, MAX_CODE_LEN);
+    lens
+}
+
+/// Enforces `len <= limit` for all codes while keeping the Kraft sum ≤ 1
+/// (then tightens it back to exactly 1 where possible for optimality).
+fn limit_lengths(lens: &mut [u32], limit: u32) {
+    if lens.iter().all(|&l| l <= limit) {
+        return;
+    }
+    // Clamp, then repair: K = sum 2^(limit - len) must be <= 2^limit.
+    for l in lens.iter_mut() {
+        if *l > limit {
+            *l = limit;
+        }
+    }
+    let kraft = |lens: &[u32]| -> u128 {
+        lens.iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u128 << (limit - l))
+            .sum()
+    };
+    let budget = 1u128 << limit;
+    // While over budget, deepen the shallowest over-shallow code.
+    while kraft(lens) > budget {
+        // find a used code with the smallest length > 0 that can grow
+        let mut best: Option<usize> = None;
+        for (i, &l) in lens.iter().enumerate() {
+            if l > 0 && l < limit {
+                match best {
+                    None => best = Some(i),
+                    Some(b) if lens[b] > l => best = Some(i),
+                    _ => {}
+                }
+            }
+        }
+        match best {
+            Some(i) => lens[i] += 1,
+            None => break, // cannot repair further (shouldn't happen)
+        }
+    }
+    debug_assert!(kraft(lens) <= budget, "kraft repair failed");
+}
+
+/// Canonical codes (code value, length) assigned by (length, slot) order.
+fn canonical_codes(lens: &[u32]) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..lens.len()).filter(|&i| lens[i] > 0).collect();
+    order.sort_by_key(|&i| (lens[i], i));
+    let mut codes = vec![0u64; lens.len()];
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &i in &order {
+        code <<= lens[i] - prev_len;
+        codes[i] = code;
+        code += 1;
+        prev_len = lens[i];
+    }
+    codes
+}
+
+/// Encodes a symbol stream. The output is self-describing (dictionary +
+/// canonical lengths + payload) and decoded by [`decode`].
+pub fn encode(symbols: &[u32]) -> Vec<u8> {
+    // Dense symbol dictionary in first-appearance order.
+    let mut index: HashMap<u32, usize> = HashMap::new();
+    let mut dict: Vec<u32> = Vec::new();
+    let mut freqs: Vec<u64> = Vec::new();
+    let mut dense: Vec<usize> = Vec::with_capacity(symbols.len());
+    for &s in symbols {
+        let slot = *index.entry(s).or_insert_with(|| {
+            dict.push(s);
+            freqs.push(0);
+            dict.len() - 1
+        });
+        freqs[slot] += 1;
+        dense.push(slot);
+    }
+
+    let lens = code_lengths(&freqs);
+    let codes = canonical_codes(&lens);
+
+    let mut header = Vec::new();
+    write_varint(&mut header, symbols.len() as u64);
+    write_varint(&mut header, dict.len() as u64);
+    for (i, &sym) in dict.iter().enumerate() {
+        write_varint(&mut header, sym as u64);
+        write_varint(&mut header, lens[i] as u64);
+    }
+
+    let mut w = BitWriter::with_capacity(symbols.len() / 4 + 16);
+    w.write_bytes(&header);
+    for &slot in &dense {
+        let (code, len) = (codes[slot], lens[slot]);
+        // canonical codes compare MSB-first; emit them MSB-first
+        for k in (0..len).rev() {
+            w.write_bit((code >> k) & 1 == 1);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a buffer produced by [`encode`].
+pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let mut pos = 0usize;
+    let count = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+    let n_dict = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+    // untrusted count: each dictionary entry costs >= 2 input bytes, so a
+    // count beyond that is corrupt; also bounds the pre-allocation
+    if n_dict > buf.len() / 2 + 1 {
+        return Err(CodecError::Corrupt("dictionary larger than input"));
+    }
+    let mut dict = Vec::with_capacity(n_dict);
+    let mut lens = Vec::with_capacity(n_dict);
+    for _ in 0..n_dict {
+        let sym = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as u32;
+        let len = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as u32;
+        if len > MAX_CODE_LEN {
+            return Err(CodecError::Corrupt("code length exceeds limit"));
+        }
+        dict.push(sym);
+        lens.push(len);
+    }
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if n_dict == 0 {
+        return Err(CodecError::Corrupt("nonzero count with empty dictionary"));
+    }
+
+    // Canonical decode tables: for each length, the first code value and the
+    // slot index of its first symbol.
+    let mut order: Vec<usize> = (0..n_dict).filter(|&i| lens[i] > 0).collect();
+    order.sort_by_key(|&i| (lens[i], i));
+    if order.is_empty() {
+        return Err(CodecError::Corrupt("no used codes"));
+    }
+    let max_len = lens[*order.last().expect("nonempty")] as usize;
+    let mut first_code = vec![0u64; max_len + 2];
+    let mut first_slot = vec![0usize; max_len + 2];
+    let mut sorted_slots: Vec<usize> = Vec::with_capacity(order.len());
+    {
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        let mut i = 0usize;
+        while i < order.len() {
+            let l = lens[order[i]];
+            code <<= l - prev_len;
+            first_code[l as usize] = code;
+            first_slot[l as usize] = sorted_slots.len();
+            while i < order.len() && lens[order[i]] == l {
+                sorted_slots.push(order[i]);
+                code += 1;
+                i += 1;
+            }
+            prev_len = l;
+        }
+        // Sentinel: one past the largest valid code at max_len.
+        first_code[max_len + 1] = code << 1;
+    }
+
+    let mut r = BitReader::new(&buf[pos..]);
+    // `count` comes from untrusted input: cap the pre-allocation so a
+    // corrupt stream yields CodecError instead of an allocation abort.
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+
+    // Per-length limit codes for the fast "does this length terminate" test.
+    let mut limit = vec![u64::MAX; max_len + 1];
+    {
+        // limit[l] = first_code of next used length, shifted down to l bits
+        let used_lens: Vec<usize> = (1..=max_len)
+            .filter(|&l| sorted_slots.iter().any(|&s| lens[s] as usize == l))
+            .collect();
+        for (k, &l) in used_lens.iter().enumerate() {
+            let count_at_l = sorted_slots
+                .iter()
+                .filter(|&&s| lens[s] as usize == l)
+                .count() as u64;
+            limit[l] = first_code[l] + count_at_l;
+            let _ = k;
+        }
+    }
+
+    for _ in 0..count {
+        let mut code = 0u64;
+        let mut l = 0usize;
+        loop {
+            let bit = r.read_bit().ok_or(CodecError::Truncated)?;
+            code = (code << 1) | u64::from(bit);
+            l += 1;
+            if l > max_len {
+                return Err(CodecError::Corrupt("invalid huffman code"));
+            }
+            if limit[l] != u64::MAX && code < limit[l] && code >= first_code[l] {
+                let slot = sorted_slots[first_slot[l] + (code - first_code[l]) as usize];
+                out.push(dict[slot]);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let enc = encode(symbols);
+        let dec = decode(&enc).expect("decode");
+        assert_eq!(dec, symbols);
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_repeated() {
+        roundtrip(&[7; 100]);
+        // ~1 bit per symbol + header
+        let enc = encode(&[7; 10_000]);
+        assert!(enc.len() < 10_000 / 8 + 32, "len {}", enc.len());
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[0, 1, 0, 0, 1, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        let mut syms = vec![42u32; 9000];
+        syms.extend(std::iter::repeat_n(7u32, 900));
+        syms.extend(std::iter::repeat_n(1000u32, 100));
+        let enc = encode(&syms);
+        roundtrip(&syms);
+        // entropy ≈ 0.57 bits/sym; allow generous slack
+        assert!(enc.len() < syms.len() / 4, "len {}", enc.len());
+    }
+
+    #[test]
+    fn uniform_distribution_roundtrips() {
+        let syms: Vec<u32> = (0..4096u32).map(|i| i % 61).collect();
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn large_sparse_alphabet() {
+        let syms: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let enc = encode(&[1, 2, 3, 4, 5, 1, 2, 3, 4, 5]);
+        for cut in 0..enc.len().saturating_sub(1) {
+            // must never panic; may legitimately error
+            let _ = decode(&enc[..cut]);
+        }
+        assert!(decode(&enc[..enc.len() - 1]).is_err() || enc.len() < 2);
+    }
+
+    #[test]
+    fn code_lengths_kraft_holds() {
+        let freqs: Vec<u64> = (1..=40u64).map(|i| i * i).collect();
+        let lens = code_lengths(&freqs);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft {kraft}");
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        // Fibonacci-like frequencies force deep trees.
+        let mut freqs = vec![1u64, 1];
+        for i in 2..48 {
+            let f = freqs[i - 1] + freqs[i - 2];
+            freqs.push(f);
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12);
+        // And the code must still roundtrip.
+        let syms: Vec<u32> = (0..freqs.len() as u32).collect();
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn absurd_counts_error_instead_of_aborting() {
+        use crate::bitstream::write_varint;
+        // symbol count u64::MAX with a tiny dictionary
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX); // count
+        write_varint(&mut buf, 1); // n_dict
+        write_varint(&mut buf, 7); // symbol
+        write_varint(&mut buf, 1); // len
+        assert!(decode(&buf).is_err());
+        // dictionary count larger than the buffer
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 4);
+        write_varint(&mut buf, u64::MAX);
+        assert!(matches!(decode(&buf), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn optimality_on_balanced_alphabet() {
+        // 4 equal symbols -> 2 bits each
+        let syms: Vec<u32> = (0..4000u32).map(|i| i % 4).collect();
+        let enc = encode(&syms);
+        assert!(enc.len() <= 4000 / 4 + 64, "len {}", enc.len());
+    }
+}

@@ -1,0 +1,270 @@
+//! Byte-oriented LZ77 with hash-chain match finding.
+//!
+//! This is the "dictionary stage" of the SZ-style pipeline (real SZ calls
+//! Zstd here): it follows the Huffman stage and collapses the long repeated
+//! byte patterns that appear when quantization codes are heavily skewed —
+//! which is exactly the regime where error-bounded compressors reach very
+//! high ratios.
+//!
+//! Token format (all varints, see [`crate::bitstream`]):
+//! `lit_len, <literals>, match_len, distance` repeated; a trailing token
+//! carries `match_len = 0` after the final literals.
+
+use crate::bitstream::{read_varint, write_varint};
+use crate::CodecError;
+
+/// Minimum useful match length: shorter matches cost more than literals.
+const MIN_MATCH: usize = 4;
+/// Maximum match length per token (keeps varints short; runs chain fine).
+const MAX_MATCH: usize = 1 << 16;
+/// Sliding-window size — matches may reach this far back.
+const WINDOW: usize = 1 << 16;
+/// Hash-chain table size (power of two).
+const HASH_SIZE: usize = 1 << 15;
+/// Maximum chain positions examined per match attempt.
+const MAX_CHAIN: usize = 32;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) as usize >> 17) & (HASH_SIZE - 1)
+}
+
+/// Compresses `data`. The output always begins with the decompressed length
+/// as a varint, so [`decompress`] needs no out-of-band metadata.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    write_varint(&mut out, data.len() as u64);
+    if data.is_empty() {
+        return out;
+    }
+
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            while cand != usize::MAX && chain < MAX_CHAIN && i - cand <= WINDOW {
+                // Extend the candidate match.
+                let max_len = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l >= max_len {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Flush pending literals, then the match token.
+            write_varint(&mut out, (i - lit_start) as u64);
+            out.extend_from_slice(&data[lit_start..i]);
+            write_varint(&mut out, best_len as u64);
+            write_varint(&mut out, best_dist as u64);
+
+            // Insert hash entries across the matched region (sparsely for
+            // speed: every position keeps compression strong on runs).
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let mut j = i;
+            while j < end {
+                let h = hash4(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+            lit_start = i;
+        } else {
+            if i + MIN_MATCH <= data.len() {
+                let h = hash4(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+
+    // Final literals + terminator token.
+    write_varint(&mut out, (data.len() - lit_start) as u64);
+    out.extend_from_slice(&data[lit_start..]);
+    write_varint(&mut out, 0); // match_len = 0 terminates
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let total = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+    // untrusted length: cap the pre-allocation; matches can only expand
+    // the output ~2^16x per token, so also reject absurd totals early
+    if total / (1 << 17) > buf.len().saturating_add(1) {
+        return Err(CodecError::Corrupt(
+            "output length implausible for input size",
+        ));
+    }
+    let mut out = Vec::with_capacity(total.min(1 << 20));
+    if total == 0 {
+        return Ok(out);
+    }
+
+    loop {
+        let lit_len = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+        if pos + lit_len > buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        out.extend_from_slice(&buf[pos..pos + lit_len]);
+        pos += lit_len;
+        if out.len() > total {
+            return Err(CodecError::Corrupt("output overrun"));
+        }
+        if out.len() == total {
+            // Expect the terminator (match_len == 0); tolerate its absence
+            // only if the buffer ends exactly here.
+            match read_varint(buf, &mut pos) {
+                Some(0) | None => return Ok(out),
+                Some(_) => return Err(CodecError::Corrupt("missing terminator")),
+            }
+        }
+        let match_len = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+        if match_len == 0 {
+            return Err(CodecError::Corrupt("early terminator"));
+        }
+        let dist = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+        if dist == 0 || dist > out.len() {
+            return Err(CodecError::Corrupt("invalid match distance"));
+        }
+        if out.len() + match_len > total {
+            return Err(CodecError::Corrupt("match overruns output"));
+        }
+        // Overlapping copy (byte-by-byte to honour RLE-style self-overlap).
+        let start = out.len() - dist;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn empty() {
+        assert!(roundtrip(&[]) <= 2);
+    }
+
+    #[test]
+    fn short_literals() {
+        roundtrip(b"abc");
+        roundtrip(b"a");
+    }
+
+    #[test]
+    fn run_compresses_hard() {
+        let data = vec![0xFFu8; 100_000];
+        let n = roundtrip(&data);
+        assert!(n < 100, "run compressed to {n} bytes");
+    }
+
+    #[test]
+    fn periodic_pattern() {
+        let data: Vec<u8> = (0..50_000).map(|i| (i % 7) as u8).collect();
+        let n = roundtrip(&data);
+        assert!(n < 2_000, "periodic compressed to {n}");
+    }
+
+    #[test]
+    fn incompressible_random_ok() {
+        // xorshift pseudo-random bytes: LZ should not explode the size.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let n = roundtrip(&data);
+        assert!(n < data.len() + data.len() / 8 + 64, "expanded to {n}");
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        // "abcabcabc..." exercises dist < match_len copies.
+        let mut data = Vec::new();
+        for _ in 0..1000 {
+            data.extend_from_slice(b"abc");
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let mut data = Vec::new();
+        for i in 0..256 {
+            data.push(i as u8);
+        }
+        data.extend(vec![7u8; 5000]);
+        data.extend_from_slice(b"the quick brown fox jumps over the lazy dog");
+        data.extend(vec![7u8; 5000]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let data: Vec<u8> = (0..500).map(|i| (i % 11) as u8).collect();
+        let c = compress(&data);
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]);
+        }
+    }
+
+    #[test]
+    fn implausible_total_rejected_early() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX); // claimed output size
+        write_varint(&mut buf, 0); // no literals
+        assert!(matches!(
+            decompress(&buf),
+            Err(CodecError::Corrupt(_)) | Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn corrupt_distance_detected() {
+        let mut out = Vec::new();
+        write_varint(&mut out, 8); // total
+        write_varint(&mut out, 1); // lit_len
+        out.push(b'x');
+        write_varint(&mut out, 7); // match_len
+        write_varint(&mut out, 5); // distance > produced
+        assert!(matches!(
+            decompress(&out),
+            Err(CodecError::Corrupt(_)) | Err(CodecError::Truncated)
+        ));
+    }
+}

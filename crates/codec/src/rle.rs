@@ -1,0 +1,153 @@
+//! Zero-run-length encoding for sparse symbol streams.
+//!
+//! Quantized multilevel coefficients (the MGARD-style pipeline) are
+//! dominated by zeros at coarse error budgets. This pre-pass replaces zero
+//! runs with compact run tokens before Huffman coding, which both shrinks
+//! the stream and concentrates the Huffman alphabet.
+//!
+//! Token stream (varints): `run_len, nonzero_symbol, run_len, nonzero_symbol,
+//! …` — a run length of `k` means `k` zeros precede the following symbol.
+//! The stream ends with a final `run_len` covering trailing zeros.
+
+use crate::bitstream::{read_varint, write_varint};
+use crate::CodecError;
+
+/// Encodes a `u32` symbol stream with zero-run tokens.
+pub fn encode(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(symbols.len() / 4 + 16);
+    write_varint(&mut out, symbols.len() as u64);
+    let mut run = 0u64;
+    for &s in symbols {
+        if s == 0 {
+            run += 1;
+        } else {
+            write_varint(&mut out, run);
+            write_varint(&mut out, s as u64);
+            run = 0;
+        }
+    }
+    write_varint(&mut out, run);
+    out
+}
+
+/// Decodes a buffer produced by [`encode`].
+///
+/// RLE legitimately expands tiny inputs into enormous zero runs, so the
+/// output size is attacker-controlled for untrusted data — callers that
+/// know the expected symbol count should use [`decode_limited`].
+pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
+    decode_limited(buf, usize::MAX)
+}
+
+/// Like [`decode`], but errors with [`CodecError::Corrupt`] when the stream
+/// claims more than `max_total` symbols — the allocation guard for decoding
+/// untrusted streams whose symbol count is known out of band.
+pub fn decode_limited(buf: &[u8], max_total: usize) -> Result<Vec<u32>, CodecError> {
+    let mut pos = 0usize;
+    let total = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+    if total > max_total {
+        return Err(CodecError::Corrupt("symbol count exceeds caller limit"));
+    }
+    // untrusted length: cap the pre-allocation (the Vec still grows as
+    // needed; truncated streams error out before reaching absurd sizes)
+    let mut out = Vec::with_capacity(total.min(1 << 20));
+    while out.len() < total {
+        let run = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
+        if out.len() + run > total {
+            return Err(CodecError::Corrupt("zero run overruns output"));
+        }
+        out.resize(out.len() + run, 0);
+        if out.len() == total {
+            break;
+        }
+        let sym = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as u32;
+        if sym == 0 {
+            return Err(CodecError::Corrupt("explicit zero symbol"));
+        }
+        out.push(sym);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) -> usize {
+        let enc = encode(symbols);
+        assert_eq!(decode(&enc).expect("decode"), symbols);
+        enc.len()
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn all_zeros_tiny() {
+        let n = roundtrip(&vec![0u32; 1_000_000]);
+        assert!(n < 16, "len {n}");
+    }
+
+    #[test]
+    fn no_zeros() {
+        roundtrip(&[5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn alternating() {
+        let symbols: Vec<u32> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 3 }).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        roundtrip(&[1, 2, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn leading_zeros() {
+        roundtrip(&[0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn sparse_stream_compresses() {
+        let mut symbols = vec![0u32; 100_000];
+        for i in (0..100_000).step_by(1000) {
+            symbols[i] = 7;
+        }
+        let n = roundtrip(&symbols);
+        assert!(n < 1_000, "len {n}");
+    }
+
+    #[test]
+    fn decode_limited_rejects_oversized_claims() {
+        let enc = encode(&vec![0u32; 1000]);
+        assert_eq!(decode_limited(&enc, 1000).expect("fits"), vec![0u32; 1000]);
+        assert!(matches!(
+            decode_limited(&enc, 999),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_total_does_not_allocate() {
+        use crate::bitstream::write_varint;
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX); // total symbols
+        write_varint(&mut buf, u64::MAX); // one giant zero run
+                                          // unlimited decode is the caller's risk, but the limited form
+                                          // must reject before allocating
+        assert!(decode_limited(&buf, 1 << 20).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let symbols: Vec<u32> = (0..200).map(|i| (i % 5) as u32).collect();
+        let enc = encode(&symbols);
+        for cut in 0..enc.len() {
+            let _ = decode(&enc[..cut]);
+        }
+    }
+}

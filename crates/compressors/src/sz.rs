@@ -1,0 +1,317 @@
+//! SZ-style prediction-based error-bounded compressor.
+//!
+//! Pipeline (following SZ 2.x):
+//!
+//! 1. **Lorenzo prediction** — each value is predicted from its
+//!    already-reconstructed causal neighbours (the inclusion–exclusion
+//!    corner stencil, Eq. 1–2 of the paper), generalized here to 1-D..4-D.
+//! 2. **Linear-scaling quantization** — the prediction residual is mapped
+//!    to an integer code with bin width `2·eb`; codes outside the
+//!    `2^16`-bin capacity (or values whose `f32` reconstruction would
+//!    violate the bound) are flagged *unpredictable* and stored verbatim.
+//! 3. **Huffman coding** of the code stream, then an **LZ77 dictionary
+//!    stage** (the role Zstd plays in real SZ) over the whole payload.
+//!
+//! The decompressor replays prediction from reconstructed data, so the
+//! absolute error bound holds exactly (see the error-bound tests).
+
+use crate::header::{self, magic};
+use crate::{CompressError, Compressor, ConfigSpace, ErrorConfig};
+use fxrz_codec::bitstream::{read_varint, write_varint};
+use fxrz_codec::{huffman, lz77};
+use fxrz_datagen::{Dims, Field};
+
+/// Quantization capacity: codes span `(-HALF, HALF)` around zero.
+const HALF: i64 = 1 << 15;
+/// Code reserved for unpredictable values.
+const UNPREDICTABLE: u32 = 0;
+
+/// The SZ-style compressor. Stateless; construct via `Sz::default()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sz;
+
+/// Computes the Lorenzo prediction for the point at `coords` from the
+/// reconstruction buffer, treating out-of-grid neighbours as `0.0`.
+#[inline]
+fn lorenzo_predict(recon: &[f32], dims: Dims, idx: usize, coords: &[usize]) -> f64 {
+    let ndim = dims.ndim();
+    let strides = dims.strides();
+    let mut pred = 0.0f64;
+    // Inclusion–exclusion over non-empty subsets of axes.
+    for mask in 1u32..(1 << ndim) {
+        let mut off = 0usize;
+        let mut ok = true;
+        for a in 0..ndim {
+            if mask & (1 << a) != 0 {
+                if coords[a] == 0 {
+                    ok = false;
+                    break;
+                }
+                off += strides[a];
+            }
+        }
+        if !ok {
+            continue; // missing neighbour contributes 0
+        }
+        let sign = if mask.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
+        pred += sign * recon[idx - off] as f64;
+    }
+    pred
+}
+
+impl Compressor for Sz {
+    fn name(&self) -> &'static str {
+        "sz"
+    }
+
+    fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
+        let eb = match cfg {
+            ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
+            ErrorConfig::Abs(eb) => {
+                return Err(CompressError::BadConfig(format!(
+                    "sz needs a positive finite error bound, got {eb}"
+                )))
+            }
+            other => {
+                return Err(CompressError::BadConfig(format!(
+                    "sz accepts ErrorConfig::Abs, got {other}"
+                )))
+            }
+        };
+
+        let dims = field.dims();
+        let data = field.data();
+        let n = data.len();
+        let bin = 2.0 * eb;
+
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        let mut unpred: Vec<u8> = Vec::new();
+        let mut recon: Vec<f32> = vec![0.0; n];
+
+        for (idx, c) in dims.iter_coords().enumerate() {
+            let val = data[idx];
+            let coords = &c[..dims.ndim()];
+            let pred = lorenzo_predict(&recon, dims, idx, coords);
+            let diff = val as f64 - pred;
+            let q = (diff / bin).round();
+            let mut stored = false;
+            if q.abs() < (HALF - 1) as f64 && val.is_finite() {
+                let q = q as i64;
+                let rec = (pred + q as f64 * bin) as f32;
+                if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
+                    codes.push((q + HALF) as u32);
+                    recon[idx] = rec;
+                    stored = true;
+                }
+            }
+            if !stored {
+                codes.push(UNPREDICTABLE);
+                unpred.extend_from_slice(&val.to_le_bytes());
+                recon[idx] = val;
+            }
+        }
+
+        // payload = eb (8 bytes) | varint(huff len) | huffman | unpredictables
+        let huff = huffman::encode(&codes);
+        let mut payload = Vec::with_capacity(huff.len() + unpred.len() + 16);
+        payload.extend_from_slice(&eb.to_le_bytes());
+        write_varint(&mut payload, huff.len() as u64);
+        payload.extend_from_slice(&huff);
+        payload.extend_from_slice(&unpred);
+
+        let mut out = Vec::new();
+        header::write(&mut out, magic::SZ, field.name(), dims);
+        out.extend_from_slice(&lz77::compress(&payload));
+        Ok(out)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
+        let (name, dims, off) = header::read(bytes, magic::SZ, "sz")?;
+        let payload = lz77::decompress(&bytes[off..])?;
+
+        if payload.len() < 8 {
+            return Err(CompressError::Header("payload too short for error bound"));
+        }
+        let eb = f64::from_le_bytes(payload[..8].try_into().expect("slice of checked length"));
+        if !(eb > 0.0 && eb.is_finite()) {
+            return Err(CompressError::Header("invalid stored error bound"));
+        }
+        let bin = 2.0 * eb;
+
+        let mut pos = 8usize;
+        let huff_len = read_varint(&payload, &mut pos)
+            .ok_or(CompressError::Header("missing huffman length"))?
+            as usize;
+        if pos + huff_len > payload.len() {
+            return Err(CompressError::Header("huffman block overruns payload"));
+        }
+        let codes = huffman::decode(&payload[pos..pos + huff_len])?;
+        if codes.len() != dims.len() {
+            return Err(CompressError::Header("code count mismatch"));
+        }
+        let mut unpred = &payload[pos + huff_len..];
+
+        let mut recon: Vec<f32> = vec![0.0; dims.len()];
+        for (idx, c) in dims.iter_coords().enumerate() {
+            let code = codes[idx];
+            if code == UNPREDICTABLE {
+                if unpred.len() < 4 {
+                    return Err(CompressError::Header("missing unpredictable value"));
+                }
+                let (head, tail) = unpred.split_at(4);
+                recon[idx] = f32::from_le_bytes(head.try_into().expect("slice of checked length"));
+                unpred = tail;
+            } else {
+                let q = code as i64 - HALF;
+                let coords = &c[..dims.ndim()];
+                let pred = lorenzo_predict(&recon, dims, idx, coords);
+                recon[idx] = (pred + q as f64 * bin) as f32;
+            }
+        }
+        Ok(Field::new(name, dims, recon))
+    }
+
+    fn config_space(&self) -> ConfigSpace {
+        ConfigSpace::AbsRelRange {
+            min_rel: 1e-7,
+            max_rel: 2e-1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+
+    fn smooth_field() -> Field {
+        gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(42))
+    }
+
+    fn check_roundtrip(field: &Field, eb: f64) -> f64 {
+        let sz = Sz;
+        let buf = sz.compress(field, &ErrorConfig::Abs(eb)).expect("compress");
+        let back = sz.decompress(&buf).expect("decompress");
+        assert_eq!(back.dims(), field.dims());
+        assert_eq!(back.name(), field.name());
+        let err = field.max_abs_diff(&back);
+        assert!(err <= eb, "max error {err} > bound {eb}");
+        field.nbytes() as f64 / buf.len() as f64
+    }
+
+    #[test]
+    fn error_bound_holds_across_magnitudes() {
+        let f = smooth_field();
+        for eb in [1e-6, 1e-4, 1e-2, 1e-1, 1.0] {
+            check_roundtrip(&f, eb);
+        }
+    }
+
+    #[test]
+    fn looser_bound_higher_ratio() {
+        let f = smooth_field();
+        let tight = check_roundtrip(&f, 1e-5);
+        let loose = check_roundtrip(&f, 1e-1);
+        assert!(loose > tight * 2.0, "tight {tight}, loose {loose}");
+    }
+
+    #[test]
+    fn smooth_data_compresses_better_than_rough() {
+        let smooth = gaussian_random_field(
+            Dims::d2(64, 64),
+            GrfConfig::default().with_seed(1).with_alpha(4.0),
+        );
+        let rough = gaussian_random_field(
+            Dims::d2(64, 64),
+            GrfConfig::default().with_seed(1).with_alpha(0.5),
+        );
+        let cr_smooth = check_roundtrip(&smooth, 1e-2);
+        let cr_rough = check_roundtrip(&rough, 1e-2);
+        assert!(cr_smooth > cr_rough, "{cr_smooth} vs {cr_rough}");
+    }
+
+    #[test]
+    fn constant_field_compresses_enormously() {
+        let f = Field::new("const", Dims::d3(32, 32, 32), vec![3.5; 32 * 32 * 32]);
+        let cr = check_roundtrip(&f, 1e-3);
+        assert!(cr > 500.0, "cr {cr}");
+    }
+
+    #[test]
+    fn works_in_all_dimensionalities() {
+        for dims in [
+            Dims::d1(500),
+            Dims::d2(30, 40),
+            Dims::d3(10, 12, 14),
+            Dims::d4(4, 6, 8, 10),
+        ] {
+            let f = Field::from_fn("wave", dims, |c| {
+                (c.iter().sum::<usize>() as f32 * 0.1).sin()
+            });
+            check_roundtrip(&f, 1e-3);
+        }
+    }
+
+    #[test]
+    fn unpredictable_values_survive() {
+        // Spiky data forces the unpredictable path at a tiny bound.
+        let mut f = Field::zeros("spikes", Dims::d1(64));
+        for (i, v) in f.data_mut().iter_mut().enumerate() {
+            *v = if i % 7 == 0 { 1e30 } else { (i as f32).sin() };
+        }
+        check_roundtrip(&f, 1e-8);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let f = smooth_field();
+        let sz = Sz;
+        assert!(sz.compress(&f, &ErrorConfig::Abs(0.0)).is_err());
+        assert!(sz.compress(&f, &ErrorConfig::Abs(-1.0)).is_err());
+        assert!(sz.compress(&f, &ErrorConfig::Abs(f64::NAN)).is_err());
+        assert!(sz.compress(&f, &ErrorConfig::Precision(16)).is_err());
+        assert!(sz.compress(&f, &ErrorConfig::Rate(8.0)).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_foreign_stream() {
+        let f = smooth_field();
+        let zfp = crate::zfp::Zfp::default();
+        let buf = zfp.compress(&f, &ErrorConfig::Abs(1e-2)).expect("zfp");
+        assert!(matches!(
+            Sz.decompress(&buf),
+            Err(CompressError::WrongCompressor { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_never_panics() {
+        let f = gaussian_random_field(Dims::d2(16, 16), GrfConfig::default());
+        let buf = Sz.compress(&f, &ErrorConfig::Abs(1e-3)).expect("compress");
+        for cut in 0..buf.len() {
+            let _ = Sz.decompress(&buf[..cut]);
+        }
+    }
+
+    #[test]
+    fn lorenzo_prediction_2d_matches_formula() {
+        // d[i-1,j] + d[i,j-1] - d[i-1,j-1]
+        let dims = Dims::d2(2, 2);
+        let recon = vec![1.0f32, 2.0, 3.0, 0.0];
+        let pred = lorenzo_predict(&recon, dims, 3, &[1, 1]);
+        assert_eq!(pred, 2.0 + 3.0 - 1.0);
+    }
+
+    #[test]
+    fn lorenzo_prediction_borders_use_zero() {
+        let dims = Dims::d2(2, 2);
+        let recon = vec![5.0f32, 0.0, 0.0, 0.0];
+        assert_eq!(lorenzo_predict(&recon, dims, 0, &[0, 0]), 0.0);
+        assert_eq!(lorenzo_predict(&recon, dims, 1, &[0, 1]), 5.0);
+        assert_eq!(lorenzo_predict(&recon, dims, 2, &[1, 0]), 5.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Dimension descriptors and strided index arithmetic for up to 4-D grids.
+//!
+//! Scientific fields in the FXRZ paper range from 3-D (`512x512x512` Nyx
+//! snapshots) to 4-D (`288x115x69x69` QMCPack orbitals). [`Dims`] describes
+//! such a grid in *row-major* (C) order: the **last** axis is the fastest
+//! varying one, matching how SDRBench binary dumps are laid out.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of axes supported by the workspace.
+pub const MAX_NDIM: usize = 4;
+
+/// Shape of a regular grid, 1-D to 4-D, in row-major order.
+///
+/// `Dims` is copyable and cheap; helper constructors exist per rank:
+///
+/// ```
+/// use fxrz_datagen::Dims;
+/// let d = Dims::d3(64, 64, 32);
+/// assert_eq!(d.len(), 64 * 64 * 32);
+/// assert_eq!(d.ndim(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims {
+    shape: [usize; MAX_NDIM],
+    ndim: usize,
+}
+
+impl Dims {
+    /// A 1-D grid of `n` points.
+    pub fn d1(n: usize) -> Self {
+        Self::new(&[n])
+    }
+
+    /// A 2-D grid of `ny` rows by `nx` columns.
+    pub fn d2(ny: usize, nx: usize) -> Self {
+        Self::new(&[ny, nx])
+    }
+
+    /// A 3-D grid (`nz` slowest, `nx` fastest).
+    pub fn d3(nz: usize, ny: usize, nx: usize) -> Self {
+        Self::new(&[nz, ny, nx])
+    }
+
+    /// A 4-D grid (`nw` slowest, `nx` fastest).
+    pub fn d4(nw: usize, nz: usize, ny: usize, nx: usize) -> Self {
+        Self::new(&[nw, nz, ny, nx])
+    }
+
+    /// Builds a `Dims` from a slice of axis lengths.
+    ///
+    /// # Panics
+    /// Panics when `shape` is empty, longer than [`MAX_NDIM`], or contains a
+    /// zero-length axis.
+    pub fn new(shape: &[usize]) -> Self {
+        assert!(
+            !shape.is_empty() && shape.len() <= MAX_NDIM,
+            "Dims supports 1..={MAX_NDIM} axes, got {}",
+            shape.len()
+        );
+        assert!(
+            shape.iter().all(|&n| n > 0),
+            "all axis lengths must be positive, got {shape:?}"
+        );
+        let mut s = [1usize; MAX_NDIM];
+        s[..shape.len()].copy_from_slice(shape);
+        Self {
+            shape: s,
+            ndim: shape.len(),
+        }
+    }
+
+    /// Number of axes (1–4).
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Axis lengths, slowest axis first.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape[..self.ndim]
+    }
+
+    /// Length of axis `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= ndim()`.
+    #[inline]
+    pub fn axis(&self, axis: usize) -> usize {
+        assert!(axis < self.ndim, "axis {axis} out of range for {self}");
+        self.shape[axis]
+    }
+
+    /// Total number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.shape[..self.ndim].iter().product()
+    }
+
+    /// True when the grid holds no points. Unreachable for valid `Dims`
+    /// (axes are positive) but provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides: `strides()[a]` is the linear-index distance
+    /// between neighbours along axis `a`.
+    #[allow(clippy::needless_range_loop)] // fills a fixed array back-to-front
+    pub fn strides(&self) -> [usize; MAX_NDIM] {
+        let mut st = [0usize; MAX_NDIM];
+        let mut acc = 1usize;
+        for a in (0..self.ndim).rev() {
+            st[a] = acc;
+            acc *= self.shape[a];
+        }
+        st
+    }
+
+    /// Converts a multi-index (one entry per axis) to a linear index.
+    ///
+    /// # Panics
+    /// Panics in debug builds when a coordinate is out of range.
+    #[inline]
+    pub fn linear(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.ndim);
+        let st = self.strides();
+        let mut idx = 0usize;
+        for a in 0..self.ndim {
+            debug_assert!(coords[a] < self.shape[a], "coord {coords:?} out of {self}");
+            idx += coords[a] * st[a];
+        }
+        idx
+    }
+
+    /// Converts a linear index back to a multi-index.
+    #[inline]
+    pub fn coords(&self, mut linear: usize) -> [usize; MAX_NDIM] {
+        let st = self.strides();
+        let mut c = [0usize; MAX_NDIM];
+        for a in 0..self.ndim {
+            c[a] = linear / st[a];
+            linear %= st[a];
+        }
+        c
+    }
+
+    /// Iterates over every multi-index in row-major order.
+    pub fn iter_coords(&self) -> CoordIter {
+        CoordIter {
+            dims: *self,
+            next: 0,
+            len: self.len(),
+        }
+    }
+
+    /// The shape obtained by halving every axis (rounding up), with a floor
+    /// of one point per axis. Used by the multilevel (MGARD-style)
+    /// decomposition.
+    #[allow(clippy::needless_range_loop)] // writes into a fixed-size array
+    pub fn coarsen(&self) -> Dims {
+        let mut s = [1usize; MAX_NDIM];
+        for a in 0..self.ndim {
+            s[a] = self.shape[a].div_ceil(2).max(1);
+        }
+        Dims {
+            shape: s,
+            ndim: self.ndim,
+        }
+    }
+}
+
+impl fmt::Debug for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dims{:?}", self.shape())
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.shape().iter().map(|n| n.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+/// Row-major iterator over all multi-indices of a [`Dims`].
+pub struct CoordIter {
+    dims: Dims,
+    next: usize,
+    len: usize,
+}
+
+impl Iterator for CoordIter {
+    type Item = [usize; MAX_NDIM];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.len {
+            return None;
+        }
+        let c = self.dims.coords(self.next);
+        self.next += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for CoordIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_ndim() {
+        assert_eq!(Dims::d1(7).len(), 7);
+        assert_eq!(Dims::d2(3, 5).len(), 15);
+        assert_eq!(Dims::d3(2, 3, 4).len(), 24);
+        assert_eq!(Dims::d4(2, 2, 2, 2).len(), 16);
+        assert_eq!(Dims::d4(2, 2, 2, 2).ndim(), 4);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let d = Dims::d3(2, 3, 4);
+        let st = d.strides();
+        assert_eq!(&st[..3], &[12, 4, 1]);
+    }
+
+    #[test]
+    fn linear_coords_roundtrip() {
+        let d = Dims::d3(3, 4, 5);
+        for i in 0..d.len() {
+            let c = d.coords(i);
+            assert_eq!(d.linear(&c[..3]), i);
+        }
+    }
+
+    #[test]
+    fn iter_coords_covers_grid_in_order() {
+        let d = Dims::d2(2, 3);
+        let all: Vec<_> = d.iter_coords().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(&all[0][..2], &[0, 0]);
+        assert_eq!(&all[1][..2], &[0, 1]);
+        assert_eq!(&all[3][..2], &[1, 0]);
+        assert_eq!(&all[5][..2], &[1, 2]);
+    }
+
+    #[test]
+    fn coarsen_halves_axes() {
+        let d = Dims::d3(9, 8, 1);
+        let c = d.coarsen();
+        assert_eq!(c.shape(), &[5, 4, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_axis_rejected() {
+        let _ = Dims::new(&[4, 0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axes")]
+    fn too_many_axes_rejected() {
+        let _ = Dims::new(&[2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn display_formats_shape() {
+        assert_eq!(Dims::d3(10, 20, 30).to_string(), "10x20x30");
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal radix-2 FFT used by the spectral Gaussian-random-field
+//! synthesizer. No external DSP dependency is required: grids generated in
+//! this workspace use power-of-two axis lengths along the transformed
+//! dimensions.
+
+/// A complex number as a `(re, im)` pair of `f64`.
+pub type Complex = (f64, f64);
+
+#[inline]
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+#[inline]
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+#[inline]
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse = true` computes the unscaled inverse transform; callers divide
+/// by `n` themselves (see [`ifft`]).
+///
+/// # Panics
+/// Panics when `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w: Complex = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = c_mul(buf[start + k + len / 2], w);
+                buf[start + k] = c_add(u, v);
+                buf[start + k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT returning a new buffer.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Inverse FFT (scaled by `1/n`) returning a new buffer.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, true);
+    let inv = 1.0 / buf.len() as f64;
+    for c in &mut buf {
+        c.0 *= inv;
+        c.1 *= inv;
+    }
+    buf
+}
+
+/// Applies an in-place FFT along one axis of a row-major N-D complex grid.
+///
+/// `shape` lists the axis lengths; `axis` selects the transformed one. Every
+/// 1-D line along that axis is transformed independently.
+pub fn fft_axis(data: &mut [Complex], shape: &[usize], axis: usize, inverse: bool) {
+    let n_axis = shape[axis];
+    assert!(
+        n_axis.is_power_of_two(),
+        "axis length must be a power of two"
+    );
+    let total: usize = shape.iter().product();
+    assert_eq!(data.len(), total);
+
+    // stride between consecutive elements along `axis`
+    let stride: usize = shape[axis + 1..].iter().product();
+    let lines = total / n_axis;
+
+    let mut line = vec![(0.0, 0.0); n_axis];
+    for l in 0..lines {
+        // Decompose line index into (outer, inner) parts around the axis.
+        let outer = l / stride;
+        let inner = l % stride;
+        let base = outer * n_axis * stride + inner;
+        for (k, slot) in line.iter_mut().enumerate() {
+            *slot = data[base + k * stride];
+        }
+        fft_in_place(&mut line, inverse);
+        if inverse {
+            let inv = 1.0 / n_axis as f64;
+            for c in &mut line {
+                c.0 *= inv;
+                c.1 *= inv;
+            }
+        }
+        for (k, slot) in line.iter().enumerate() {
+            data[base + k * stride] = *slot;
+        }
+    }
+}
+
+/// Full N-D forward/inverse FFT via separable per-axis transforms.
+pub fn fft_nd(data: &mut [Complex], shape: &[usize], inverse: bool) {
+    for axis in 0..shape.len() {
+        fft_axis(data, shape, axis, inverse);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a.0 - b.0).abs() < tol && (a.1 - b.1).abs() < tol,
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![(0.0, 0.0); 8];
+        x[0] = (1.0, 0.0);
+        let y = fft(&x);
+        for &c in &y {
+            assert_close(c, (1.0, 0.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| ((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_small() {
+        let x: Vec<Complex> = (0..16).map(|i| (i as f64, -(i as f64) * 0.5)).collect();
+        let y = fft(&x);
+        let n = x.len();
+        for (k, &yk) in y.iter().enumerate() {
+            let mut acc = (0.0, 0.0);
+            for (j, &xj) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = c_add(acc, c_mul(xj, (ang.cos(), ang.sin())));
+            }
+            assert_close(yk, acc, 1e-9);
+        }
+    }
+
+    #[test]
+    fn nd_roundtrip_2d() {
+        let shape = [4usize, 8usize];
+        let mut data: Vec<Complex> = (0..32).map(|i| ((i as f64).cos(), 0.0)).collect();
+        let orig = data.clone();
+        fft_nd(&mut data, &shape, false);
+        fft_nd(&mut data, &shape, true);
+        for (a, b) in orig.iter().zip(&data) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn nd_roundtrip_3d() {
+        let shape = [2usize, 4, 8];
+        let mut data: Vec<Complex> = (0..64)
+            .map(|i| ((i as f64) * 0.1, (i % 7) as f64))
+            .collect();
+        let orig = data.clone();
+        fft_nd(&mut data, &shape, false);
+        fft_nd(&mut data, &shape, true);
+        for (a, b) in orig.iter().zip(&data) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        let mut x = vec![(0.0, 0.0); 6];
+        fft_in_place(&mut x, false);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<Complex> = (0..32).map(|i| ((i as f64 * 0.7).sin(), 0.0)).collect();
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let ey: f64 = y.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / x.len() as f64;
+        assert!((ex - ey).abs() < 1e-9 * ex.max(1.0));
+    }
+}

@@ -1,0 +1,327 @@
+//! The [`Field`] container: a named, shaped, flat array of `f32` samples.
+//!
+//! All compressors, feature extractors and generators in the workspace
+//! exchange data through this type. It deliberately mirrors how SDRBench
+//! distributes scientific snapshots: a raw little-endian `f32` buffer plus
+//! out-of-band shape metadata.
+
+use crate::dims::Dims;
+use serde::{Deserialize, Serialize};
+
+/// A scalar field over a regular 1-D..4-D grid, stored row-major as `f32`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    name: String,
+    dims: Dims,
+    data: Vec<f32>,
+}
+
+/// Summary statistics of a field, computed in `f64` for stability.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FieldStats {
+    /// Smallest finite sample.
+    pub min: f64,
+    /// Largest finite sample.
+    pub max: f64,
+    /// `max - min` — the paper's *Value Range* feature.
+    pub range: f64,
+    /// Arithmetic mean — the paper's *Mean Value* feature.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Field {
+    /// Wraps existing data in a field.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != dims.len()`.
+    pub fn new(name: impl Into<String>, dims: Dims, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            dims.len(),
+            "data length {} does not match dims {dims}",
+            data.len()
+        );
+        Self {
+            name: name.into(),
+            dims,
+            data,
+        }
+    }
+
+    /// A zero-filled field.
+    pub fn zeros(name: impl Into<String>, dims: Dims) -> Self {
+        Self::new(name, dims, vec![0.0; dims.len()])
+    }
+
+    /// A field filled by evaluating `f` at every multi-index.
+    pub fn from_fn(
+        name: impl Into<String>,
+        dims: Dims,
+        mut f: impl FnMut(&[usize]) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(dims.len());
+        for c in dims.iter_coords() {
+            data.push(f(&c[..dims.ndim()]));
+        }
+        Self::new(name, dims, data)
+    }
+
+    /// Field name (e.g. `"nyx/baryon_density"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the field in place, returning `self` for chaining.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Grid shape.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the field has no samples (unreachable for valid dims).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only sample buffer in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable sample buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the field, returning the raw buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Sample at a multi-index.
+    #[inline]
+    pub fn at(&self, coords: &[usize]) -> f32 {
+        self.data[self.dims.linear(coords)]
+    }
+
+    /// Mutable sample at a multi-index.
+    #[inline]
+    pub fn at_mut(&mut self, coords: &[usize]) -> &mut f32 {
+        let i = self.dims.linear(coords);
+        &mut self.data[i]
+    }
+
+    /// Size of the uncompressed buffer in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Computes min/max/range/mean/std in one pass (f64 accumulation).
+    /// Non-finite samples are ignored; an all-non-finite field yields zeros.
+    pub fn stats(&self) -> FieldStats {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut n = 0usize;
+        for &v in &self.data {
+            let v = v as f64;
+            if !v.is_finite() {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            sum_sq += v * v;
+            n += 1;
+        }
+        if n == 0 {
+            return FieldStats {
+                min: 0.0,
+                max: 0.0,
+                range: 0.0,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let mean = sum / n as f64;
+        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+        FieldStats {
+            min,
+            max,
+            range: max - min,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Maximum absolute pointwise difference against another field.
+    ///
+    /// This is the quantity an absolute-error-bounded compressor must keep
+    /// below its bound.
+    ///
+    /// # Panics
+    /// Panics when shapes differ.
+    pub fn max_abs_diff(&self, other: &Field) -> f64 {
+        assert_eq!(self.dims, other.dims, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| ((a as f64) - (b as f64)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak signal-to-noise ratio (dB) of `other` relative to `self`,
+    /// using this field's value range as the peak. Returns `f64::INFINITY`
+    /// for identical data.
+    pub fn psnr(&self, other: &Field) -> f64 {
+        assert_eq!(self.dims, other.dims, "shape mismatch in psnr");
+        let range = self.stats().range;
+        let mse: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = (a as f64) - (b as f64);
+                d * d
+            })
+            .sum::<f64>()
+            / self.data.len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            20.0 * (range / mse.sqrt()).log10()
+        }
+    }
+
+    /// Extracts the axis-0 slice at index `k` from a 3-D field as a 2-D
+    /// field (used by visual-quality style analyses).
+    ///
+    /// # Panics
+    /// Panics unless the field is 3-D and `k` is in range.
+    pub fn slice_axis0(&self, k: usize) -> Field {
+        assert_eq!(self.dims.ndim(), 3, "slice_axis0 requires a 3-D field");
+        let (nz, ny, nx) = (self.dims.axis(0), self.dims.axis(1), self.dims.axis(2));
+        assert!(k < nz, "slice {k} out of range 0..{nz}");
+        let plane = ny * nx;
+        let data = self.data[k * plane..(k + 1) * plane].to_vec();
+        Field::new(format!("{}[z={k}]", self.name), Dims::d2(ny, nx), data)
+    }
+
+    /// Histogram of sample values over `bins` equal-width bins spanning the
+    /// field's value range. Returns `(bin_edges, counts)`; `bin_edges` has
+    /// `bins + 1` entries. A constant field puts everything in bin 0.
+    pub fn histogram(&self, bins: usize) -> (Vec<f64>, Vec<u64>) {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let st = self.stats();
+        let width = if st.range > 0.0 {
+            st.range / bins as f64
+        } else {
+            1.0
+        };
+        let edges: Vec<f64> = (0..=bins).map(|i| st.min + width * i as f64).collect();
+        let mut counts = vec![0u64; bins];
+        for &v in &self.data {
+            let v = v as f64;
+            if !v.is_finite() {
+                continue;
+            }
+            let b = (((v - st.min) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        (edges, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Field {
+        Field::from_fn("ramp", Dims::d1(n), |c| c[0] as f32)
+    }
+
+    #[test]
+    fn new_checks_len() {
+        let f = Field::new("x", Dims::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn new_rejects_bad_len() {
+        let _ = Field::new("x", Dims::d2(2, 2), vec![1.0]);
+    }
+
+    #[test]
+    fn stats_of_ramp() {
+        let f = ramp(5); // 0,1,2,3,4
+        let s = f.stats();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.range, 4.0);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_ignores_non_finite() {
+        let f = Field::new("x", Dims::d1(3), vec![1.0, f32::NAN, 3.0]);
+        let s = f.stats();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.range, 2.0);
+    }
+
+    #[test]
+    fn max_abs_diff_and_psnr() {
+        let a = ramp(4);
+        let mut b = a.clone();
+        b.data_mut()[2] += 0.5;
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-7);
+        assert_eq!(a.psnr(&a), f64::INFINITY);
+        assert!(a.psnr(&b).is_finite());
+    }
+
+    #[test]
+    fn slice_extracts_plane() {
+        let f = Field::from_fn("f", Dims::d3(2, 2, 2), |c| {
+            (c[0] * 100 + c[1] * 10 + c[2]) as f32
+        });
+        let s = f.slice_axis0(1);
+        assert_eq!(s.dims(), Dims::d2(2, 2));
+        assert_eq!(s.data(), &[100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let f = ramp(100);
+        let (edges, counts) = f.histogram(10);
+        assert_eq!(edges.len(), 11);
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn histogram_constant_field() {
+        let f = Field::new("c", Dims::d1(8), vec![3.0; 8]);
+        let (_, counts) = f.histogram(4);
+        assert_eq!(counts[0], 8);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let f = Field::from_fn("f", Dims::d2(2, 3), |c| (c[0] * 3 + c[1]) as f32);
+        assert_eq!(f.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Halo detection for the cosmology quality-of-interest analysis (Fig 10).
+//!
+//! The paper quantifies lossy-compression damage on Nyx data by the fraction
+//! of dark-matter *halos* that shift position after decompression. A full
+//! friends-of-friends finder is unnecessary for that metric; we detect halos
+//! as strict local maxima of the density field above a density threshold,
+//! which is the same observable ("where are the density peaks?") the Nyx
+//! analysis package's halo centres derive from.
+
+use crate::field::Field;
+
+/// A detected halo: peak position plus peak density.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Halo {
+    /// Grid coordinates of the density peak.
+    pub pos: [usize; 3],
+    /// Density at the peak.
+    pub density: f32,
+}
+
+/// Finds all strict local maxima with density `>= threshold` in a 3-D field.
+///
+/// A point is a local maximum when it exceeds all 26 neighbours (6-, 12- and
+/// 8-connected); boundary points only compare against in-grid neighbours.
+///
+/// # Panics
+/// Panics unless the field is 3-D.
+pub fn find_halos(field: &Field, threshold: f32) -> Vec<Halo> {
+    let dims = field.dims();
+    assert_eq!(dims.ndim(), 3, "halo finding requires a 3-D field");
+    let (nz, ny, nx) = (dims.axis(0), dims.axis(1), dims.axis(2));
+    let data = field.data();
+    let idx = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
+
+    let mut halos = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = data[idx(z, y, x)];
+                if v < threshold {
+                    continue;
+                }
+                let mut is_peak = true;
+                'nb: for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            if dz == 0 && dy == 0 && dx == 0 {
+                                continue;
+                            }
+                            let (zz, yy, xx) = (z as i64 + dz, y as i64 + dy, x as i64 + dx);
+                            if zz < 0 || yy < 0 || xx < 0 {
+                                continue;
+                            }
+                            let (zz, yy, xx) = (zz as usize, yy as usize, xx as usize);
+                            if zz >= nz || yy >= ny || xx >= nx {
+                                continue;
+                            }
+                            if data[idx(zz, yy, xx)] >= v {
+                                is_peak = false;
+                                break 'nb;
+                            }
+                        }
+                    }
+                }
+                if is_peak {
+                    halos.push(Halo {
+                        pos: [z, y, x],
+                        density: v,
+                    });
+                }
+            }
+        }
+    }
+    halos
+}
+
+/// Fraction of reference halos that are *mislocated* in the reconstructed
+/// field: no reconstructed halo lies within `tol` grid cells (Chebyshev
+/// distance) of the reference peak.
+///
+/// This is the paper's quality-of-interest: at tight error bounds almost no
+/// halos move; at loose bounds most do.
+pub fn mislocated_fraction(reference: &[Halo], reconstructed: &[Halo], tol: usize) -> f64 {
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mut missing = 0usize;
+    for h in reference {
+        let found = reconstructed.iter().any(|r| {
+            r.pos
+                .iter()
+                .zip(&h.pos)
+                .all(|(&a, &b)| a.abs_diff(b) <= tol)
+        });
+        if !found {
+            missing += 1;
+        }
+    }
+    missing as f64 / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims;
+
+    fn field_with_peaks(peaks: &[[usize; 3]]) -> Field {
+        let dims = Dims::d3(16, 16, 16);
+        let mut f = Field::zeros("density", dims);
+        for (i, p) in peaks.iter().enumerate() {
+            *f.at_mut(p) = 10.0 + i as f32;
+        }
+        f
+    }
+
+    #[test]
+    fn finds_isolated_peaks() {
+        let f = field_with_peaks(&[[4, 4, 4], [10, 12, 3]]);
+        let halos = find_halos(&f, 5.0);
+        assert_eq!(halos.len(), 2);
+        let positions: Vec<_> = halos.iter().map(|h| h.pos).collect();
+        assert!(positions.contains(&[4, 4, 4]));
+        assert!(positions.contains(&[10, 12, 3]));
+    }
+
+    #[test]
+    fn threshold_filters_weak_peaks() {
+        let f = field_with_peaks(&[[4, 4, 4]]);
+        assert!(find_halos(&f, 100.0).is_empty());
+    }
+
+    #[test]
+    fn plateau_is_not_strict_peak() {
+        let dims = Dims::d3(8, 8, 8);
+        let mut f = Field::zeros("d", dims);
+        *f.at_mut(&[4, 4, 4]) = 5.0;
+        *f.at_mut(&[4, 4, 5]) = 5.0; // equal neighbour defeats strictness
+        assert!(find_halos(&f, 1.0).is_empty());
+    }
+
+    #[test]
+    fn mislocation_zero_for_identical() {
+        let f = field_with_peaks(&[[4, 4, 4], [10, 12, 3]]);
+        let h = find_halos(&f, 5.0);
+        assert_eq!(mislocated_fraction(&h, &h, 0), 0.0);
+    }
+
+    #[test]
+    fn mislocation_one_when_all_moved() {
+        let a = find_halos(&field_with_peaks(&[[4, 4, 4]]), 5.0);
+        let b = find_halos(&field_with_peaks(&[[12, 12, 12]]), 5.0);
+        assert_eq!(mislocated_fraction(&a, &b, 1), 1.0);
+    }
+
+    #[test]
+    fn tolerance_forgives_small_shifts() {
+        let a = find_halos(&field_with_peaks(&[[4, 4, 4]]), 5.0);
+        let b = find_halos(&field_with_peaks(&[[5, 4, 4]]), 5.0);
+        assert_eq!(mislocated_fraction(&a, &b, 1), 0.0);
+        assert_eq!(mislocated_fraction(&a, &b, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_reference_is_zero() {
+        assert_eq!(mislocated_fraction(&[], &[], 1), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Hurricane-Isabel-analogue weather fields.
+//!
+//! The Hurricane Isabel benchmark (IEEE Vis 2004) is a `100x500x500` WRF
+//! simulation with 48 hourly timesteps. The FXRZ paper uses two of its
+//! fields; we mimic both:
+//!
+//! * **TC** — air temperature (°C): a smooth background with a vertical
+//!   lapse rate and a meridional gradient, plus a warm-core vortex and
+//!   band-limited turbulence. Mean ≈ 45, range ≈ 100 (cf. paper Table I).
+//! * **QCLOUD** — cloud water mixing ratio: non-negative and *sparse* —
+//!   large cloud-free regions are exactly zero, concentrated along the
+//!   vortex spiral bands. This field exercises the constant-block
+//!   Compressibility Adjustment of FXRZ particularly hard.
+//!
+//! `timestep` advects the storm centre along a track and rotates the spiral
+//! phase — consecutive snapshots are similar but not identical, exactly the
+//! Capability Level 1 setting (train on steps 5..30, test on step 48).
+
+use crate::dims::Dims;
+use crate::field::Field;
+use crate::grf::{gaussian_random_field, GrfConfig};
+
+/// Configuration of a Hurricane-analogue snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct HurricaneConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Hour index along the storm track (paper uses 1..=48).
+    pub timestep: u32,
+}
+
+impl Default for HurricaneConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0015_ABE1,
+            timestep: 1,
+        }
+    }
+}
+
+impl HurricaneConfig {
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the timestep.
+    pub fn with_timestep(mut self, t: u32) -> Self {
+        self.timestep = t;
+        self
+    }
+
+    /// Storm-centre position in fractional grid units, advected with time.
+    fn centre(&self, ny: usize, nx: usize) -> (f64, f64) {
+        let t = self.timestep as f64;
+        let cy = 0.35 + 0.006 * t;
+        let cx = 0.65 - 0.007 * t;
+        (
+            cy.clamp(0.1, 0.9) * ny as f64,
+            cx.clamp(0.1, 0.9) * nx as f64,
+        )
+    }
+
+    /// Spiral phase rotates with time.
+    fn phase(&self) -> f64 {
+        0.35 * self.timestep as f64
+    }
+}
+
+/// Requires a 3-D grid with power-of-two horizontal axes (for the GRF) —
+/// the vertical axis (axis 0) may be any length.
+fn turbulence(dims: Dims, cfg: HurricaneConfig, stream: u64, alpha: f64) -> Field {
+    // Generate one horizontal 2-D GRF per vertical level would be costly;
+    // instead draw a single 2-D sheet and modulate by height, which is a
+    // good match for stratified flows.
+    let (ny, nx) = (dims.axis(1), dims.axis(2));
+    gaussian_random_field(
+        Dims::d2(ny, nx),
+        GrfConfig {
+            alpha,
+            k_max: 1.0,
+            seed: cfg.seed.wrapping_add(cfg.timestep as u64 * 7919),
+            stream,
+        },
+    )
+}
+
+/// Air temperature (°C) — smooth structured field, mean ≈ 45, range ≈ 100.
+pub fn tc(dims: Dims, cfg: HurricaneConfig) -> Field {
+    assert_eq!(dims.ndim(), 3, "hurricane fields are 3-D (z, y, x)");
+    let (nz, ny, nx) = (dims.axis(0), dims.axis(1), dims.axis(2));
+    let (cy, cx) = cfg.centre(ny, nx);
+    let turb = turbulence(dims, cfg, 10, 3.0);
+    let radius_scale = (nx.min(ny)) as f64 / 4.0;
+
+    let f = Field::from_fn(format!("hurricane/TC(t={})", cfg.timestep), dims, |c| {
+        let (z, y, x) = (c[0] as f64, c[1] as f64, c[2] as f64);
+        // vertical lapse: ~95 °C drop top-to-bottom of the column
+        let lapse = 95.0 * (1.0 - z / nz.max(1) as f64);
+        // meridional gradient: warmer toward low y
+        let merid = -12.0 * (y / ny as f64 - 0.5);
+        // warm-core vortex
+        let r2 = ((y - cy) * (y - cy) + (x - cx) * (x - cx)) / (radius_scale * radius_scale);
+        let core = 8.0 * (-r2).exp();
+        // stratified turbulence, stronger aloft
+        let t = turb.at(&[c[1], c[2]]) as f64 * (1.5 + 1.0 * z / nz.max(1) as f64);
+        (-45.0 + lapse + merid + core + t) as f32
+    });
+    f
+}
+
+/// Cloud water mixing ratio — non-negative, sparse, spiral-banded.
+pub fn qcloud(dims: Dims, cfg: HurricaneConfig) -> Field {
+    assert_eq!(dims.ndim(), 3, "hurricane fields are 3-D (z, y, x)");
+    let (nz, ny, nx) = (dims.axis(0), dims.axis(1), dims.axis(2));
+    let (cy, cx) = cfg.centre(ny, nx);
+    let turb = turbulence(dims, cfg, 11, 1.8);
+    let radius_scale = (nx.min(ny)) as f64 / 3.0;
+    let phase = cfg.phase();
+
+    Field::from_fn(format!("hurricane/QCLOUD(t={})", cfg.timestep), dims, |c| {
+        let (z, y, x) = (c[0] as f64, c[1] as f64, c[2] as f64);
+        let dy = y - cy;
+        let dx = x - cx;
+        let r = (dy * dy + dx * dx).sqrt() / radius_scale;
+        let theta = dy.atan2(dx);
+        // logarithmic spiral bands: intensity peaks where the angular
+        // position matches the spiral arm at this radius
+        let arm = (2.0 * theta - 3.0 * (r + 0.05).ln() - phase).cos();
+        // vertical profile: clouds live in the middle troposphere
+        let zfrac = z / nz.max(1) as f64;
+        let vert = (-(zfrac - 0.45) * (zfrac - 0.45) / 0.03).exp();
+        let noise = turb.at(&[c[1], c[2]]) as f64;
+        let raw = (arm - 0.15) * (-r * 0.8).exp() * vert + 0.18 * noise * vert;
+        // sparse: negative values clamp to exactly zero (clear air)
+        (raw.max(0.0) * 2.2e-3) as f32
+    })
+}
+
+/// Fraction of exactly-zero samples — sparsity probe used by tests/benches.
+pub fn zero_fraction(field: &Field) -> f64 {
+    let zeros = field.data().iter().filter(|&&v| v == 0.0).count();
+    zeros as f64 / field.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dims {
+        Dims::d3(10, 32, 32)
+    }
+
+    #[test]
+    fn tc_matches_paper_scale() {
+        let f = tc(dims(), HurricaneConfig::default());
+        let s = f.stats();
+        assert!(s.range > 60.0 && s.range < 160.0, "range {}", s.range);
+        assert!(s.mean > -20.0 && s.mean < 60.0, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn qcloud_nonnegative_and_sparse() {
+        let f = qcloud(dims(), HurricaneConfig::default());
+        assert!(f.stats().min >= 0.0);
+        let zf = zero_fraction(&f);
+        assert!(zf > 0.25, "zero fraction {zf}");
+        assert!(zf < 0.99, "zero fraction {zf}");
+    }
+
+    #[test]
+    fn timesteps_move_the_storm() {
+        let a = qcloud(dims(), HurricaneConfig::default().with_timestep(5));
+        let b = qcloud(dims(), HurricaneConfig::default().with_timestep(30));
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn deterministic_per_config() {
+        let a = tc(dims(), HurricaneConfig::default().with_timestep(7));
+        let b = tc(dims(), HurricaneConfig::default().with_timestep(7));
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn consecutive_steps_are_similar_but_distinct() {
+        let a = tc(dims(), HurricaneConfig::default().with_timestep(10));
+        let b = tc(dims(), HurricaneConfig::default().with_timestep(11));
+        // Normalized RMS difference should be small (same storm) but nonzero.
+        let rms: f64 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / a.len() as f64;
+        assert!(rms > 0.0);
+        assert!(rms < a.stats().range, "rms {rms}");
+    }
+
+    #[test]
+    #[should_panic(expected = "3-D")]
+    fn requires_3d() {
+        let _ = tc(Dims::d2(32, 32), HurricaneConfig::default());
+    }
+}

@@ -1,0 +1,37 @@
+//! # fxrz-datagen — synthetic scientific datasets and the `Field` container
+//!
+//! The FXRZ paper evaluates on real SDRBench snapshots (Nyx, Hurricane
+//! Isabel, RTM, QMCPack). Those multi-gigabyte archives are not available
+//! here, so this crate synthesizes statistically faithful analogues:
+//!
+//! | Module | Paper dataset | Construction |
+//! |---|---|---|
+//! | [`nyx`] | Nyx cosmology (4 fields) | log-normal Gaussian random fields |
+//! | [`hurricane`] | Hurricane Isabel (QCLOUD, TC) | vortex + stratified turbulence |
+//! | [`rtm`] | Reverse-time migration | finite-difference acoustic wave equation |
+//! | [`qmcpack`] | QMCPack orbitals (4-D) | Bloch-like plane-wave superpositions |
+//!
+//! [`suite`] reassembles the paper's Table V train/test protocol at
+//! selectable grid scales, and [`halo`] provides the halo-mislocation
+//! quality-of-interest used in the paper's distortion analysis (Fig 10).
+//!
+//! Everything is deterministic given a seed; see [`rng`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dims;
+pub mod fft;
+pub mod field;
+pub mod grf;
+pub mod halo;
+pub mod hurricane;
+pub mod nyx;
+pub mod qmcpack;
+pub mod rng;
+pub mod rtm;
+pub mod suite;
+
+pub use dims::Dims;
+pub use field::{Field, FieldStats};
+pub use suite::{App, Scale};

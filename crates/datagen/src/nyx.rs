@@ -1,0 +1,268 @@
+//! Nyx-analogue cosmology fields.
+//!
+//! [Nyx](https://amrex-astro.github.io/Nyx/) is an adaptive-mesh cosmology
+//! code; SDRBench distributes `512^3` snapshots of four of its fields. We
+//! reproduce their statistical character:
+//!
+//! * **baryon_density** — log-normal transform of a Gaussian random field:
+//!   mildly clustered, mean ≈ 1 (cosmic mean density units), heavy right
+//!   tail (halos).
+//! * **dark_matter_density** — same construction with stronger clustering
+//!   (larger log-amplitude), producing sharper peaks.
+//! * **temperature** — tight power-law relation `T ∝ ρ^γ` with scatter,
+//!   scaled to ~10^4 K, as in the IGM temperature–density relation.
+//! * **velocity_x** — a signed large-scale Gaussian flow field.
+//!
+//! Two knobs support the paper's capability levels: `timestep` (structure
+//! grows with time — Capability Level 1) and `sim_config` (different
+//! spectral slope / growth normalization — Capability Level 2, the paper's
+//! "Nyx-1 vs Nyx-2" split).
+
+use crate::dims::Dims;
+use crate::field::Field;
+use crate::grf::{gaussian_random_field, GrfConfig};
+use crate::rng::{gaussian, seeded};
+
+/// Configuration of a Nyx-analogue snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct NyxConfig {
+    /// Master seed; all four fields derive from it on separate streams.
+    pub seed: u64,
+    /// Snapshot index; later timesteps have more developed structure.
+    pub timestep: u32,
+    /// Simulation configuration id (0 = "Nyx-1", 1 = "Nyx-2", ...).
+    pub sim_config: u32,
+}
+
+impl Default for NyxConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x4E59,
+            timestep: 0,
+            sim_config: 0,
+        }
+    }
+}
+
+impl NyxConfig {
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the timestep.
+    pub fn with_timestep(mut self, t: u32) -> Self {
+        self.timestep = t;
+        self
+    }
+
+    /// Replaces the simulation configuration id.
+    pub fn with_sim_config(mut self, c: u32) -> Self {
+        self.sim_config = c;
+        self
+    }
+
+    /// Linear growth factor: structure deepens with timestep.
+    fn growth(&self) -> f64 {
+        1.0 + 0.08 * self.timestep as f64
+    }
+
+    /// Spectral slope differs per simulation configuration. The spread is
+    /// moderate (±0.2): real "other users of the same package" run the
+    /// same physics with different cosmological parameters, so the field
+    /// statistics overlap — cf. the paper's Fig 8/9 train-vs-test spread.
+    fn alpha(&self) -> f64 {
+        match self.sim_config % 4 {
+            0 => 2.8,
+            1 => 2.6,
+            2 => 3.0,
+            _ => 2.5,
+        }
+    }
+
+    /// Log-density amplitude differs per simulation configuration.
+    fn bias(&self) -> f64 {
+        match self.sim_config % 4 {
+            0 => 0.55,
+            1 => 0.62,
+            2 => 0.50,
+            _ => 0.68,
+        }
+    }
+
+    fn grf(&self, dims: Dims, stream: u64) -> Field {
+        gaussian_random_field(
+            dims,
+            GrfConfig {
+                alpha: self.alpha(),
+                k_max: 1.0,
+                seed: self.seed ^ (self.sim_config as u64) << 32,
+                stream,
+            },
+        )
+    }
+}
+
+/// Log-normal density in units of the cosmic mean (mean ≈ 1).
+fn lognormal(g: &Field, amplitude: f64) -> Vec<f32> {
+    // E[exp(a·g)] = exp(a²/2) for standard normal g; divide it out so the
+    // resulting density has mean ~1.
+    let norm = (-amplitude * amplitude / 2.0).exp();
+    g.data()
+        .iter()
+        .map(|&v| ((amplitude * v as f64).exp() * norm) as f32)
+        .collect()
+}
+
+/// Baryon (gas) density field, mean ≈ 1, right-skewed.
+pub fn baryon_density(dims: Dims, cfg: NyxConfig) -> Field {
+    let g = cfg.grf(dims, 1);
+    let a = cfg.bias() * cfg.growth();
+    Field::new(
+        format!(
+            "nyx/baryon_density(t={},cfg={})",
+            cfg.timestep, cfg.sim_config
+        ),
+        dims,
+        lognormal(&g, a),
+    )
+}
+
+/// Dark-matter density: same field class, stronger clustering.
+pub fn dark_matter_density(dims: Dims, cfg: NyxConfig) -> Field {
+    let g = cfg.grf(dims, 2);
+    let a = (cfg.bias() * 1.6) * cfg.growth();
+    Field::new(
+        format!(
+            "nyx/dark_matter_density(t={},cfg={})",
+            cfg.timestep, cfg.sim_config
+        ),
+        dims,
+        lognormal(&g, a),
+    )
+}
+
+/// IGM temperature (K): `T = T0 · ρ^γ · exp(scatter)`.
+pub fn temperature(dims: Dims, cfg: NyxConfig) -> Field {
+    let rho = baryon_density(dims, cfg);
+    let mut rng = seeded(cfg.seed, 3);
+    let t0 = 1.0e4;
+    let gamma = 0.6;
+    let data: Vec<f32> = rho
+        .data()
+        .iter()
+        .map(|&d| {
+            let scatter = 0.05 * gaussian(&mut rng);
+            (t0 * (d as f64).max(1e-6).powf(gamma) * scatter.exp()) as f32
+        })
+        .collect();
+    Field::new(
+        format!("nyx/temperature(t={},cfg={})", cfg.timestep, cfg.sim_config),
+        dims,
+        data,
+    )
+}
+
+/// Peculiar velocity along x (km/s): smooth, signed large-scale flow.
+pub fn velocity_x(dims: Dims, cfg: NyxConfig) -> Field {
+    let g = gaussian_random_field(
+        dims,
+        GrfConfig {
+            alpha: cfg.alpha() + 0.8, // velocity is smoother than density
+            k_max: 0.6,
+            seed: cfg.seed ^ (cfg.sim_config as u64) << 32,
+            stream: 4,
+        },
+    );
+    let sigma_v = 350.0 * cfg.growth(); // km/s
+    let data: Vec<f32> = g
+        .data()
+        .iter()
+        .map(|&v| (v as f64 * sigma_v) as f32)
+        .collect();
+    Field::new(
+        format!("nyx/velocity_x(t={},cfg={})", cfg.timestep, cfg.sim_config),
+        dims,
+        data,
+    )
+}
+
+/// All four Nyx fields for one snapshot configuration.
+pub fn snapshot(dims: Dims, cfg: NyxConfig) -> Vec<Field> {
+    vec![
+        baryon_density(dims, cfg),
+        dark_matter_density(dims, cfg),
+        temperature(dims, cfg),
+        velocity_x(dims, cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dims {
+        Dims::d3(16, 16, 16)
+    }
+
+    #[test]
+    fn baryon_density_mean_near_one() {
+        let f = baryon_density(dims(), NyxConfig::default());
+        let s = f.stats();
+        assert!((s.mean - 1.0).abs() < 0.25, "mean {}", s.mean);
+        assert!(s.min > 0.0);
+    }
+
+    #[test]
+    fn dark_matter_more_clustered_than_baryon() {
+        let b = baryon_density(dims(), NyxConfig::default());
+        let d = dark_matter_density(dims(), NyxConfig::default());
+        assert!(d.stats().std_dev > b.stats().std_dev);
+    }
+
+    #[test]
+    fn temperature_positive_and_scaled() {
+        let t = temperature(dims(), NyxConfig::default());
+        let s = t.stats();
+        assert!(s.min > 0.0);
+        assert!(s.mean > 1e3 && s.mean < 1e5, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn velocity_signed() {
+        let v = velocity_x(dims(), NyxConfig::default());
+        let s = v.stats();
+        assert!(s.min < 0.0 && s.max > 0.0);
+    }
+
+    #[test]
+    fn timesteps_grow_structure() {
+        let early = baryon_density(dims(), NyxConfig::default().with_timestep(0));
+        let late = baryon_density(dims(), NyxConfig::default().with_timestep(10));
+        assert!(late.stats().std_dev > early.stats().std_dev);
+    }
+
+    #[test]
+    fn sim_configs_differ() {
+        let a = baryon_density(dims(), NyxConfig::default().with_sim_config(0));
+        let b = baryon_density(dims(), NyxConfig::default().with_sim_config(1));
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn snapshot_has_four_fields() {
+        let fields = snapshot(dims(), NyxConfig::default());
+        assert_eq!(fields.len(), 4);
+        assert!(fields.iter().all(|f| f.len() == dims().len()));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = snapshot(dims(), NyxConfig::default().with_seed(99));
+        let b = snapshot(dims(), NyxConfig::default().with_seed(99));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data());
+        }
+    }
+}

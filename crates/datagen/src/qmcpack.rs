@@ -1,0 +1,254 @@
+//! QMCPack-analogue quantum-structure fields.
+//!
+//! The QMCPack datasets in SDRBench are 4-D stacks of single-particle
+//! orbitals on a real-space grid (`#orbitals × nz × ny × nx`, e.g.
+//! `288x115x69x69`), with two spin channels (`spin0`, `spin1`). Each orbital
+//! is a smooth oscillatory function — a Bloch-like superposition of a few
+//! plane waves under a soft envelope, with oscillation frequency rising for
+//! higher orbital indices (higher-energy states have more nodes).
+//!
+//! The grids are deliberately *not* powers of two (matching the odd shapes
+//! of the real data), so this generator synthesizes directly in real space
+//! rather than through the FFT.
+
+use crate::dims::Dims;
+use crate::field::Field;
+use crate::rng::seeded;
+use rand::Rng;
+
+/// Spin channel of a QMCPack-analogue dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Spin {
+    /// Majority-spin orbitals.
+    Spin0,
+    /// Minority-spin orbitals.
+    Spin1,
+}
+
+/// Configuration of a QMCPack-analogue orbital stack.
+#[derive(Clone, Copy, Debug)]
+pub struct QmcPackConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Spin channel.
+    pub spin: Spin,
+    /// Simulation-scale id: the paper uses three problem sizes
+    /// (QMCPACK-1/2/3) that differ in the number of orbitals.
+    pub scale: u32,
+    /// Plane waves superposed per orbital.
+    pub waves_per_orbital: usize,
+}
+
+impl Default for QmcPackConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x9_4C7,
+            spin: Spin::Spin0,
+            scale: 0,
+            waves_per_orbital: 4,
+        }
+    }
+}
+
+impl QmcPackConfig {
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the spin channel.
+    pub fn with_spin(mut self, spin: Spin) -> Self {
+        self.spin = spin;
+        self
+    }
+
+    /// Replaces the scale id.
+    pub fn with_scale(mut self, scale: u32) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    fn stream(&self) -> u64 {
+        let spin_bit = match self.spin {
+            Spin::Spin0 => 0u64,
+            Spin::Spin1 => 1u64,
+        };
+        0x51_00 | spin_bit | (self.scale as u64) << 8
+    }
+}
+
+/// One plane-wave component of an orbital.
+struct Wave {
+    k: [f64; 3],
+    phase: f64,
+    amp: f64,
+}
+
+/// Generates the 4-D orbital stack (`dims` must be 4-D:
+/// `orbitals × nz × ny × nx`).
+pub fn orbitals(dims: Dims, cfg: QmcPackConfig) -> Field {
+    assert_eq!(dims.ndim(), 4, "QMCPack orbitals are 4-D");
+    let (no, nz, ny, nx) = (dims.axis(0), dims.axis(1), dims.axis(2), dims.axis(3));
+    let mut rng = seeded(cfg.seed, cfg.stream());
+
+    let tau = 2.0 * std::f64::consts::PI;
+    let mut data = Vec::with_capacity(dims.len());
+    for o in 0..no {
+        // Higher orbitals oscillate faster (3-D shell filling). The
+        // wavenumber is driven by the orbital's *fractional* position in
+        // the stack, so datasets with different orbital counts (the
+        // paper's QMCPACK-1/2/3 problem scales) span the same spectral
+        // window and keep comparable statistics.
+        let frac = (o + 1) as f64 / no as f64;
+        let k_base = 1.0 + 1.5 * (frac * 64.0).cbrt();
+        let waves: Vec<Wave> = (0..cfg.waves_per_orbital)
+            .map(|_| {
+                // random direction on the sphere
+                let mut v = [0.0f64; 3];
+                loop {
+                    v[0] = rng.gen_range(-1.0..1.0);
+                    v[1] = rng.gen_range(-1.0..1.0);
+                    v[2] = rng.gen_range(-1.0..1.0);
+                    let norm2: f64 = v.iter().map(|x| x * x).sum();
+                    if norm2 > 1e-3 && norm2 <= 1.0 {
+                        let norm = norm2.sqrt();
+                        v.iter_mut().for_each(|x| *x /= norm);
+                        break;
+                    }
+                }
+                let k_mag = k_base * (0.8 + 0.4 * rng.gen::<f64>());
+                Wave {
+                    k: [v[0] * k_mag, v[1] * k_mag, v[2] * k_mag],
+                    phase: rng.gen::<f64>() * tau,
+                    amp: 0.5 + rng.gen::<f64>(),
+                }
+            })
+            .collect();
+        let norm: f64 = waves.iter().map(|w| w.amp).sum();
+
+        for z in 0..nz {
+            let fz = z as f64 / nz as f64;
+            for y in 0..ny {
+                let fy = y as f64 / ny as f64;
+                for x in 0..nx {
+                    let fx = x as f64 / nx as f64;
+                    let mut v = 0.0;
+                    for w in &waves {
+                        v += w.amp
+                            * (tau * (w.k[0] * fz + w.k[1] * fy + w.k[2] * fx) + w.phase).cos();
+                    }
+                    // soft envelope keeps orbitals localized in the cell
+                    let env =
+                        (tau * fz / 2.0).sin() * (tau * fy / 2.0).sin() * (tau * fx / 2.0).sin();
+                    data.push((v / norm * env.abs().sqrt() * 20.0) as f32);
+                }
+            }
+        }
+    }
+
+    let spin_name = match cfg.spin {
+        Spin::Spin0 => "spin0",
+        Spin::Spin1 => "spin1",
+    };
+    Field::new(
+        format!("qmcpack/{spin_name}(scale={})", cfg.scale),
+        dims,
+        data,
+    )
+}
+
+/// Paper-shaped dims for the three QMCPack problem scales, shrunk by
+/// `shrink` in the orbital axis and `shrink_sp` spatially.
+pub fn scale_dims(scale: u32, orbital_div: usize, spatial_div: usize) -> Dims {
+    let orbitals = match scale {
+        0 => 288usize,
+        1 => 480,
+        _ => 816,
+    };
+    let no = (orbitals / orbital_div.max(1)).max(2);
+    let sp = |n: usize| (n / spatial_div.max(1)).max(4);
+    Dims::d4(no, sp(115), sp(69), sp(69))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dims {
+        Dims::d4(4, 10, 9, 9)
+    }
+
+    #[test]
+    fn orbitals_have_expected_shape() {
+        let f = orbitals(dims(), QmcPackConfig::default());
+        assert_eq!(f.len(), 4 * 10 * 9 * 9);
+    }
+
+    #[test]
+    fn signed_oscillatory_values() {
+        let f = orbitals(dims(), QmcPackConfig::default());
+        let s = f.stats();
+        assert!(s.min < 0.0 && s.max > 0.0, "{s:?}");
+        assert!(s.mean.abs() < s.range, "{s:?}");
+    }
+
+    #[test]
+    fn spins_differ() {
+        let a = orbitals(dims(), QmcPackConfig::default().with_spin(Spin::Spin0));
+        let b = orbitals(dims(), QmcPackConfig::default().with_spin(Spin::Spin1));
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn scales_differ() {
+        let a = orbitals(dims(), QmcPackConfig::default().with_scale(0));
+        let b = orbitals(dims(), QmcPackConfig::default().with_scale(2));
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = orbitals(dims(), QmcPackConfig::default());
+        let b = orbitals(dims(), QmcPackConfig::default());
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn higher_orbitals_oscillate_faster() {
+        let f = orbitals(Dims::d4(8, 12, 12, 12), QmcPackConfig::default());
+        // sign changes along x in first vs last orbital
+        let count_flips = |o: usize| {
+            let mut flips = 0;
+            for z in 0..12 {
+                for y in 0..12 {
+                    for x in 1..12 {
+                        let a = f.at(&[o, z, y, x - 1]);
+                        let b = f.at(&[o, z, y, x]);
+                        if (a > 0.0) != (b > 0.0) {
+                            flips += 1;
+                        }
+                    }
+                }
+            }
+            flips
+        };
+        assert!(
+            count_flips(7) > count_flips(0),
+            "high orbital should have more nodes"
+        );
+    }
+
+    #[test]
+    fn scale_dims_shrinks() {
+        let d = scale_dims(2, 96, 8);
+        assert_eq!(d.axis(0), 8);
+        assert!(d.axis(1) >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-D")]
+    fn requires_4d() {
+        let _ = orbitals(Dims::d3(4, 4, 4), QmcPackConfig::default());
+    }
+}

@@ -1,0 +1,80 @@
+//! Seeded random-number helpers shared by the dataset generators.
+//!
+//! Everything in `fxrz-datagen` must be bit-reproducible from a `u64` seed,
+//! so generators construct their RNG through [`seeded`] rather than from
+//! entropy, and draw Gaussians through the polar Box–Muller implementation
+//! here (stable across `rand` versions, unlike distribution crates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for the given seed, domain-separated by `stream`.
+///
+/// Using distinct streams (e.g. one per field) keeps fields statistically
+/// independent while derived from one user-facing seed.
+pub fn seeded(seed: u64, stream: u64) -> StdRng {
+    // SplitMix64-style mixing so that nearby (seed, stream) pairs decorrelate.
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+/// Draws one standard-normal variate via the polar Box–Muller method.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Fills `out` with i.i.d. `N(0, 1)` samples.
+pub fn fill_gaussian<R: Rng>(rng: &mut R, out: &mut [f64]) {
+    for v in out {
+        *v = gaussian(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let mut a = seeded(42, 1);
+        let mut b = seeded(42, 1);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_decorrelate() {
+        let mut a = seeded(42, 1);
+        let mut b = seeded(42, 2);
+        let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded(7, 0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let g = gaussian(&mut rng);
+            sum += g;
+            sum_sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,315 @@
+//! The evaluation suite: laptop-scale analogues of the paper's Table V.
+//!
+//! The paper evaluates FXRZ on 56 snapshot/configuration datasets from four
+//! applications, split into training and testing sets that match its two
+//! capability levels:
+//!
+//! * **Capability Level 1** (same simulation, later timesteps): Hurricane
+//!   QCLOUD/TC, train on steps 5–30, test on step 48.
+//! * **Capability Level 2** (same application, different configuration):
+//!   Nyx-1 → Nyx-2, RTM small-scale → big-scale, QMCPack-1/2 → QMCPack-3.
+//!
+//! [`Scale`] shrinks the grids so the full pipeline runs on a laptop;
+//! `Scale::Paper` restores paper-sized shapes for large machines.
+
+use crate::dims::Dims;
+use crate::field::Field;
+use crate::hurricane::{self, HurricaneConfig};
+use crate::nyx::{self, NyxConfig};
+use crate::qmcpack::{self, QmcPackConfig, Spin};
+use crate::rtm::{self, RtmConfig};
+
+/// Grid-size preset for the evaluation suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale unit tests (≈ 4 K points per field).
+    Tiny,
+    /// Default benchmarking scale (≈ 30–300 K points per field).
+    Small,
+    /// Heavier local runs (≈ 1–2 M points per field).
+    Medium,
+    /// The paper's shapes (hundreds of MB per field) — needs a big machine.
+    Paper,
+}
+
+/// One of the applications in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Nyx cosmology (Capability Level 2: config 0 → config 1).
+    Nyx,
+    /// Hurricane Isabel weather (Capability Level 1: early → late steps).
+    Hurricane,
+    /// Reverse-time migration (Capability Level 2: small → big scale).
+    Rtm,
+    /// QMCPack quantum structure (Capability Level 2: scales 1/2 → 3).
+    QmcPack,
+}
+
+impl App {
+    /// All four applications.
+    pub const ALL: [App; 4] = [App::Nyx, App::Hurricane, App::Rtm, App::QmcPack];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::Nyx => "Nyx",
+            App::Hurricane => "Hurricane",
+            App::Rtm => "RTM",
+            App::QmcPack => "QMCPack",
+        }
+    }
+}
+
+fn nyx_dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Tiny => Dims::d3(16, 16, 16),
+        Scale::Small => Dims::d3(32, 32, 32),
+        Scale::Medium => Dims::d3(64, 64, 64),
+        Scale::Paper => Dims::d3(512, 512, 512),
+    }
+}
+
+fn hurricane_dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Tiny => Dims::d3(8, 16, 16),
+        Scale::Small => Dims::d3(13, 64, 64),
+        Scale::Medium => Dims::d3(25, 128, 128),
+        Scale::Paper => Dims::d3(100, 512, 512),
+    }
+}
+
+fn rtm_small_dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Tiny => Dims::d3(18, 18, 12),
+        Scale::Small => Dims::d3(45, 45, 24),
+        Scale::Medium => Dims::d3(90, 90, 47),
+        Scale::Paper => Dims::d3(449, 449, 235),
+    }
+}
+
+fn rtm_big_dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Tiny => Dims::d3(34, 34, 12),
+        Scale::Small => Dims::d3(85, 85, 24),
+        Scale::Medium => Dims::d3(170, 170, 47),
+        Scale::Paper => Dims::d3(849, 849, 235),
+    }
+}
+
+/// Simulation steps for RTM snapshots, scaled so that the expanding
+/// wavefront covers the same *fraction* of the (shrunken) grid as in the
+/// paper-scale runs — with a Courant number of 0.45 the front travels
+/// ≈0.3 cells per step, so steps scale with the grid half-width.
+fn rtm_train_steps(scale: Scale) -> Vec<u32> {
+    match scale {
+        Scale::Tiny => vec![6, 10, 14, 18, 22, 26, 30],
+        Scale::Small => vec![15, 25, 35, 45, 55, 60, 65],
+        Scale::Medium => vec![30, 50, 70, 90, 110, 120, 130],
+        Scale::Paper => vec![150, 250, 350, 450, 550, 600, 650],
+    }
+}
+
+fn rtm_test_steps(scale: Scale) -> Vec<u32> {
+    match scale {
+        Scale::Tiny => vec![17, 35],
+        Scale::Small => vec![45, 90],
+        Scale::Medium => vec![90, 180],
+        Scale::Paper => vec![450, 900],
+    }
+}
+
+fn qmc_divisors(scale: Scale) -> (usize, usize) {
+    // (orbital_div, spatial_div)
+    match scale {
+        Scale::Tiny => (96, 10),
+        Scale::Small => (48, 5),
+        Scale::Medium => (24, 3),
+        Scale::Paper => (1, 1),
+    }
+}
+
+/// Training fields for an application, per the paper's protocol.
+pub fn train_fields(app: App, scale: Scale) -> Vec<Field> {
+    match app {
+        App::Nyx => {
+            // Nyx-1: six timesteps of four fields at configuration 0.
+            let dims = nyx_dims(scale);
+            (0..6)
+                .flat_map(|t| {
+                    nyx::snapshot(
+                        dims,
+                        NyxConfig::default().with_sim_config(0).with_timestep(t),
+                    )
+                })
+                .collect()
+        }
+        App::Hurricane => {
+            let dims = hurricane_dims(scale);
+            [5u32, 10, 15, 20, 25, 30]
+                .iter()
+                .flat_map(|&t| {
+                    let cfg = HurricaneConfig::default().with_timestep(t);
+                    vec![hurricane::qcloud(dims, cfg), hurricane::tc(dims, cfg)]
+                })
+                .collect()
+        }
+        App::Rtm => rtm::snapshots(
+            rtm_small_dims(scale),
+            RtmConfig::default().with_seed(0x574D),
+            &rtm_train_steps(scale),
+        ),
+        App::QmcPack => {
+            let (od, sd) = qmc_divisors(scale);
+            let mut out = Vec::new();
+            // QMCPACK-1: one field (spin0) at scale 0.
+            out.push(qmcpack::orbitals(
+                qmcpack::scale_dims(0, od, sd),
+                QmcPackConfig::default()
+                    .with_scale(0)
+                    .with_spin(Spin::Spin0),
+            ));
+            // QMCPACK-2: two fields at scale 1.
+            for spin in [Spin::Spin0, Spin::Spin1] {
+                out.push(qmcpack::orbitals(
+                    qmcpack::scale_dims(1, od, sd),
+                    QmcPackConfig::default().with_scale(1).with_spin(spin),
+                ));
+            }
+            out
+        }
+    }
+}
+
+/// Testing fields for an application, per the paper's protocol.
+pub fn test_fields(app: App, scale: Scale) -> Vec<Field> {
+    match app {
+        App::Nyx => {
+            // Nyx-2: a different simulation configuration.
+            let dims = nyx_dims(scale);
+            nyx::snapshot(
+                dims,
+                NyxConfig::default().with_sim_config(1).with_timestep(3),
+            )
+        }
+        App::Hurricane => {
+            let dims = hurricane_dims(scale);
+            let cfg = HurricaneConfig::default().with_timestep(48);
+            vec![hurricane::qcloud(dims, cfg), hurricane::tc(dims, cfg)]
+        }
+        // RTM big-scale: the paper's big- and small-scale runs image the
+        // *same* subsurface model at different resolutions, so the test
+        // simulation keeps the training velocity model (same seed) and
+        // differs in grid size and snapshot times.
+        App::Rtm => rtm::snapshots(
+            rtm_big_dims(scale),
+            RtmConfig::default(),
+            &rtm_test_steps(scale),
+        ),
+        App::QmcPack => {
+            let (od, sd) = qmc_divisors(scale);
+            [Spin::Spin0, Spin::Spin1]
+                .iter()
+                .map(|&spin| {
+                    qmcpack::orbitals(
+                        qmcpack::scale_dims(2, od, sd),
+                        QmcPackConfig::default().with_scale(2).with_spin(spin),
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// The five example datasets of the paper's Fig 3 / Table I, in table order:
+/// Nyx Baryon Density, QMCPack BigScale, RTM BigScale, RTM SmallScale,
+/// Hurricane TC.
+pub fn table1_datasets(scale: Scale) -> Vec<Field> {
+    let (od, sd) = qmc_divisors(scale);
+    vec![
+        nyx::baryon_density(nyx_dims(scale), NyxConfig::default()),
+        qmcpack::orbitals(
+            qmcpack::scale_dims(2, od, sd),
+            QmcPackConfig::default().with_scale(2),
+        ),
+        rtm::snapshots(
+            rtm_big_dims(scale),
+            RtmConfig::default(),
+            &rtm_test_steps(scale),
+        )
+        .pop()
+        .expect("rtm big snapshot"),
+        rtm::snapshots(
+            rtm_small_dims(scale),
+            RtmConfig::default(),
+            &[*rtm_train_steps(scale).last().expect("steps")],
+        )
+        .pop()
+        .expect("rtm small snapshot"),
+        hurricane::tc(hurricane_dims(scale), HurricaneConfig::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hurricane_split_counts() {
+        let train = train_fields(App::Hurricane, Scale::Tiny);
+        let test = test_fields(App::Hurricane, Scale::Tiny);
+        assert_eq!(train.len(), 12); // 6 steps x 2 fields
+        assert_eq!(test.len(), 2);
+    }
+
+    #[test]
+    fn nyx_split_counts() {
+        let train = train_fields(App::Nyx, Scale::Tiny);
+        let test = test_fields(App::Nyx, Scale::Tiny);
+        assert_eq!(train.len(), 24); // 6 steps x 4 fields
+        assert_eq!(test.len(), 4);
+    }
+
+    #[test]
+    fn rtm_split_counts() {
+        assert_eq!(train_fields(App::Rtm, Scale::Tiny).len(), 7);
+        assert_eq!(test_fields(App::Rtm, Scale::Tiny).len(), 2);
+    }
+
+    #[test]
+    fn qmcpack_split_counts() {
+        assert_eq!(train_fields(App::QmcPack, Scale::Tiny).len(), 3);
+        assert_eq!(test_fields(App::QmcPack, Scale::Tiny).len(), 2);
+    }
+
+    #[test]
+    fn rtm_test_uses_bigger_grid() {
+        let train = train_fields(App::Rtm, Scale::Tiny);
+        let test = test_fields(App::Rtm, Scale::Tiny);
+        assert!(test[0].len() > train[0].len());
+    }
+
+    #[test]
+    fn table1_has_five_datasets() {
+        let ds = table1_datasets(Scale::Tiny);
+        assert_eq!(ds.len(), 5);
+        assert!(ds[0].name().contains("nyx"));
+        assert!(ds[4].name().contains("TC"));
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        for app in App::ALL {
+            let train = train_fields(app, Scale::Tiny);
+            let test = test_fields(app, Scale::Tiny);
+            for te in &test {
+                for tr in &train {
+                    assert!(
+                        tr.dims() != te.dims() || tr.data() != te.data(),
+                        "{}: test field equals a training field",
+                        app.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Data augmentation by rate-curve interpolation (paper §IV-B, Fig 2).
+//!
+//! Training a regressor needs many `(compression ratio → error config)`
+//! samples, but each real compressor run is expensive. FXRZ runs the
+//! compressor at only ~25 *stationary* configurations, then linearly
+//! interpolates the `(CR, config-coordinate)` curve to mint as many
+//! training samples as needed — the paper measures only 3–5 % deviation
+//! between interpolated and true configurations.
+//!
+//! The curve is made monotone (isotonic clean-up) before interpolation so
+//! that inversion `CR → coordinate` is well defined even for stairwise
+//! compressors like ZFP.
+
+use fxrz_compressors::{CompressError, Compressor};
+use fxrz_datagen::Field;
+use serde::{Deserialize, Serialize};
+
+/// A monotone piecewise-linear `CR ↔ config coordinate` curve built from
+/// stationary points.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RateCurve {
+    /// Compression ratios, ascending.
+    crs: Vec<f64>,
+    /// Config coordinates ([`ErrorConfig::coordinate`]), matched to `crs`.
+    coords: Vec<f64>,
+}
+
+impl RateCurve {
+    /// Builds the curve by running `compressor` on `field` at `n_points`
+    /// stationary configurations spread uniformly over its config space.
+    ///
+    /// # Errors
+    /// Propagates the first compressor failure.
+    pub fn build(
+        compressor: &dyn Compressor,
+        field: &Field,
+        n_points: usize,
+    ) -> Result<Self, CompressError> {
+        assert!(n_points >= 2, "need at least two stationary points");
+        let space = compressor.config_space();
+        let range = field.stats().range;
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(n_points); // (cr, coord)
+        for i in 0..n_points {
+            let t = i as f64 / (n_points - 1) as f64;
+            let cfg = space.at(t, range);
+            let cr = compressor.ratio(field, &cfg)?;
+            points.push((cr, cfg.coordinate()));
+        }
+        Ok(Self::from_points(points))
+    }
+
+    /// Builds from raw `(cr, coordinate)` pairs (exposed for tests and the
+    /// augmentation-count ablation).
+    ///
+    /// The curve may run in either direction: CR rises with the coordinate
+    /// for error-bound compressors (`ln eb`), but **falls** for
+    /// precision-controlled ones (FPZIP: higher precision ⇒ lower ratio).
+    /// Orientation is detected and the points are stored with CR
+    /// ascending; isotonic clean-up then smooths measurement noise.
+    pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        // sort by coordinate first to establish the curve's direction
+        points.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // direction: does CR mostly rise or fall along the coordinate?
+        let rises = points
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0).signum())
+            .sum::<f64>()
+            >= 0.0;
+        if !rises {
+            points.reverse(); // now CR is (mostly) ascending
+        }
+        // isotonic clean-up: enforce CR non-decreasing along the curve
+        let mut crs = Vec::with_capacity(points.len());
+        let mut coords = Vec::with_capacity(points.len());
+        let mut running = f64::NEG_INFINITY;
+        for (cr, x) in points {
+            let cr = cr.max(running);
+            running = cr;
+            crs.push(cr);
+            coords.push(x);
+        }
+        Self { crs, coords }
+    }
+
+    /// Valid compression-ratio range covered by the stationary points
+    /// (the paper's Fig 11 "valid range").
+    pub fn valid_range(&self) -> (f64, f64) {
+        (self.crs[0], *self.crs.last().expect("nonempty"))
+    }
+
+    /// Interpolated config coordinate for a target ratio (clamped to the
+    /// valid range).
+    pub fn coordinate_for_ratio(&self, cr: f64) -> f64 {
+        let n = self.crs.len();
+        if cr <= self.crs[0] {
+            return self.coords[0];
+        }
+        if cr >= self.crs[n - 1] {
+            return self.coords[n - 1];
+        }
+        // binary search for the segment
+        let hi = self.crs.partition_point(|&c| c < cr).max(1).min(n - 1);
+        let lo = hi - 1;
+        let (c0, c1) = (self.crs[lo], self.crs[hi]);
+        let (x0, x1) = (self.coords[lo], self.coords[hi]);
+        if c1 <= c0 {
+            // flat (stairwise) segment: any coordinate in it reaches cr
+            return x0;
+        }
+        let t = (cr - c0) / (c1 - c0);
+        x0 + t * (x1 - x0)
+    }
+
+    /// Interpolated ratio for a config coordinate (clamped). Handles both
+    /// curve orientations (coordinates ascending or descending with CR).
+    pub fn ratio_for_coordinate(&self, x: f64) -> f64 {
+        let n = self.coords.len();
+        let descending = self.coords[0] > self.coords[n - 1];
+        // map to a monotone-ascending view of the coordinates
+        let key = |c: f64| if descending { -c } else { c };
+        let xq = key(x);
+        if xq <= key(self.coords[0]) {
+            return self.crs[0];
+        }
+        if xq >= key(self.coords[n - 1]) {
+            return self.crs[n - 1];
+        }
+        let hi = self
+            .coords
+            .partition_point(|&c| key(c) < xq)
+            .max(1)
+            .min(n - 1);
+        let lo = hi - 1;
+        let (x0, x1) = (key(self.coords[lo]), key(self.coords[hi]));
+        let (c0, c1) = (self.crs[lo], self.crs[hi]);
+        if x1 <= x0 {
+            return c0;
+        }
+        let t = (xq - x0) / (x1 - x0);
+        c0 + t * (c1 - c0)
+    }
+
+    /// Mints `n` augmented `(cr, coordinate)` samples with CRs spread
+    /// **log-uniformly** across the valid range. Ratio curves span decades
+    /// (CR 5 … 2000 on smooth data); log spacing covers every decade with
+    /// training rows instead of crowding the flat high-ratio tail.
+    pub fn augment(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two augmented samples");
+        let (lo, hi) = self.valid_range();
+        let lo = lo.max(1.0);
+        let hi = hi.max(lo * 1.0001);
+        let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
+        (0..n)
+            .map(|i| {
+                let cr = (ln_lo + (ln_hi - ln_lo) * i as f64 / (n - 1) as f64).exp();
+                (cr, self.coordinate_for_ratio(cr))
+            })
+            .collect()
+    }
+
+    /// Number of stationary points retained.
+    pub fn len(&self) -> usize {
+        self.crs.len()
+    }
+
+    /// True when the curve is empty (unreachable for built curves).
+    pub fn is_empty(&self) -> bool {
+        self.crs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxrz_compressors::sz::Sz;
+    use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+    use fxrz_datagen::Dims;
+
+    fn toy_curve() -> RateCurve {
+        // coordinate = ln(eb), CR rises with eb
+        RateCurve::from_points(vec![(10.0, 0.0), (20.0, 1.0), (40.0, 2.0), (80.0, 3.0)])
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let c = toy_curve();
+        assert!((c.coordinate_for_ratio(15.0) - 0.5).abs() < 1e-12);
+        assert!((c.coordinate_for_ratio(60.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_valid_range() {
+        let c = toy_curve();
+        assert_eq!(c.coordinate_for_ratio(1.0), 0.0);
+        assert_eq!(c.coordinate_for_ratio(1e9), 3.0);
+        assert_eq!(c.valid_range(), (10.0, 80.0));
+    }
+
+    #[test]
+    fn inverse_interpolation_roundtrips() {
+        let c = toy_curve();
+        for cr in [10.0, 17.0, 33.3, 77.0, 80.0] {
+            let x = c.coordinate_for_ratio(cr);
+            let back = c.ratio_for_coordinate(x);
+            assert!((back - cr).abs() < 1e-9, "{cr} -> {x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn isotonic_cleanup_fixes_noise() {
+        // a dip at coordinate 1.0 (noisy measurement) gets flattened
+        let c = RateCurve::from_points(vec![(10.0, 0.0), (8.0, 1.0), (40.0, 2.0)]);
+        let x = c.coordinate_for_ratio(10.0);
+        assert!((0.0..=1.0).contains(&x));
+        // curve must be monotone: every queried cr maps into the range
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let cr = 8.0 + i as f64 * 2.0;
+            let x = c.coordinate_for_ratio(cr);
+            assert!(x >= last - 1e-12, "not monotone at cr={cr}");
+            last = x;
+        }
+    }
+
+    #[test]
+    fn stairwise_flat_segments_resolve() {
+        let c = RateCurve::from_points(vec![(10.0, 0.0), (10.0, 1.0), (30.0, 2.0)]);
+        // cr=10 sits on the flat part: returns its left edge
+        assert_eq!(c.coordinate_for_ratio(10.0), 0.0);
+        assert!((c.coordinate_for_ratio(20.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn augment_spans_the_range() {
+        let c = toy_curve();
+        let samples = c.augment(15);
+        assert_eq!(samples.len(), 15);
+        assert!((samples[0].0 - 10.0).abs() < 1e-9);
+        assert!((samples[14].0 - 80.0).abs() < 1e-9);
+        for w in samples.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn build_against_real_compressor_is_accurate() {
+        // The paper reports 3–5 % average deviation between interpolated
+        // and measured ratios; allow a looser 20 % on a tiny test grid.
+        let f = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(4));
+        let sz = Sz;
+        let curve = RateCurve::build(&sz, &f, 25).expect("build");
+        let (lo, hi) = curve.valid_range();
+        assert!(hi > lo);
+        // probe mid-range CRs
+        let mut rel_err_sum = 0.0;
+        let mut count = 0;
+        for i in 1..8 {
+            let target = lo + (hi - lo) * i as f64 / 8.0;
+            let x = curve.coordinate_for_ratio(target);
+            let cfg = sz.config_space().from_coordinate(x, f.stats().range);
+            let measured = sz.ratio(&f, &cfg).expect("ratio");
+            rel_err_sum += (measured - target).abs() / target;
+            count += 1;
+        }
+        let avg = rel_err_sum / count as f64;
+        assert!(avg < 0.20, "avg interpolation deviation {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn single_point_rejected() {
+        let _ = RateCurve::from_points(vec![(10.0, 1.0)]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for the FXRZ framework.
+
+use fxrz_compressors::CompressError;
+
+/// Errors surfaced by training or inference.
+#[derive(Debug)]
+pub enum FxrzError {
+    /// A compressor invocation failed.
+    Compress(CompressError),
+    /// The training corpus is empty.
+    EmptyCorpus,
+    /// The requested target compression ratio is not usable.
+    BadTarget(String),
+    /// A trained model was applied to an incompatible compressor.
+    ModelMismatch {
+        /// Compressor the model was trained for.
+        trained_for: String,
+        /// Compressor it was applied to.
+        applied_to: String,
+    },
+}
+
+impl std::fmt::Display for FxrzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FxrzError::Compress(e) => write!(f, "compressor failure: {e}"),
+            FxrzError::EmptyCorpus => write!(f, "training corpus is empty"),
+            FxrzError::BadTarget(m) => write!(f, "bad target compression ratio: {m}"),
+            FxrzError::ModelMismatch {
+                trained_for,
+                applied_to,
+            } => write!(
+                f,
+                "model trained for `{trained_for}` applied to `{applied_to}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FxrzError {}
+
+impl From<CompressError> for FxrzError {
+    fn from(e: CompressError) -> Self {
+        FxrzError::Compress(e)
+    }
+}

@@ -1,0 +1,237 @@
+//! The FXRZ inference engine (paper Fig 1, stages 9–10): the user-facing
+//! fixed-ratio compression API.
+//!
+//! Given a field and a target compression ratio, the engine extracts the
+//! sampled features, computes the Compressibility Adjustment, asks the
+//! trained model for a config coordinate, converts it to a concrete
+//! [`ErrorConfig`] — **without ever running the compressor** — and then
+//! performs the single actual compression.
+
+use crate::ca::CompressibilityAdjuster;
+use crate::error::FxrzError;
+use crate::features::{self, FeatureVector};
+use crate::sampling::StridedSampler;
+use crate::train::TrainedModel;
+use fxrz_compressors::{Compressor, ErrorConfig};
+use fxrz_datagen::Field;
+use std::time::{Duration, Instant};
+
+/// One fixed-ratio estimation (no compression performed yet).
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// The error configuration the model recommends.
+    pub config: ErrorConfig,
+    /// The CA-adjusted ratio that was fed to the model.
+    pub acr: f64,
+    /// Fraction of non-constant blocks (1.0 when CA is disabled).
+    pub non_constant_ratio: f64,
+    /// The extracted feature vector.
+    pub features: FeatureVector,
+    /// Pure analysis time: features + CA + model prediction.
+    pub analysis_time: Duration,
+}
+
+/// Outcome of a full fixed-ratio compression.
+#[derive(Clone, Debug)]
+pub struct FixedRatioOutcome {
+    /// The compressed stream.
+    pub bytes: Vec<u8>,
+    /// The estimate that produced it.
+    pub estimate: Estimate,
+    /// The measured compression ratio (MCR).
+    pub measured_ratio: f64,
+    /// Time spent inside the compressor.
+    pub compression_time: Duration,
+}
+
+impl FixedRatioOutcome {
+    /// The paper's estimation error (Formula 5) against a target ratio.
+    pub fn estimation_error(&self, tcr: f64) -> f64 {
+        (tcr - self.measured_ratio).abs() / tcr
+    }
+}
+
+/// The user-facing fixed-ratio compressor: a trained model bound to its
+/// compressor.
+pub struct FixedRatioCompressor {
+    model: TrainedModel,
+    compressor: Box<dyn Compressor>,
+}
+
+impl FixedRatioCompressor {
+    /// Binds `model` to `compressor`.
+    ///
+    /// # Errors
+    /// Fails when the model was trained for a different compressor.
+    pub fn new(model: TrainedModel, compressor: Box<dyn Compressor>) -> Result<Self, FxrzError> {
+        if model.compressor != compressor.name() {
+            return Err(FxrzError::ModelMismatch {
+                trained_for: model.compressor.clone(),
+                applied_to: compressor.name().to_owned(),
+            });
+        }
+        Ok(Self { model, compressor })
+    }
+
+    /// The bound compressor.
+    pub fn compressor(&self) -> &dyn Compressor {
+        self.compressor.as_ref()
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Estimates the error configuration for a target compression ratio —
+    /// the compression-free analysis step.
+    ///
+    /// # Errors
+    /// Fails when `tcr` is not a finite ratio above 1.
+    pub fn estimate(&self, field: &Field, tcr: f64) -> Result<Estimate, FxrzError> {
+        if !(tcr.is_finite() && tcr > 1.0) {
+            return Err(FxrzError::BadTarget(format!(
+                "target compression ratio must be finite and > 1, got {tcr}"
+            )));
+        }
+        let t0 = Instant::now();
+        let sampler = StridedSampler::new(self.model.stride);
+        let fv = features::extract(field, sampler);
+        let r = self
+            .model
+            .ca
+            .map(|ca: CompressibilityAdjuster| ca.non_constant_ratio(field))
+            .unwrap_or(1.0);
+        let acr = (tcr * r).max(1.0);
+        let coord = self.model.predict_coordinate(&fv, acr);
+        let config = self
+            .model
+            .config_space
+            .from_coordinate(coord, fv.value_range);
+        let analysis_time = t0.elapsed();
+        Ok(Estimate {
+            config,
+            acr,
+            non_constant_ratio: r,
+            features: fv,
+            analysis_time,
+        })
+    }
+
+    /// Full fixed-ratio compression: estimate, then compress once.
+    ///
+    /// # Errors
+    /// Propagates estimation and compression failures.
+    pub fn compress(&self, field: &Field, tcr: f64) -> Result<FixedRatioOutcome, FxrzError> {
+        let estimate = self.estimate(field, tcr)?;
+        let t0 = Instant::now();
+        let bytes = self.compressor.compress(field, &estimate.config)?;
+        let compression_time = t0.elapsed();
+        let measured_ratio = field.nbytes() as f64 / bytes.len() as f64;
+        Ok(FixedRatioOutcome {
+            bytes,
+            estimate,
+            measured_ratio,
+            compression_time,
+        })
+    }
+
+    /// Decompresses a stream produced by [`Self::compress`].
+    ///
+    /// # Errors
+    /// Propagates decoder failures.
+    pub fn decompress(&self, bytes: &[u8]) -> Result<Field, FxrzError> {
+        Ok(self.compressor.decompress(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{Trainer, TrainerConfig};
+    use fxrz_compressors::sz::Sz;
+    use fxrz_compressors::zfp::Zfp;
+    use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+    use fxrz_datagen::Dims;
+
+    fn train_sz() -> FixedRatioCompressor {
+        let fields: Vec<Field> = (0..4)
+            .map(|i| {
+                gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(70 + i))
+            })
+            .collect();
+        let trainer = Trainer {
+            config: TrainerConfig {
+                stationary_points: 10,
+                augment_per_field: 30,
+                sampler: StridedSampler::new(2),
+                ..TrainerConfig::default()
+            },
+        };
+        let model = trainer.train(&Sz, &fields).expect("train");
+        FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind")
+    }
+
+    #[test]
+    fn estimates_without_running_compressor() {
+        let frc = train_sz();
+        let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(99));
+        let est = frc.estimate(&field, 50.0).expect("estimate");
+        assert!(matches!(est.config, ErrorConfig::Abs(eb) if eb > 0.0));
+        assert!(est.acr <= 50.0 && est.acr >= 1.0);
+        assert!(est.analysis_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn fixed_ratio_compression_lands_near_target() {
+        let frc = train_sz();
+        // test field statistically similar to training (capability level 1)
+        let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(74));
+        // pick a target inside the trained valid range (cf. paper Fig 11)
+        let (lo, hi) = frc.model().valid_ratio_range;
+        let tcr = (lo * hi).sqrt().clamp(lo * 1.2, hi * 0.8);
+        let out = frc.compress(&field, tcr).expect("compress");
+        let err = out.estimation_error(tcr);
+        assert!(
+            err < 0.35,
+            "estimation error {err}, tcr {tcr}, mcr {}",
+            out.measured_ratio
+        );
+        // decompression must work
+        let back = frc.decompress(&out.bytes).expect("decompress");
+        assert_eq!(back.dims(), field.dims());
+    }
+
+    #[test]
+    fn higher_targets_produce_smaller_streams() {
+        let frc = train_sz();
+        let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(75));
+        let lo = frc.compress(&field, 8.0).expect("compress");
+        let hi = frc.compress(&field, 120.0).expect("compress");
+        assert!(
+            hi.bytes.len() < lo.bytes.len(),
+            "{} !< {}",
+            hi.bytes.len(),
+            lo.bytes.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let frc = train_sz();
+        let field = gaussian_random_field(Dims::d2(16, 16), GrfConfig::default().with_seed(1));
+        assert!(frc.estimate(&field, 0.5).is_err());
+        assert!(frc.estimate(&field, f64::NAN).is_err());
+        assert!(frc.estimate(&field, -3.0).is_err());
+    }
+
+    #[test]
+    fn model_compressor_mismatch_detected() {
+        let frc = train_sz();
+        let model = frc.model().clone();
+        assert!(matches!(
+            FixedRatioCompressor::new(model, Box::new(Zfp::default())),
+            Err(FxrzError::ModelMismatch { .. })
+        ));
+    }
+}

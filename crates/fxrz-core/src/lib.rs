@@ -1,0 +1,58 @@
+//! # fxrz-core — the FXRZ feature-driven fixed-ratio compression framework
+//!
+//! Reproduction of *"A Feature-Driven Fixed-Ratio Lossy Compression
+//! Framework for Real-World Scientific Datasets"* (ICDE 2023).
+//!
+//! Error-bounded lossy compressors answer "compress with error ≤ e"; FXRZ
+//! answers the question users actually ask in bandwidth- or storage-
+//! constrained pipelines: **"compress this to ratio N, as accurately as
+//! possible, with negligible analysis cost."**
+//!
+//! ```
+//! use fxrz_core::train::Trainer;
+//! use fxrz_core::infer::FixedRatioCompressor;
+//! use fxrz_compressors::sz::Sz;
+//! use fxrz_datagen::{nyx, nyx::NyxConfig, Dims};
+//!
+//! // 1. Train once per (application, compressor) pair.
+//! let train: Vec<_> = (0..3)
+//!     .map(|t| nyx::baryon_density(Dims::d3(8, 8, 8),
+//!                                  NyxConfig::default().with_timestep(t)))
+//!     .collect();
+//! let mut trainer = Trainer::new();
+//! trainer.config.stationary_points = 6;   // tiny demo settings
+//! trainer.config.augment_per_field = 12;
+//! trainer.config.sampler = fxrz_core::sampling::StridedSampler::new(2);
+//! let model = trainer.train(&Sz::default(), &train).unwrap();
+//!
+//! // 2. At runtime: fixed-ratio compression without trial-and-error.
+//! let frc = FixedRatioCompressor::new(model, Box::new(Sz::default())).unwrap();
+//! let field = nyx::baryon_density(Dims::d3(8, 8, 8),
+//!                                 NyxConfig::default().with_timestep(5));
+//! let out = frc.compress(&field, 20.0).unwrap();
+//! assert!(out.measured_ratio > 1.0);
+//! ```
+//!
+//! Module map (mirroring the paper's Fig 1 architecture):
+//!
+//! * [`features`] — the eight candidate features, five adopted (§IV-C).
+//! * [`sampling`] — stride-K uniform sampling (§IV-E1).
+//! * [`augment`] — stationary points + interpolated rate curves (§IV-B).
+//! * [`ca`] — Compressibility Adjustment (§IV-E2).
+//! * [`train`] — the training engine and serializable [`train::TrainedModel`].
+//! * [`infer`] — the runtime inference engine / fixed-ratio API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod ca;
+pub mod error;
+pub mod features;
+pub mod infer;
+pub mod sampling;
+pub mod train;
+
+pub use error::FxrzError;
+pub use infer::FixedRatioCompressor;
+pub use train::{TrainedModel, Trainer};

@@ -1,0 +1,136 @@
+//! Uniform stride-K sampling for low-cost feature extraction (paper §IV-E1,
+//! Fig 5).
+//!
+//! Scanning the full dataset to compute features would dominate FXRZ's
+//! analysis time, so features are computed only at points whose coordinates
+//! are all multiples of `stride`. With the paper's default `stride = 4` on
+//! a 3-D grid this touches `4^-3 ≈ 1.56 %` of the data ("1.5 % sampling"),
+//! cutting analysis time ~20× at almost no accuracy loss (§V-F).
+
+use fxrz_datagen::{Dims, Field};
+
+/// Stride-K uniform sampler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StridedSampler {
+    /// Sampling stride along every axis (1 = all points).
+    pub stride: usize,
+}
+
+impl Default for StridedSampler {
+    fn default() -> Self {
+        Self { stride: 4 }
+    }
+}
+
+impl StridedSampler {
+    /// A sampler with the given stride.
+    ///
+    /// # Panics
+    /// Panics when `stride == 0`.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self { stride }
+    }
+
+    /// A sampler that visits every point.
+    pub fn full() -> Self {
+        Self { stride: 1 }
+    }
+
+    /// Fraction of points visited on a grid of this dimensionality.
+    pub fn fraction(&self, ndim: usize) -> f64 {
+        (1.0 / self.stride as f64).powi(ndim as i32)
+    }
+
+    /// Linear indices of the sampled points of `field`, in raster order.
+    pub fn indices(&self, dims: Dims) -> Vec<usize> {
+        let stride = self.stride;
+        let ndim = dims.ndim();
+        // per-axis sampled counts
+        let counts: Vec<usize> = (0..ndim).map(|a| dims.axis(a).div_ceil(stride)).collect();
+        let total: usize = counts.iter().product();
+        let mut out = Vec::with_capacity(total);
+        let mut it = vec![0usize; ndim];
+        let strides = dims.strides();
+        loop {
+            let idx: usize = (0..ndim).map(|a| it[a] * stride * strides[a]).sum();
+            out.push(idx);
+            let mut a = ndim;
+            loop {
+                if a == 0 {
+                    return out;
+                }
+                a -= 1;
+                it[a] += 1;
+                if it[a] < counts[a] {
+                    break;
+                }
+                it[a] = 0;
+                if a == 0 {
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Convenience: sampled coordinates of `field` (used by the feature
+    /// extractor, which needs neighbours in the full grid).
+    pub fn coords(&self, field: &Field) -> Vec<[usize; 4]> {
+        let dims = field.dims();
+        self.indices(dims)
+            .into_iter()
+            .map(|i| dims.coords(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_one_visits_everything() {
+        let dims = Dims::d2(5, 7);
+        assert_eq!(StridedSampler::full().indices(dims).len(), 35);
+    }
+
+    #[test]
+    fn stride_four_3d_fraction_matches_paper() {
+        let s = StridedSampler::default();
+        let f = s.fraction(3);
+        assert!((f - 0.015625).abs() < 1e-12, "fraction {f} (paper: ~1.5 %)");
+    }
+
+    #[test]
+    fn sampled_indices_are_on_the_lattice() {
+        let dims = Dims::d3(9, 10, 11);
+        let s = StridedSampler::new(4);
+        for idx in s.indices(dims) {
+            let c = dims.coords(idx);
+            for a in 0..3 {
+                assert_eq!(c[a] % 4, 0, "coord {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_count_matches_ceil() {
+        let dims = Dims::d3(9, 10, 11);
+        let s = StridedSampler::new(4);
+        // ceil(9/4)=3, ceil(10/4)=3, ceil(11/4)=3
+        assert_eq!(s.indices(dims).len(), 27);
+    }
+
+    #[test]
+    fn stride_larger_than_axis_keeps_origin() {
+        let dims = Dims::d1(3);
+        let s = StridedSampler::new(10);
+        assert_eq!(s.indices(dims), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stride_rejected() {
+        let _ = StridedSampler::new(0);
+    }
+}

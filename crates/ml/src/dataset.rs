@@ -1,0 +1,217 @@
+//! Tabular dataset container for the regression models.
+//!
+//! FXRZ regresses a 6-column design matrix (five data features plus the
+//! adjusted target compression ratio) onto an error-configuration
+//! coordinate. [`Dataset`] keeps the rows in one flat buffer for cache
+//! friendliness and provides the (seeded) resampling primitives that the
+//! bagged models need.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense numeric regression dataset: `n` rows × `d` features + target.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    d: usize,
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// An empty dataset with `d` features per row.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "need at least one feature");
+        Self {
+            d,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Builds from row-major features and targets.
+    ///
+    /// # Panics
+    /// Panics when `x.len()` is not a multiple of `d` or row/target counts
+    /// disagree.
+    pub fn from_rows(d: usize, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert!(d > 0, "need at least one feature");
+        assert_eq!(x.len() % d, 0, "feature buffer not a multiple of d");
+        assert_eq!(x.len() / d, y.len(), "row/target count mismatch");
+        Self { d, x, y }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics when `features.len() != d`.
+    pub fn push(&mut self, features: &[f64], target: f64) {
+        assert_eq!(features.len(), self.d, "feature width mismatch");
+        self.x.extend_from_slice(features);
+        self.y.push(target);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature count per row.
+    pub fn n_features(&self) -> usize {
+        self.d
+    }
+
+    /// Feature slice of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Target of row `i`.
+    #[inline]
+    pub fn target(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// A new dataset containing the given row indices (with repetition).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.d);
+        for &i in indices {
+            out.push(self.row(i), self.target(i));
+        }
+        out
+    }
+
+    /// Bootstrap sample of `n` rows drawn uniformly with replacement.
+    pub fn bootstrap<R: Rng>(&self, n: usize, rng: &mut R) -> Dataset {
+        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.len())).collect();
+        self.subset(&indices)
+    }
+
+    /// Weighted bootstrap: rows drawn with probability proportional to
+    /// `weights` (used by AdaBoost.R2).
+    ///
+    /// # Panics
+    /// Panics when `weights.len() != len()` or all weights are zero.
+    pub fn weighted_bootstrap<R: Rng>(&self, weights: &[f64], n: usize, rng: &mut R) -> Dataset {
+        assert_eq!(weights.len(), self.len());
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all-zero weights");
+        // cumulative distribution + binary search
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        let mut out = Dataset::new(self.d);
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let target = u * total;
+            let i = cdf.partition_point(|&c| c < target).min(self.len() - 1);
+            out.push(self.row(i), self.target(i));
+        }
+        out
+    }
+
+    /// Mean of all targets (0 for an empty dataset).
+    pub fn target_mean(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.y.iter().sum::<f64>() / self.y.len() as f64
+        }
+    }
+
+    /// Population variance of the targets.
+    pub fn target_variance(&self) -> f64 {
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        let m = self.target_mean();
+        self.y.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / self.y.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            d.push(&[i as f64, (i * i) as f64], i as f64 * 2.0);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(3), &[3.0, 9.0]);
+        assert_eq!(d.target(3), 6.0);
+    }
+
+    #[test]
+    fn from_rows_checks_shape() {
+        let d = Dataset::from_rows(2, vec![1.0, 2.0, 3.0, 4.0], vec![0.5, 0.6]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_rows_rejects_bad_counts() {
+        let _ = Dataset::from_rows(2, vec![1.0, 2.0], vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn subset_repeats_rows() {
+        let d = toy();
+        let s = d.subset(&[0, 0, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.target(0), 0.0);
+        assert_eq!(s.target(2), 18.0);
+    }
+
+    #[test]
+    fn bootstrap_is_seeded() {
+        let d = toy();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let s1 = d.bootstrap(20, &mut a);
+        let s2 = d.bootstrap(20, &mut b);
+        assert_eq!(s1.targets(), s2.targets());
+        assert_eq!(s1.len(), 20);
+    }
+
+    #[test]
+    fn weighted_bootstrap_respects_weights() {
+        let d = toy();
+        let mut w = vec![0.0; 10];
+        w[4] = 1.0; // only row 4 can be drawn
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = d.weighted_bootstrap(&w, 50, &mut rng);
+        assert!(s.targets().iter().all(|&t| t == 8.0));
+    }
+
+    #[test]
+    fn target_stats() {
+        let d = toy(); // targets 0,2,..,18
+        assert!((d.target_mean() - 9.0).abs() < 1e-12);
+        assert!(d.target_variance() > 0.0);
+        assert_eq!(Dataset::new(3).target_mean(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Random Forest Regressor — the model FXRZ adopts (paper §IV-D).
+//!
+//! Bagging over CART trees: each tree trains on a bootstrap resample with
+//! per-split random feature subsets; prediction averages the trees. The
+//! paper selects RFR over AdaBoost and SVR because "it has the special
+//! ability to correct overfitting by building lots of trees" — Table III.
+
+use crate::dataset::Dataset;
+use crate::tree::{RegressionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`RandomForest`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters (depth, leaf sizes). `max_features == None`
+    /// here means "use `ceil(d / 3)`", the classic regression default.
+    pub tree: TreeParams,
+    /// RNG seed for bootstraps and feature subsets.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeParams::default(),
+            seed: 0x0F0E,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest on `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `n_trees == 0`.
+    pub fn fit(data: &Dataset, params: ForestParams) -> Self {
+        assert!(params.n_trees > 0, "need at least one tree");
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut tree_params = params.tree;
+        if tree_params.max_features.is_none() {
+            tree_params.max_features = Some(data.n_features().div_ceil(3).max(1));
+        }
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                let sample = data.bootstrap(data.len(), &mut rng);
+                RegressionTree::fit(&sample, tree_params, &mut rng)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// Predicts by averaging all trees.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_linear(n: usize) -> Dataset {
+        // y = 3x + 1 with deterministic pseudo-noise
+        let mut d = Dataset::new(1);
+        for i in 0..n {
+            let x = i as f64 / n as f64 * 10.0;
+            let noise = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            d.push(&[x], 3.0 * x + 1.0 + noise);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_linear_trend() {
+        let f = RandomForest::fit(
+            &noisy_linear(200),
+            ForestParams {
+                n_trees: 30,
+                ..ForestParams::default()
+            },
+        );
+        for x in [1.0, 3.0, 7.0, 9.0] {
+            let y = f.predict(&[x]);
+            assert!((y - (3.0 * x + 1.0)).abs() < 1.0, "x={x}, y={y}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        };
+        let a = RandomForest::fit(&noisy_linear(100), p);
+        let b = RandomForest::fit(&noisy_linear(100), p);
+        assert_eq!(a.predict(&[4.2]), b.predict(&[4.2]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p = ForestParams {
+            n_trees: 10,
+            ..ForestParams::default()
+        };
+        let a = RandomForest::fit(&noisy_linear(100), p);
+        p.seed = 999;
+        let b = RandomForest::fit(&noisy_linear(100), p);
+        assert_ne!(a.predict(&[4.2]), b.predict(&[4.2]));
+    }
+
+    #[test]
+    fn more_trees_reduce_variance() {
+        // With a held-out point, many trees should be closer to truth on
+        // average than a single tree is in the worst case; test stability:
+        let data = noisy_linear(300);
+        let small = RandomForest::fit(
+            &data,
+            ForestParams {
+                n_trees: 1,
+                seed: 7,
+                ..ForestParams::default()
+            },
+        );
+        let big = RandomForest::fit(
+            &data,
+            ForestParams {
+                n_trees: 80,
+                seed: 7,
+                ..ForestParams::default()
+            },
+        );
+        let truth = |x: f64| 3.0 * x + 1.0;
+        let err = |m: &RandomForest| {
+            [0.5f64, 2.5, 5.5, 8.5]
+                .iter()
+                .map(|&x| (m.predict(&[x]) - truth(x)).abs())
+                .sum::<f64>()
+        };
+        assert!(
+            err(&big) <= err(&small) + 0.5,
+            "{} vs {}",
+            err(&big),
+            err(&small)
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = RandomForest::fit(
+            &noisy_linear(50),
+            ForestParams {
+                n_trees: 5,
+                ..ForestParams::default()
+            },
+        );
+        let json = serde_json::to_string(&f).expect("serialize");
+        let back: RandomForest = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.predict(&[3.3]), f.predict(&[3.3]));
+        assert_eq!(back.n_trees(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let _ = RandomForest::fit(
+            &noisy_linear(10),
+            ForestParams {
+                n_trees: 0,
+                ..ForestParams::default()
+            },
+        );
+    }
+}

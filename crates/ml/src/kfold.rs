@@ -1,0 +1,132 @@
+//! k-fold cross validation, used to tune hyperparameters (paper §IV-D:
+//! "for all of them, we use k-fold cross validation to tune the
+//! hyperparameters").
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffled k-fold splitter.
+#[derive(Clone, Copy, Debug)]
+pub struct KFold {
+    /// Number of folds (≥ 2).
+    pub k: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl KFold {
+    /// A splitter with `k` folds.
+    ///
+    /// # Panics
+    /// Panics when `k < 2`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        Self { k, seed }
+    }
+
+    /// Produces `(train_indices, test_indices)` pairs covering all rows.
+    ///
+    /// # Panics
+    /// Panics when `n < k`.
+    pub fn splits(&self, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(n >= self.k, "need at least k rows");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        order.shuffle(&mut rng);
+        let mut out = Vec::with_capacity(self.k);
+        for f in 0..self.k {
+            let lo = f * n / self.k;
+            let hi = (f + 1) * n / self.k;
+            let test: Vec<usize> = order[lo..hi].to_vec();
+            let train: Vec<usize> = order[..lo].iter().chain(&order[hi..]).copied().collect();
+            out.push((train, test));
+        }
+        out
+    }
+
+    /// Runs cross validation: `fit` builds a model on a training subset,
+    /// `predict` scores one row; returns the mean absolute error across all
+    /// held-out rows.
+    pub fn cross_val_mae<M>(
+        &self,
+        data: &Dataset,
+        mut fit: impl FnMut(&Dataset) -> M,
+        predict: impl Fn(&M, &[f64]) -> f64,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (train_idx, test_idx) in self.splits(data.len()) {
+            let train = data.subset(&train_idx);
+            let model = fit(&train);
+            for &i in &test_idx {
+                total += (predict(&model, data.row(i)) - data.target(i)).abs();
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestParams, RandomForest};
+
+    #[test]
+    fn splits_partition_rows() {
+        let kf = KFold::new(5, 1);
+        let splits = kf.splits(23);
+        assert_eq!(splits.len(), 5);
+        let mut seen = [0u32; 23];
+        for (train, test) in &splits {
+            assert_eq!(train.len() + test.len(), 23);
+            for &i in test {
+                seen[i] += 1;
+            }
+            // disjoint
+            for &i in test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row tested exactly once");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KFold::new(4, 9).splits(40);
+        let b = KFold::new(4, 9).splits(40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_val_scores_a_forest() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            d.push(&[x], 2.0 * x + 1.0);
+        }
+        let kf = KFold::new(5, 3);
+        let mae = kf.cross_val_mae(
+            &d,
+            |train| {
+                RandomForest::fit(
+                    train,
+                    ForestParams {
+                        n_trees: 20,
+                        ..ForestParams::default()
+                    },
+                )
+            },
+            |m, x| m.predict(x),
+        );
+        assert!(mae < 1.0, "mae {mae}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k1_rejected() {
+        let _ = KFold::new(1, 0);
+    }
+}

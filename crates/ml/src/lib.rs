@@ -1,0 +1,131 @@
+//! # fxrz-ml — from-scratch regression stack for FXRZ
+//!
+//! The paper evaluates three model families (Table III) and adopts the
+//! Random Forest Regressor. All three are implemented here with no
+//! external ML dependency:
+//!
+//! * [`tree`] — CART regression trees (variance-reduction splits), the
+//!   shared base learner.
+//! * [`forest`] — bagged random forest (**the adopted model**).
+//! * [`adaboost`] — AdaBoost.R2 with weighted-median combination.
+//! * [`svr`] — ε-SVR via exact coordinate maximization of the bias-free
+//!   dual (RBF / linear kernels).
+//!
+//! Plus [`kfold`] cross validation and the [`metrics`] used throughout the
+//! evaluation (Pearson correlation for Table II, the Formula-5 relative
+//! estimation error, MSE/MAE/R²).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaboost;
+pub mod dataset;
+pub mod forest;
+pub mod kfold;
+pub mod metrics;
+pub mod svr;
+pub mod tree;
+
+pub use dataset::Dataset;
+
+use adaboost::AdaBoostR2;
+use forest::RandomForest;
+use svr::Svr;
+
+/// A regression model that maps a feature row to a scalar — implemented by
+/// all three model families so the FXRZ trainer can swap them (Table III).
+pub trait Regressor: Send + Sync {
+    /// Predicts the target for one feature row.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Short model name for reports ("rfr", "adaboost", "svr").
+    fn model_name(&self) -> &'static str;
+}
+
+impl Regressor for RandomForest {
+    fn predict(&self, x: &[f64]) -> f64 {
+        RandomForest::predict(self, x)
+    }
+    fn model_name(&self) -> &'static str {
+        "rfr"
+    }
+}
+
+impl Regressor for AdaBoostR2 {
+    fn predict(&self, x: &[f64]) -> f64 {
+        AdaBoostR2::predict(self, x)
+    }
+    fn model_name(&self) -> &'static str {
+        "adaboost"
+    }
+}
+
+impl Regressor for Svr {
+    fn predict(&self, x: &[f64]) -> f64 {
+        Svr::predict(self, x)
+    }
+    fn model_name(&self) -> &'static str {
+        "svr"
+    }
+}
+
+/// Which model family to train — mirrors Table III's comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Random Forest Regressor (the adopted model).
+    Rfr,
+    /// AdaBoost.R2.
+    AdaBoost,
+    /// ε-SVR.
+    Svr,
+}
+
+impl ModelKind {
+    /// All three, in the paper's comparison order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Rfr, ModelKind::AdaBoost, ModelKind::Svr];
+
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Rfr => "RFR",
+            ModelKind::AdaBoost => "AdaBoost",
+            ModelKind::Svr => "SVR",
+        }
+    }
+
+    /// Fits this model kind with its default hyperparameters.
+    pub fn fit_default(&self, data: &Dataset) -> Box<dyn Regressor> {
+        match self {
+            ModelKind::Rfr => Box::new(RandomForest::fit(data, forest::ForestParams::default())),
+            ModelKind::AdaBoost => {
+                Box::new(AdaBoostR2::fit(data, adaboost::AdaBoostParams::default()))
+            }
+            ModelKind::Svr => Box::new(Svr::fit(data, svr::SvrParams::default())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_model_kinds_fit_and_predict() {
+        let mut d = Dataset::new(2);
+        for i in 0..120 {
+            let x = i as f64 / 12.0;
+            d.push(&[x, -x], x * 0.7 + 1.0);
+        }
+        for kind in ModelKind::ALL {
+            let m = kind.fit_default(&d);
+            let pred = m.predict(&[5.0, -5.0]);
+            assert!((pred - 4.5).abs() < 1.5, "{}: pred {pred}", kind.name());
+        }
+    }
+
+    #[test]
+    fn model_names_are_distinct() {
+        let names: Vec<_> = ModelKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["RFR", "AdaBoost", "SVR"]);
+    }
+}

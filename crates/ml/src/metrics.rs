@@ -1,0 +1,153 @@
+//! Regression metrics and the Pearson correlation used in Table II.
+
+/// Pearson product-moment correlation coefficient of two equal-length
+/// samples. Returns `0.0` when either sample is constant.
+///
+/// # Panics
+/// Panics when lengths differ or are zero.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty samples");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Mean squared error.
+pub fn mse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty());
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty());
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Coefficient of determination `R²` (can be negative for bad fits;
+/// `0.0` when the truth is constant).
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty());
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(&t, &p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot <= 0.0 {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// The paper's estimation-error metric (Formula 5): `|TCR − MCR| / TCR`,
+/// averaged over pairs. Pairs with a non-positive reference are skipped.
+pub fn mean_relative_error(reference: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(reference.len(), measured.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&r, &m) in reference.iter().zip(measured) {
+        if r > 0.0 {
+            sum += (r - m).abs() / r;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_anticorrelation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_scale_invariant() {
+        let a = [0.3, -1.2, 2.2, 0.7, 5.0];
+        let b = [1.0, 0.0, 2.5, 1.5, 4.0];
+        let r1 = pearson(&a, &b);
+        let r2 = pearson(&b, &a);
+        assert!((r1 - r2).abs() < 1e-12);
+        let scaled: Vec<f64> = a.iter().map(|&x| 100.0 * x + 7.0).collect();
+        assert!((pearson(&scaled, &b) - r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_mae_basics() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 3.0, 1.0];
+        assert!((mse(&t, &p) - (0.0 + 1.0 + 4.0) / 3.0).abs() < 1e-12);
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_baseline() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r2(&t, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_relative_error_matches_formula5() {
+        // |100-90|/100 = 0.1, |50-60|/50 = 0.2 -> mean 0.15
+        let e = mean_relative_error(&[100.0, 50.0], &[90.0, 60.0]);
+        assert!((e - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_relative_error_skips_nonpositive_reference() {
+        let e = mean_relative_error(&[0.0, 100.0], &[5.0, 110.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,411 @@
+//! CART regression trees (variance-reduction splits).
+//!
+//! The base learner for both the random forest and AdaBoost.R2. Splits are
+//! found exhaustively over (optionally subsampled) features by sorting the
+//! node's rows per feature and scanning split points with running-sum
+//! statistics — `O(n log n)` per feature per node.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for a single regression tree.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum rows in each child.
+    pub min_samples_leaf: usize,
+    /// Features examined per split: `None` = all (plain CART);
+    /// `Some(k)` = a random subset of `k` (random-forest mode).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+/// One node of the tree, index-linked in a flat arena.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+struct Builder<'a, R: Rng> {
+    data: &'a Dataset,
+    params: TreeParams,
+    rng: &'a mut R,
+    nodes: Vec<Node>,
+}
+
+impl<'a, R: Rng> Builder<'a, R> {
+    /// Returns the index of the subtree built over `rows`.
+    fn build(&mut self, rows: &mut [usize], depth: usize) -> usize {
+        let n = rows.len();
+        let (mean, var) = self.moments(rows);
+        let make_leaf =
+            n < self.params.min_samples_split || depth >= self.params.max_depth || var <= 1e-18;
+        if !make_leaf {
+            // Like scikit-learn, fall back to the full feature set when the
+            // random subset yields no valid split (e.g. all sampled
+            // features are constant within this node) — otherwise nodes
+            // collapse into giant leaves whenever the subset misses the
+            // informative feature.
+            let split = self.best_split(rows, false).or_else(|| {
+                if self.params.max_features.is_some() {
+                    self.best_split(rows, true)
+                } else {
+                    None
+                }
+            });
+            if let Some((feature, threshold)) = split {
+                // partition rows
+                let mid = itertools_partition(rows, |&i| self.data.row(i)[feature] <= threshold);
+                if mid >= self.params.min_samples_leaf && n - mid >= self.params.min_samples_leaf {
+                    let placeholder = self.nodes.len();
+                    self.nodes.push(Node::Leaf { value: mean }); // patched below
+                    let (l_rows, r_rows) = rows.split_at_mut(mid);
+                    let left = self.build(l_rows, depth + 1);
+                    let right = self.build(r_rows, depth + 1);
+                    self.nodes[placeholder] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return placeholder;
+                }
+            }
+        }
+        self.nodes.push(Node::Leaf { value: mean });
+        self.nodes.len() - 1
+    }
+
+    fn moments(&self, rows: &[usize]) -> (f64, f64) {
+        let n = rows.len() as f64;
+        let sum: f64 = rows.iter().map(|&i| self.data.target(i)).sum();
+        let mean = sum / n;
+        let var = rows
+            .iter()
+            .map(|&i| {
+                let d = self.data.target(i) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        (mean, var)
+    }
+
+    /// Best (feature, threshold) by squared-error reduction, or `None`
+    /// when no valid split exists. `all_features` bypasses the random
+    /// subset (fallback path).
+    fn best_split(&mut self, rows: &[usize], all_features: bool) -> Option<(usize, f64)> {
+        let d = self.data.n_features();
+        let mut features: Vec<usize> = (0..d).collect();
+        if !all_features {
+            if let Some(k) = self.params.max_features {
+                features.shuffle(self.rng);
+                features.truncate(k.clamp(1, d));
+            }
+        }
+
+        let n = rows.len();
+        let total_sum: f64 = rows.iter().map(|&i| self.data.target(i)).sum();
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, thr)
+
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for &f in &features {
+            order.clear();
+            order.extend_from_slice(rows);
+            order.sort_by(|&a, &b| {
+                self.data.row(a)[f]
+                    .partial_cmp(&self.data.row(b)[f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0f64;
+            for (k, &i) in order.iter().enumerate().take(n - 1) {
+                left_sum += self.data.target(i);
+                let x_here = self.data.row(i)[f];
+                let x_next = self.data.row(order[k + 1])[f];
+                if x_next <= x_here {
+                    continue; // ties: cannot split between equal values
+                }
+                let nl = (k + 1) as f64;
+                let nr = (n - k - 1) as f64;
+                if (k + 1) < self.params.min_samples_leaf
+                    || (n - k - 1) < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                // maximizing sum-of-squares gain == minimizing child SSE
+                let score = left_sum * left_sum / nl + right_sum * right_sum / nr;
+                let thr = 0.5 * (x_here + x_next);
+                if best.is_none_or(|(s, _, _)| score > s) {
+                    best = Some((score, f, thr));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+/// Stable two-way partition returning the boundary index.
+fn itertools_partition<T, F: FnMut(&T) -> bool>(slice: &mut [T], mut pred: F) -> usize {
+    // simple in-place partition (order within halves irrelevant for trees)
+    let mut i = 0usize;
+    let mut j = slice.len();
+    while i < j {
+        if pred(&slice[i]) {
+            i += 1;
+        } else {
+            j -= 1;
+            slice.swap(i, j);
+        }
+    }
+    i
+}
+
+impl RegressionTree {
+    /// Fits a tree on `data` with the given parameters. `rng` is only used
+    /// when `max_features` subsampling is active.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit<R: Rng>(data: &Dataset, params: TreeParams, rng: &mut R) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut rows: Vec<usize> = (0..data.len()).collect();
+        let mut b = Builder {
+            data,
+            params,
+            rng,
+            nodes: Vec::new(),
+        };
+        let root = b.build(&mut rows, 0);
+        // The root's node (placeholder or leaf) is created first, so it
+        // already sits at index 0; set_root guards against future changes.
+        let mut tree = RegressionTree {
+            nodes: b.nodes,
+            n_features: data.n_features(),
+        };
+        tree.set_root(root);
+        tree
+    }
+
+    /// Reorders so the root is node 0 (single swap + pointer fix-up).
+    fn set_root(&mut self, root: usize) {
+        if root == 0 {
+            return;
+        }
+        self.nodes.swap(0, root);
+        for node in &mut self.nodes {
+            if let Node::Split { left, right, .. } = node {
+                for p in [left, right] {
+                    if *p == 0 {
+                        *p = root;
+                    } else if *p == root {
+                        *p = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    /// Panics when `x.len()` differs from the training feature width.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn step_data() -> Dataset {
+        // y = 1 for x < 5, y = 10 for x >= 5
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push(&[i as f64], if i < 5 { 1.0 } else { 10.0 });
+        }
+        d
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let t = RegressionTree::fit(&step_data(), TreeParams::default(), &mut rng());
+        assert_eq!(t.predict(&[2.0]), 1.0);
+        assert_eq!(t.predict(&[7.0]), 10.0);
+        assert_eq!(t.predict(&[4.4]), 1.0);
+        assert_eq!(t.predict(&[5.1]), 10.0);
+    }
+
+    #[test]
+    fn depth_zero_is_a_mean_stump() {
+        let params = TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        };
+        let t = RegressionTree::fit(&step_data(), params, &mut rng());
+        assert_eq!(t.node_count(), 1);
+        assert!((t.predict(&[0.0]) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_xor_like_interaction() {
+        // y = sign(x0 - 0.5) * sign(x1 - 0.5): needs depth 2
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            for j in 0..20 {
+                let x0 = i as f64 / 19.0;
+                let x1 = j as f64 / 19.0;
+                let y = if (x0 > 0.5) == (x1 > 0.5) { 1.0 } else { -1.0 };
+                d.push(&[x0, x1], y);
+            }
+        }
+        let t = RegressionTree::fit(&d, TreeParams::default(), &mut rng());
+        assert_eq!(t.predict(&[0.9, 0.9]), 1.0);
+        assert_eq!(t.predict(&[0.1, 0.9]), -1.0);
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push(&[i as f64], 3.0);
+        }
+        let t = RegressionTree::fit(&d, TreeParams::default(), &mut rng());
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[123.0]), 3.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let params = TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        };
+        let t = RegressionTree::fit(&step_data(), params, &mut rng());
+        // the only split leaving >= 5 per side is at the step
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_ties() {
+        let mut d = Dataset::new(1);
+        for _ in 0..10 {
+            d.push(&[1.0], 0.0);
+            d.push(&[1.0], 10.0);
+        }
+        // impossible to separate — must collapse to mean without panicking
+        let t = RegressionTree::fit(&d, TreeParams::default(), &mut rng());
+        assert!((t.predict(&[1.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overfits_exactly_with_unbounded_depth() {
+        let mut d = Dataset::new(1);
+        for i in 0..32 {
+            d.push(&[i as f64], (i as f64).sin() * 10.0);
+        }
+        let params = TreeParams {
+            max_depth: 32,
+            ..TreeParams::default()
+        };
+        let t = RegressionTree::fit(&d, params, &mut rng());
+        for i in 0..32 {
+            assert!((t.predict(&[i as f64]) - (i as f64).sin() * 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_features_subsampling_still_works() {
+        let mut d = Dataset::new(4);
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            d.push(&[x, -x, x * 2.0, 0.0], x);
+        }
+        let params = TreeParams {
+            max_features: Some(2),
+            ..TreeParams::default()
+        };
+        let t = RegressionTree::fit(&d, params, &mut rng());
+        let pred = t.predict(&[5.0, -5.0, 10.0, 0.0]);
+        assert!((pred - 5.0).abs() < 0.5, "pred {pred}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = RegressionTree::fit(&step_data(), TreeParams::default(), &mut rng());
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: RegressionTree = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.predict(&[7.0]), t.predict(&[7.0]));
+    }
+}

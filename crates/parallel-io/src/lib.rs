@@ -1,0 +1,364 @@
+//! # fxrz-parallel-io — simulated parallel data dumping
+//!
+//! The paper's system experiment: on 4,096 Bebop cores, every rank
+//! analyzes its local snapshot (FXRZ feature pass vs FRaZ iterative
+//! search), compresses it, and writes to a shared GPFS filesystem with
+//! ~2 GB/s aggregate bandwidth. FXRZ's cheap analysis yields a
+//! 1.18–8.71× end-to-end gain.
+//!
+//! We reproduce the experiment's structure without a supercomputer:
+//!
+//! 1. **Measurement** — per-rank analysis/compress work is executed for
+//!    real (optionally on concurrent threads via crossbeam).
+//! 2. **Scale-out** — measured [`RankWork`] records are tiled round-robin
+//!    over any rank count (weak scaling, as in the paper).
+//! 3. **I/O model** — a fluid-flow shared-bandwidth server drains each
+//!    rank's compressed bytes once that rank finishes compressing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fxrz_compressors::{Compressor, ErrorConfig};
+use fxrz_core::infer::FixedRatioCompressor;
+use fxrz_core::FxrzError;
+use fxrz_datagen::Field;
+use fxrz_fraz::FrazSearcher;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A cluster description for the dump simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct Cluster {
+    /// Number of ranks participating in the dump.
+    pub ranks: usize,
+    /// Aggregate shared-filesystem bandwidth in bytes/second
+    /// (Bebop GPFS: ~2 GB/s).
+    pub io_bandwidth: f64,
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Self {
+            ranks: 64,
+            io_bandwidth: 2.0e9,
+        }
+    }
+}
+
+/// Measured per-rank pipeline work.
+#[derive(Clone, Copy, Debug)]
+pub struct RankWork {
+    /// Time deciding the error configuration (FXRZ analysis or FRaZ search).
+    pub analysis: Duration,
+    /// Time of the single real compression.
+    pub compress: Duration,
+    /// Compressed bytes to write.
+    pub bytes: u64,
+    /// Uncompressed bytes (for reporting the achieved ratio).
+    pub raw_bytes: u64,
+}
+
+/// Aggregated result of one simulated dump.
+#[derive(Clone, Debug)]
+pub struct DumpReport {
+    /// Strategy label ("fxrz", "fraz-15", …).
+    pub strategy: String,
+    /// Ranks simulated.
+    pub ranks: usize,
+    /// Slowest rank's analysis time.
+    pub max_analysis: Duration,
+    /// Slowest rank's compression time.
+    pub max_compress: Duration,
+    /// Pure I/O time: total bytes over aggregate bandwidth.
+    pub io_time: Duration,
+    /// End-to-end makespan (analysis ∥ compression ∥ shared writes).
+    pub end_to_end: Duration,
+    /// Total compressed bytes written.
+    pub total_bytes: u64,
+    /// Mean achieved compression ratio.
+    pub mean_ratio: f64,
+}
+
+/// A fixed-ratio planning strategy: decides an error configuration and
+/// reports how long the decision took.
+pub trait DumpStrategy: Sync {
+    /// Strategy label for reports.
+    fn name(&self) -> String;
+
+    /// Plans the error configuration for one rank's field.
+    ///
+    /// # Errors
+    /// Propagates planner failures as a string (strategy-specific errors
+    /// are heterogeneous).
+    fn plan(&self, field: &Field, tcr: f64) -> Result<(ErrorConfig, Duration), String>;
+
+    /// The compressor this strategy drives.
+    fn compressor(&self) -> &dyn Compressor;
+}
+
+/// FXRZ planning: one feature pass + model prediction.
+pub struct FxrzStrategy {
+    frc: FixedRatioCompressor,
+}
+
+impl FxrzStrategy {
+    /// Wraps a trained fixed-ratio compressor.
+    pub fn new(frc: FixedRatioCompressor) -> Self {
+        Self { frc }
+    }
+}
+
+impl DumpStrategy for FxrzStrategy {
+    fn name(&self) -> String {
+        "fxrz".to_owned()
+    }
+
+    fn plan(&self, field: &Field, tcr: f64) -> Result<(ErrorConfig, Duration), String> {
+        let est = self
+            .frc
+            .estimate(field, tcr)
+            .map_err(|e: FxrzError| e.to_string())?;
+        Ok((est.config, est.analysis_time))
+    }
+
+    fn compressor(&self) -> &dyn Compressor {
+        self.frc.compressor()
+    }
+}
+
+/// FRaZ planning: binned iterative search running the compressor.
+pub struct FrazStrategy {
+    searcher: FrazSearcher,
+    compressor: Box<dyn Compressor>,
+}
+
+impl FrazStrategy {
+    /// Wraps a searcher and the compressor it probes.
+    pub fn new(searcher: FrazSearcher, compressor: Box<dyn Compressor>) -> Self {
+        Self {
+            searcher,
+            compressor,
+        }
+    }
+}
+
+impl DumpStrategy for FrazStrategy {
+    fn name(&self) -> String {
+        format!("fraz-{}", self.searcher.budget())
+    }
+
+    fn plan(&self, field: &Field, tcr: f64) -> Result<(ErrorConfig, Duration), String> {
+        let res = self
+            .searcher
+            .search(self.compressor.as_ref(), field, tcr)
+            .map_err(|e| e.to_string())?;
+        Ok((res.config, res.search_time))
+    }
+
+    fn compressor(&self) -> &dyn Compressor {
+        self.compressor.as_ref()
+    }
+}
+
+/// Measures one rank's full pipeline: plan, then compress once.
+///
+/// # Errors
+/// Propagates planner/compressor failures as strings.
+pub fn measure_rank(
+    strategy: &dyn DumpStrategy,
+    field: &Field,
+    tcr: f64,
+) -> Result<RankWork, String> {
+    let (config, analysis) = strategy.plan(field, tcr)?;
+    let t0 = Instant::now();
+    let bytes = strategy
+        .compressor()
+        .compress(field, &config)
+        .map_err(|e| e.to_string())?;
+    let compress = t0.elapsed();
+    Ok(RankWork {
+        analysis,
+        compress,
+        bytes: bytes.len() as u64,
+        raw_bytes: field.nbytes() as u64,
+    })
+}
+
+/// Measures several ranks concurrently on real threads (capped at the
+/// machine's parallelism), mirroring per-node concurrency on the cluster.
+///
+/// # Errors
+/// Returns the first rank failure.
+pub fn measure_ranks_parallel(
+    strategy: &dyn DumpStrategy,
+    fields: &[Field],
+    tcr: f64,
+) -> Result<Vec<RankWork>, String> {
+    let results: Mutex<Vec<(usize, Result<RankWork, String>)>> =
+        Mutex::new(Vec::with_capacity(fields.len()));
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(fields.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        #[allow(clippy::needless_range_loop)] // index pairs results with fields
+        for chunk_start in (0..fields.len()).step_by(max_threads) {
+            let chunk_end = (chunk_start + max_threads).min(fields.len());
+            let mut handles = Vec::new();
+            for i in chunk_start..chunk_end {
+                let field = &fields[i];
+                let results = &results;
+                handles.push(scope.spawn(move |_| {
+                    let r = measure_rank(strategy, field, tcr);
+                    results.lock().push((i, r));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank thread panicked");
+            }
+        }
+    })
+    .expect("scope panicked");
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+impl Cluster {
+    /// Simulates a weak-scaling dump: the measured `works` are tiled
+    /// round-robin over `self.ranks` ranks; writes share the aggregate
+    /// bandwidth under a fluid-flow model.
+    ///
+    /// # Panics
+    /// Panics when `works` is empty or bandwidth is non-positive.
+    pub fn simulate(&self, strategy: &str, works: &[RankWork]) -> DumpReport {
+        assert!(!works.is_empty(), "need at least one measured rank");
+        assert!(self.io_bandwidth > 0.0, "bandwidth must be positive");
+
+        // Tile measurements across ranks and build (ready_time, bytes).
+        let mut events: Vec<(f64, u64)> = (0..self.ranks)
+            .map(|r| {
+                let w = &works[r % works.len()];
+                (w.analysis.as_secs_f64() + w.compress.as_secs_f64(), w.bytes)
+            })
+            .collect();
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Fluid-flow shared server.
+        let mut t = 0.0f64;
+        let mut backlog = 0.0f64;
+        for &(ready, bytes) in &events {
+            let dt = ready - t;
+            backlog = (backlog - dt * self.io_bandwidth).max(0.0);
+            backlog += bytes as f64;
+            t = ready;
+        }
+        let end_to_end = t + backlog / self.io_bandwidth;
+
+        let total_bytes: u64 = events.iter().map(|&(_, b)| b).sum();
+        let max_analysis = (0..self.ranks)
+            .map(|r| works[r % works.len()].analysis)
+            .max()
+            .unwrap_or_default();
+        let max_compress = (0..self.ranks)
+            .map(|r| works[r % works.len()].compress)
+            .max()
+            .unwrap_or_default();
+        let mean_ratio = {
+            let raw: u64 = (0..self.ranks)
+                .map(|r| works[r % works.len()].raw_bytes)
+                .sum();
+            raw as f64 / total_bytes.max(1) as f64
+        };
+
+        DumpReport {
+            strategy: strategy.to_owned(),
+            ranks: self.ranks,
+            max_analysis,
+            max_compress,
+            io_time: Duration::from_secs_f64(total_bytes as f64 / self.io_bandwidth),
+            end_to_end: Duration::from_secs_f64(end_to_end),
+            total_bytes,
+            mean_ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(analysis_ms: u64, compress_ms: u64, bytes: u64) -> RankWork {
+        RankWork {
+            analysis: Duration::from_millis(analysis_ms),
+            compress: Duration::from_millis(compress_ms),
+            bytes,
+            raw_bytes: bytes * 10,
+        }
+    }
+
+    #[test]
+    fn io_bound_dump_is_bandwidth_limited() {
+        let cluster = Cluster {
+            ranks: 10,
+            io_bandwidth: 1000.0, // 1 kB/s
+        };
+        let report = cluster.simulate("x", &[work(0, 0, 1000)]);
+        // 10 ranks x 1 kB at 1 kB/s = 10 s
+        assert!((report.end_to_end.as_secs_f64() - 10.0).abs() < 1e-6);
+        assert_eq!(report.total_bytes, 10_000);
+    }
+
+    #[test]
+    fn compute_bound_dump_is_makespan_limited() {
+        let cluster = Cluster {
+            ranks: 4,
+            io_bandwidth: 1e12, // effectively infinite
+        };
+        let report = cluster.simulate("x", &[work(500, 500, 10)]);
+        assert!((report.end_to_end.as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn slower_analysis_strictly_slower_end_to_end() {
+        let cluster = Cluster {
+            ranks: 8,
+            io_bandwidth: 1e9,
+        };
+        let fast = cluster.simulate("fxrz", &[work(1, 100, 1_000_000)]);
+        let slow = cluster.simulate("fraz", &[work(1500, 100, 1_000_000)]);
+        assert!(slow.end_to_end > fast.end_to_end);
+        let gain = slow.end_to_end.as_secs_f64() / fast.end_to_end.as_secs_f64();
+        assert!(gain > 1.1, "gain {gain}");
+    }
+
+    #[test]
+    fn weak_scaling_tiles_measurements() {
+        let cluster = Cluster {
+            ranks: 100,
+            io_bandwidth: 1e9,
+        };
+        let works = [work(10, 20, 1000), work(30, 40, 3000)];
+        let report = cluster.simulate("x", &works);
+        assert_eq!(report.ranks, 100);
+        assert_eq!(report.total_bytes, 50 * 1000 + 50 * 3000);
+        assert_eq!(report.max_analysis, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn mean_ratio_reported() {
+        let cluster = Cluster {
+            ranks: 2,
+            io_bandwidth: 1e9,
+        };
+        let report = cluster.simulate("x", &[work(0, 0, 100)]);
+        assert!((report.mean_ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_works_rejected() {
+        Cluster::default().simulate("x", &[]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Use-case 1 (paper §III-B): *preserving the best data quality under a
+//! restricted transfer bandwidth*.
+//!
+//! An instrument produces one Hurricane-analogue snapshot per second, but
+//! the uplink only carries `LINK_BYTES_PER_SEC`. The minimum compression
+//! ratio is therefore dictated by the link, and FXRZ turns that ratio into
+//! an error bound per snapshot — at runtime, with no compressor probing.
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_transfer
+//! ```
+
+use fxrz::prelude::*;
+use fxrz_core::train::TrainerConfig;
+
+const LINK_BYTES_PER_SEC: f64 = 16.0 * 1024.0; // a thin 16 KiB/s uplink
+
+fn main() {
+    let dims = Dims::d3(13, 64, 64);
+
+    // Train on archived early snapshots (Capability Level 1).
+    let train: Vec<Field> = [5u32, 10, 15, 20, 25, 30]
+        .iter()
+        .map(|&t| hurricane::tc(dims, HurricaneConfig::default().with_timestep(t)))
+        .collect();
+    let trainer = Trainer {
+        config: TrainerConfig {
+            stationary_points: 15,
+            ..TrainerConfig::default()
+        },
+    };
+    let model = trainer.train(&Sz, &train).expect("training");
+    let frc = FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind");
+
+    // Live phase: later snapshots stream in once per second.
+    let raw_bytes_per_snapshot = dims.len() as f64 * 4.0;
+    // 10 % head-room over the link-implied minimum absorbs per-snapshot
+    // estimation error.
+    let required_ratio = (raw_bytes_per_snapshot / LINK_BYTES_PER_SEC * 1.10).max(1.5);
+    println!(
+        "snapshot = {:.1} KiB/s raw, link = {:.1} KiB/s  =>  required CR >= {:.1}",
+        raw_bytes_per_snapshot / 1024.0,
+        LINK_BYTES_PER_SEC / 1024.0,
+        required_ratio
+    );
+
+    let mut sent = 0.0f64;
+    let mut late = 0usize;
+    for t in 40..=48 {
+        let snap = hurricane::tc(dims, HurricaneConfig::default().with_timestep(t));
+        let out = frc.compress(&snap, required_ratio).expect("compress");
+        let fits = (out.bytes.len() as f64) <= LINK_BYTES_PER_SEC;
+        if !fits {
+            late += 1;
+        }
+        sent += out.bytes.len() as f64;
+        let recon = frc.decompress(&out.bytes).expect("decompress");
+        println!(
+            "t={t}: {:>7.1} KiB (CR {:>6.2}, target {:>6.2}) psnr {:>5.1} dB  {}",
+            out.bytes.len() as f64 / 1024.0,
+            out.measured_ratio,
+            required_ratio,
+            snap.psnr(&recon),
+            if fits { "on-time" } else { "LATE" }
+        );
+    }
+    println!(
+        "total sent {:.1} KiB over 9 s budget {:.1} KiB ({} late snapshots)",
+        sent / 1024.0,
+        9.0 * LINK_BYTES_PER_SEC / 1024.0,
+        late
+    );
+}

@@ -1,0 +1,69 @@
+//! Model selection walk-through (paper Table III): train the same FXRZ
+//! pipeline with RFR, AdaBoost.R2 and ε-SVR, compare their estimation
+//! errors, and persist/reload the winner as JSON.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo
+//! ```
+
+use fxrz::prelude::*;
+use fxrz_core::train::TrainerConfig;
+use fxrz_ml::ModelKind;
+
+fn main() {
+    let dims = Dims::d3(32, 32, 32);
+    let train: Vec<Field> = (0..5)
+        .map(|t| nyx::baryon_density(dims, NyxConfig::default().with_timestep(t)))
+        .collect();
+    let test = nyx::baryon_density(dims, NyxConfig::default().with_sim_config(1));
+
+    let mut best: Option<(f64, String)> = None;
+    for kind in ModelKind::ALL {
+        let trainer = Trainer {
+            config: TrainerConfig {
+                model: kind,
+                stationary_points: 15,
+                ..TrainerConfig::default()
+            },
+        };
+        let model = trainer.train(&Sz, &train).expect("train");
+        let (lo, hi) = model.valid_ratio_range;
+        let frc = FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind");
+
+        let mut errs = Vec::new();
+        for i in 1..=8 {
+            let tcr = lo * 1.2 + (hi * 0.8 - lo * 1.2) * i as f64 / 9.0;
+            if tcr <= 1.5 {
+                continue;
+            }
+            let out = frc.compress(&test, tcr).expect("compress");
+            errs.push(out.estimation_error(tcr));
+        }
+        let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        println!(
+            "{:<9} avg estimation error {:>6.2}%",
+            kind.name(),
+            avg * 100.0
+        );
+        if best.as_ref().is_none_or(|(b, _)| avg < *b) {
+            // persist the current best model
+            let json = serde_json::to_string(frc.model()).expect("serialize");
+            best = Some((avg, json));
+        }
+    }
+
+    let (err, json) = best.expect("at least one model trained");
+    println!(
+        "\npersisting best model ({:.2}% error, {} bytes of JSON)",
+        err * 100.0,
+        json.len()
+    );
+    // reload and use it — this is the cross-user deployment story of §III-A
+    let model: fxrz_core::TrainedModel = serde_json::from_str(&json).expect("deserialize");
+    let frc = FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind");
+    let out = frc.compress(&test, 15.0).expect("compress");
+    println!(
+        "reloaded model: target 15.0 -> measured {:.2}",
+        out.measured_ratio
+    );
+}

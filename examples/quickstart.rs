@@ -1,0 +1,59 @@
+//! Quickstart: train FXRZ once, then compress to a target ratio with no
+//! trial-and-error.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fxrz::prelude::*;
+use fxrz_core::train::TrainerConfig;
+
+fn main() {
+    // 1. A training corpus: early timesteps of a Nyx-analogue simulation.
+    let dims = Dims::d3(32, 32, 32);
+    let train: Vec<Field> = (0..4)
+        .map(|t| nyx::baryon_density(dims, NyxConfig::default().with_timestep(t)))
+        .collect();
+
+    // 2. Train the fixed-ratio model for the SZ-style compressor.
+    let trainer = Trainer {
+        config: TrainerConfig {
+            stationary_points: 15,
+            ..TrainerConfig::default()
+        },
+    };
+    let model = trainer.train(&Sz, &train).expect("training");
+    println!(
+        "trained on {} fields in {:.2}s ({} augmented rows, valid CR range {:.1}..{:.1})",
+        train.len(),
+        model.timings.total().as_secs_f64(),
+        model.n_rows,
+        model.valid_ratio_range.0,
+        model.valid_ratio_range.1,
+    );
+
+    // 3. Runtime: a later snapshot arrives; compress it to CR = 20.
+    let field = nyx::baryon_density(dims, NyxConfig::default().with_timestep(8));
+    let frc = FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind");
+    let target = 20.0;
+    let out = frc.compress(&field, target).expect("compress");
+
+    println!(
+        "target CR {target}: measured CR {:.2} (estimation error {:.1}%), \
+         config {}, analysis {:.2}ms vs compression {:.2}ms",
+        out.measured_ratio,
+        out.estimation_error(target) * 100.0,
+        out.estimate.config,
+        out.estimate.analysis_time.as_secs_f64() * 1e3,
+        out.compression_time.as_secs_f64() * 1e3,
+    );
+
+    // 4. Round-trip and check fidelity.
+    let recon = frc.decompress(&out.bytes).expect("decompress");
+    println!(
+        "reconstruction: max abs error {:.3e}, PSNR {:.1} dB",
+        field.max_abs_diff(&recon),
+        field.psnr(&recon)
+    );
+    assert!(out.estimation_error(target) < 0.5, "way off target");
+}

@@ -1,0 +1,58 @@
+//! Archiving a full multi-field snapshot under one storage budget —
+//! the HDF5/ADIOS2-style workflow the paper's introduction motivates,
+//! with per-field fixed-ratio compression and selective reads.
+//!
+//! ```sh
+//! cargo run --release --example snapshot_archive
+//! ```
+
+use fxrz::prelude::*;
+use fxrz_core::train::TrainerConfig;
+
+fn main() {
+    let dims = Dims::d3(32, 32, 32);
+
+    // Train on *all four fields* of early snapshots — the model must see
+    // every field family it will later compress (the paper's protocol).
+    let train: Vec<Field> = (0..4)
+        .flat_map(|t| nyx::snapshot(dims, NyxConfig::default().with_timestep(t)))
+        .collect();
+    let trainer = Trainer {
+        config: TrainerConfig {
+            stationary_points: 15,
+            ..TrainerConfig::default()
+        },
+    };
+    let model = trainer.train(&Sz, &train).expect("train");
+    let frc = FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind");
+
+    // The snapshot to archive: all four Nyx fields of a later timestep.
+    let snapshot = nyx::snapshot(dims, NyxConfig::default().with_timestep(7));
+    let raw_total: usize = snapshot.iter().map(|f| f.nbytes()).sum();
+
+    let mut writer = ArchiveWriter::new();
+    let tcr = 15.0;
+    for field in &snapshot {
+        let mcr = writer.add_fixed_ratio(&frc, field, tcr).expect("add field");
+        println!("  {} -> CR {:.1}", field.name(), mcr);
+    }
+    let bytes = writer.finish();
+    println!(
+        "archived {} fields: {:.2} MiB raw -> {:.3} MiB ({:.1}x overall)",
+        snapshot.len(),
+        raw_total as f64 / (1024.0 * 1024.0),
+        bytes.len() as f64 / (1024.0 * 1024.0),
+        raw_total as f64 / bytes.len() as f64
+    );
+
+    // Post-hoc analysis touches one field: selective decompression.
+    let archive = Archive::open(&bytes).expect("open");
+    let name = snapshot[2].name(); // temperature
+    let temp = archive.get(name).expect("selective read");
+    println!(
+        "selective read of `{}`: dims {}, max abs error {:.3e}",
+        name,
+        temp.dims(),
+        snapshot[2].max_abs_diff(&temp)
+    );
+}

@@ -1,0 +1,286 @@
+//! `fxrz` — command-line fixed-ratio lossy compression.
+//!
+//! Works on raw little-endian `f32` dumps (the format SDRBench uses) with
+//! out-of-band dimensions:
+//!
+//! ```text
+//! fxrz gen        --app nyx --dims 64x64x64 --seed 7 --out snap.f32
+//! fxrz train      --compressor sz --dims 64x64x64 --model model.json a.f32 b.f32 …
+//! fxrz compress   --model model.json --ratio 30 --dims 64x64x64 --input x.f32 --output x.fxrz
+//! fxrz decompress --input x.fxrz --output x.f32
+//! fxrz search     --compressor sz --ratio 30 --dims 64x64x64 --input x.f32   (FRaZ baseline)
+//! fxrz info       --input x.fxrz
+//! ```
+
+use fxrz::archive::{Archive, ArchiveWriter};
+use fxrz::compressors::{by_name, detect};
+use fxrz::core::infer::FixedRatioCompressor;
+use fxrz::core::train::{TrainedModel, Trainer};
+use fxrz::datagen::{hurricane, nyx, qmcpack, rtm, Dims, Field};
+use fxrz::fraz::FrazSearcher;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE"
+    );
+    ExitCode::FAILURE
+}
+
+/// Splits args into (positional, flags).
+fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.insert(name.to_owned(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_owned(), String::new());
+                i += 1;
+            }
+        } else {
+            pos.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (pos, flags)
+}
+
+fn parse_dims(s: &str) -> Option<Dims> {
+    let parts: Result<Vec<usize>, _> = s.split('x').map(str::parse).collect();
+    let parts = parts.ok()?;
+    if parts.is_empty() || parts.len() > 4 || parts.contains(&0) {
+        return None;
+    }
+    Some(Dims::new(&parts))
+}
+
+fn read_field(path: &str, dims: Dims) -> Result<Field, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.len() != dims.len() * 4 {
+        return Err(format!(
+            "{path}: {} bytes but dims {dims} need {}",
+            bytes.len(),
+            dims.len() * 4
+        ));
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect();
+    Ok(Field::new(path.to_owned(), dims, data))
+}
+
+fn write_field(path: &str, field: &Field) -> Result<(), String> {
+    let mut out = Vec::with_capacity(field.nbytes());
+    for v in field.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return Err("missing subcommand".into());
+    };
+    let (pos, flags) = parse_args(&args[1..]);
+    let flag = |k: &str| -> Result<String, String> {
+        flags.get(k).cloned().ok_or(format!("missing --{k}"))
+    };
+
+    match cmd.as_str() {
+        "gen" => {
+            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims (e.g. 64x64x64)")?;
+            let seed: u64 = flags
+                .get("seed")
+                .map_or(Ok(7), |s| s.parse())
+                .map_err(|_| "bad --seed")?;
+            let t: u32 = flags
+                .get("timestep")
+                .map_or(Ok(0), |s| s.parse())
+                .map_err(|_| "bad --timestep")?;
+            let app = flag("app")?;
+            let field = match app.as_str() {
+                "nyx" => nyx::baryon_density(
+                    dims,
+                    nyx::NyxConfig::default().with_seed(seed).with_timestep(t),
+                ),
+                "hurricane" => hurricane::tc(
+                    dims,
+                    hurricane::HurricaneConfig::default()
+                        .with_seed(seed)
+                        .with_timestep(t.max(1)),
+                ),
+                "rtm" => {
+                    let mut sim =
+                        rtm::RtmSimulator::new(dims, rtm::RtmConfig::default().with_seed(seed));
+                    sim.run_to(t.max(30));
+                    sim.snapshot()
+                }
+                "qmcpack" => {
+                    qmcpack::orbitals(dims, qmcpack::QmcPackConfig::default().with_seed(seed))
+                }
+                other => return Err(format!("unknown --app {other}")),
+            };
+            write_field(&flag("out")?, &field)?;
+            let s = field.stats();
+            println!(
+                "wrote {} ({dims}, range {:.4e}, mean {:.4e})",
+                flag("out")?,
+                s.range,
+                s.mean
+            );
+            Ok(())
+        }
+        "train" => {
+            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+            let comp = by_name(&flag("compressor")?).ok_or("unknown --compressor")?;
+            if pos.is_empty() {
+                return Err("no training files given".into());
+            }
+            let fields: Result<Vec<Field>, String> =
+                pos.iter().map(|p| read_field(p, dims)).collect();
+            let fields = fields?;
+            let model = Trainer::new()
+                .train(comp.as_ref(), &fields)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "trained {} on {} fields in {:.2}s; valid CR range {:.1}..{:.1}",
+                comp.name(),
+                fields.len(),
+                model.timings.total().as_secs_f64(),
+                model.valid_ratio_range.0,
+                model.valid_ratio_range.1
+            );
+            let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
+            std::fs::write(flag("model")?, json).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "compress" => {
+            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+            let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+            let json = std::fs::read_to_string(flag("model")?).map_err(|e| e.to_string())?;
+            let model: TrainedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+            let comp = by_name(&model.compressor).ok_or("model names unknown compressor")?;
+            let frc = FixedRatioCompressor::new(model, comp).map_err(|e| e.to_string())?;
+            let field = read_field(&flag("input")?, dims)?;
+            let out = frc.compress(&field, ratio).map_err(|e| e.to_string())?;
+            std::fs::write(flag("output")?, &out.bytes).map_err(|e| e.to_string())?;
+            println!(
+                "target CR {ratio}: measured {:.2} (error {:.1}%), config {}, analysis {:.2} ms",
+                out.measured_ratio,
+                out.estimation_error(ratio) * 100.0,
+                out.estimate.config,
+                out.estimate.analysis_time.as_secs_f64() * 1e3
+            );
+            Ok(())
+        }
+        "decompress" => {
+            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+            let comp = detect(&bytes).ok_or("unrecognized stream magic")?;
+            let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+            write_field(&flag("output")?, &field)?;
+            println!(
+                "decompressed {} ({}) with {}",
+                field.name(),
+                field.dims(),
+                comp.name()
+            );
+            Ok(())
+        }
+        "search" => {
+            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+            let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+            let iters: usize = flags
+                .get("iters")
+                .map_or(Ok(15), |s| s.parse())
+                .map_err(|_| "bad --iters")?;
+            let comp = by_name(&flag("compressor")?).ok_or("unknown --compressor")?;
+            let field = read_field(&flag("input")?, dims)?;
+            let res = FrazSearcher::with_total_iters(iters)
+                .search(comp.as_ref(), &field, ratio)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "FRaZ-{iters}: config {}, measured CR {:.2} (error {:.1}%), {} compressor runs in {:.2}s",
+                res.config,
+                res.measured_ratio,
+                res.estimation_error(ratio) * 100.0,
+                res.compressor_runs,
+                res.search_time.as_secs_f64()
+            );
+            Ok(())
+        }
+        "info" => {
+            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+            let comp = detect(&bytes).ok_or("unrecognized stream magic")?;
+            let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+            let s = field.stats();
+            println!("compressor : {}", comp.name());
+            println!("field      : {}", field.name());
+            println!("dims       : {}", field.dims());
+            println!(
+                "ratio      : {:.2}",
+                field.nbytes() as f64 / bytes.len() as f64
+            );
+            println!("range/mean : {:.4e} / {:.4e}", s.range, s.mean);
+            Ok(())
+        }
+        "pack" => {
+            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+            let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+            let json = std::fs::read_to_string(flag("model")?).map_err(|e| e.to_string())?;
+            let model: TrainedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+            let comp = by_name(&model.compressor).ok_or("model names unknown compressor")?;
+            let frc = FixedRatioCompressor::new(model, comp).map_err(|e| e.to_string())?;
+            if pos.is_empty() {
+                return Err("no input files given".into());
+            }
+            let mut writer = ArchiveWriter::new();
+            for path in &pos {
+                let field = read_field(path, dims)?;
+                let mcr = writer
+                    .add_fixed_ratio(&frc, &field, ratio)
+                    .map_err(|e| e.to_string())?;
+                println!("packed {path} at CR {mcr:.2} (target {ratio})");
+            }
+            let bytes = writer.finish();
+            std::fs::write(flag("output")?, &bytes).map_err(|e| e.to_string())?;
+            println!("archive: {} fields, {} bytes", pos.len(), bytes.len());
+            Ok(())
+        }
+        "ls" => {
+            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+            let archive = Archive::open(&bytes).map_err(|e| e.to_string())?;
+            println!("{:<40} {:>12} {:>8}", "field", "compressed", "codec");
+            for e in archive.entries() {
+                let codec = archive.compressor_of(&e.name).unwrap_or("?");
+                println!("{:<40} {:>12} {:>8}", e.name, e.compressed_len, codec);
+            }
+            Ok(())
+        }
+        "unpack" => {
+            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+            let archive = Archive::open(&bytes).map_err(|e| e.to_string())?;
+            let field = archive.get(&flag("field")?).map_err(|e| e.to_string())?;
+            write_field(&flag("output")?, &field)?;
+            println!("unpacked {} ({})", field.name(), field.dims());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => usage(&msg),
+    }
+}

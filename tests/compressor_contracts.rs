@@ -1,0 +1,118 @@
+//! Property-based contracts every compressor must uphold, across random
+//! shapes and data distributions.
+
+use fxrz::prelude::*;
+use fxrz_compressors::all_compressors;
+use proptest::prelude::*;
+
+/// Random small field: shape 1-D..4-D, assorted value distributions.
+fn arb_field() -> impl Strategy<Value = Field> {
+    let dims = prop_oneof![
+        (2usize..40).prop_map(Dims::d1),
+        ((2usize..12), (2usize..12)).prop_map(|(a, b)| Dims::d2(a, b)),
+        ((2usize..7), (2usize..7), (2usize..7)).prop_map(|(a, b, c)| Dims::d3(a, b, c)),
+        ((2usize..4), (2usize..4), (2usize..4), (2usize..4))
+            .prop_map(|(a, b, c, d)| Dims::d4(a, b, c, d)),
+    ];
+    (dims, any::<u64>(), -3.0f64..3.0, 0.0f64..100.0).prop_map(|(dims, seed, log_amp, offset)| {
+        let amp = 10f64.powf(log_amp) as f32;
+        let mut state = seed | 1;
+        Field::from_fn("prop", dims, |c| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let smooth = (c.iter().sum::<usize>() as f32 * 0.21).sin();
+            let noise = (state as f32 / u64::MAX as f32) - 0.5;
+            offset as f32 + amp * (smooth + 0.1 * noise)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn abs_compressors_respect_any_bound(field in arb_field(), log_eb in -6.0f64..0.0) {
+        let range = field.stats().range.max(1e-6);
+        let eb = range * 10f64.powf(log_eb);
+        for comp in all_compressors() {
+            if comp.name() == "fpzip" {
+                continue; // precision-controlled, covered below
+            }
+            let bytes = comp.compress(&field, &ErrorConfig::Abs(eb)).expect("compress");
+            let recon = comp.decompress(&bytes).expect("decompress");
+            prop_assert_eq!(recon.dims(), field.dims());
+            let err = field.max_abs_diff(&recon);
+            prop_assert!(err <= eb, "{}: err {} > eb {}", comp.name(), err, eb);
+        }
+    }
+
+    #[test]
+    fn fpzip_error_shrinks_with_precision(field in arb_field()) {
+        let fp = Fpzip;
+        let errs: Vec<f64> = [6u32, 14, 22]
+            .iter()
+            .map(|&p| {
+                let b = fp.compress(&field, &ErrorConfig::Precision(p)).expect("c");
+                field.max_abs_diff(&fp.decompress(&b).expect("d"))
+            })
+            .collect();
+        prop_assert!(errs[1] <= errs[0] + 1e-12, "{errs:?}");
+        prop_assert!(errs[2] <= errs[1] + 1e-12, "{errs:?}");
+    }
+
+    #[test]
+    fn decompress_preserves_name_and_dims(field in arb_field()) {
+        for comp in all_compressors() {
+            let cfg = match comp.name() {
+                "fpzip" => ErrorConfig::Precision(12),
+                _ => ErrorConfig::Abs(field.stats().range.max(1e-6) * 1e-3),
+            };
+            let bytes = comp.compress(&field, &cfg).expect("compress");
+            let recon = comp.decompress(&bytes).expect("decompress");
+            prop_assert_eq!(recon.name(), field.name());
+            prop_assert_eq!(recon.dims(), field.dims());
+        }
+    }
+
+    #[test]
+    fn looser_bounds_never_grow_output(field in arb_field()) {
+        let range = field.stats().range.max(1e-6);
+        for comp in all_compressors() {
+            if comp.name() == "fpzip" {
+                continue;
+            }
+            let tight = comp
+                .compress(&field, &ErrorConfig::Abs(range * 1e-5))
+                .expect("compress")
+                .len();
+            let loose = comp
+                .compress(&field, &ErrorConfig::Abs(range * 1e-1))
+                .expect("compress")
+                .len();
+            prop_assert!(
+                loose <= tight,
+                "{}: loose {} > tight {}",
+                comp.name(),
+                loose,
+                tight
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error_not_panic(field in arb_field(), cut_frac in 0.0f64..1.0) {
+        for comp in all_compressors() {
+            let cfg = match comp.name() {
+                "fpzip" => ErrorConfig::Precision(10),
+                _ => ErrorConfig::Abs(field.stats().range.max(1e-6) * 1e-2),
+            };
+            let bytes = comp.compress(&field, &cfg).expect("compress");
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            if cut < bytes.len() {
+                // must not panic; may error or (rarely) succeed on a prefix
+                let _ = comp.decompress(&bytes[..cut]);
+            }
+        }
+    }
+}

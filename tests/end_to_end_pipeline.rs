@@ -1,0 +1,98 @@
+//! End-to-end integration: train FXRZ, estimate, compress, decompress —
+//! across all four compressors — using the public facade API only.
+
+use fxrz::prelude::*;
+use fxrz_compressors::all_compressors;
+use fxrz_core::sampling::StridedSampler;
+use fxrz_core::train::TrainerConfig;
+use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+
+fn corpus() -> Vec<Field> {
+    (0..3)
+        .map(|i| {
+            gaussian_random_field(
+                Dims::d3(16, 16, 16),
+                GrfConfig::default().with_seed(500 + i),
+            )
+        })
+        .collect()
+}
+
+fn tiny_trainer() -> Trainer {
+    Trainer {
+        config: TrainerConfig {
+            stationary_points: 8,
+            augment_per_field: 24,
+            sampler: StridedSampler::new(2),
+            ..TrainerConfig::default()
+        },
+    }
+}
+
+#[test]
+fn full_pipeline_works_for_every_compressor() {
+    let fields = corpus();
+    let test = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(900));
+    for compressor in all_compressors() {
+        let name = compressor.name();
+        let model = tiny_trainer()
+            .train(compressor.as_ref(), &fields)
+            .unwrap_or_else(|e| panic!("{name}: train failed: {e}"));
+        let (lo, hi) = model.valid_ratio_range;
+        assert!(hi > lo, "{name}: degenerate valid range {lo}..{hi}");
+        let frc =
+            FixedRatioCompressor::new(model, fxrz_compressors::by_name(name).expect("registered"))
+                .expect("bind");
+        let tcr = ((lo * hi).sqrt()).max(1.6);
+        let out = frc
+            .compress(&test, tcr)
+            .unwrap_or_else(|e| panic!("{name}: compress failed: {e}"));
+        assert!(
+            out.measured_ratio > 1.0,
+            "{name}: ratio {}",
+            out.measured_ratio
+        );
+        let recon = frc.decompress(&out.bytes).expect("decompress");
+        assert_eq!(recon.dims(), test.dims(), "{name}");
+    }
+}
+
+#[test]
+fn abs_bound_compressors_respect_estimated_bound() {
+    let fields = corpus();
+    let test = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(901));
+    for name in ["sz", "zfp", "mgard"] {
+        let comp = fxrz_compressors::by_name(name).expect("registered");
+        let model = tiny_trainer().train(comp.as_ref(), &fields).expect("train");
+        let frc = FixedRatioCompressor::new(model, fxrz_compressors::by_name(name).expect("c"))
+            .expect("bind");
+        let out = frc.compress(&test, 10.0).expect("compress");
+        let recon = frc.decompress(&out.bytes).expect("decompress");
+        if let ErrorConfig::Abs(eb) = out.estimate.config {
+            let err = test.max_abs_diff(&recon);
+            assert!(err <= eb, "{name}: max error {err} > estimated bound {eb}");
+        } else {
+            panic!("{name}: expected Abs config");
+        }
+    }
+}
+
+#[test]
+fn analysis_never_runs_the_compressor() {
+    // FXRZ's promise: estimation cost is tiny relative to compression.
+    let fields = corpus();
+    let test = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(902));
+    let comp = fxrz_compressors::by_name("sz").expect("c");
+    let model = tiny_trainer().train(comp.as_ref(), &fields).expect("train");
+    let frc = FixedRatioCompressor::new(model, fxrz_compressors::by_name("sz").expect("c"))
+        .expect("bind");
+    let out = frc.compress(&test, 8.0).expect("compress");
+    // analysis is a sampled feature pass: strictly cheaper than the
+    // compression it replaces searching over
+    assert!(
+        out.estimate.analysis_time < out.compression_time * 5,
+        "analysis {:?} vs compression {:?}",
+        out.estimate.analysis_time,
+        out.compression_time
+    );
+}

@@ -1,0 +1,88 @@
+//! Integration: the paper's core comparison — FXRZ must be far cheaper
+//! than FRaZ at comparable fixed-ratio accuracy.
+
+use fxrz::prelude::*;
+use fxrz_core::sampling::StridedSampler;
+use fxrz_core::train::TrainerConfig;
+use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+
+fn train_frc(seed_base: u64) -> FixedRatioCompressor {
+    let fields: Vec<Field> = (0..4)
+        .map(|i| {
+            gaussian_random_field(
+                Dims::d3(16, 16, 16),
+                GrfConfig::default().with_seed(seed_base + i),
+            )
+        })
+        .collect();
+    let trainer = Trainer {
+        config: TrainerConfig {
+            stationary_points: 10,
+            augment_per_field: 30,
+            sampler: StridedSampler::new(2),
+            ..TrainerConfig::default()
+        },
+    };
+    let model = trainer.train(&Sz, &fields).expect("train");
+    FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind")
+}
+
+#[test]
+fn fxrz_analysis_is_an_order_of_magnitude_cheaper() {
+    let frc = train_frc(300);
+    let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(350));
+    let (lo, hi) = frc.model().valid_ratio_range;
+    let tcr = (lo * hi).sqrt().max(1.6);
+
+    let est = frc.estimate(&field, tcr).expect("estimate");
+    let fraz = FrazSearcher::with_total_iters(15)
+        .search(frc.compressor(), &field, tcr)
+        .expect("search");
+
+    // FRaZ spends ~15 compressor runs; FXRZ none.
+    assert!(
+        fraz.search_time > est.analysis_time * 5,
+        "fraz {:?} vs fxrz {:?}",
+        fraz.search_time,
+        est.analysis_time
+    );
+    assert!(fraz.compressor_runs >= 10);
+}
+
+#[test]
+fn both_methods_land_in_the_target_neighbourhood() {
+    let frc = train_frc(400);
+    let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(404));
+    let (lo, hi) = frc.model().valid_ratio_range;
+    let tcr = (lo * hi).sqrt().max(1.6);
+
+    let fxrz_out = frc.compress(&field, tcr).expect("compress");
+    let fraz_res = FrazSearcher::with_total_iters(15)
+        .search(frc.compressor(), &field, tcr)
+        .expect("search");
+
+    assert!(
+        fxrz_out.estimation_error(tcr) < 0.5,
+        "fxrz error {} (tcr {tcr}, mcr {})",
+        fxrz_out.estimation_error(tcr),
+        fxrz_out.measured_ratio
+    );
+    assert!(
+        fraz_res.estimation_error(tcr) < 0.5,
+        "fraz error {}",
+        fraz_res.estimation_error(tcr)
+    );
+}
+
+#[test]
+fn fraz_budget_scales_cost_linearly() {
+    let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(410));
+    let sz = Sz;
+    let small = FrazSearcher::with_total_iters(6)
+        .search(&sz, &field, 10.0)
+        .expect("search");
+    let big = FrazSearcher::with_total_iters(24)
+        .search(&sz, &field, 10.0)
+        .expect("search");
+    assert!(big.compressor_runs > small.compressor_runs);
+}

@@ -1,0 +1,82 @@
+//! Integration: trained models must persist to JSON and behave identically
+//! after reload — the paper's deployment story (one user's training run
+//! serves the whole application community, §III-A).
+
+use fxrz::prelude::*;
+use fxrz_compressors::all_compressors;
+use fxrz_core::sampling::StridedSampler;
+use fxrz_core::train::{TrainedModel, TrainerConfig};
+use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+
+fn corpus() -> Vec<Field> {
+    (0..3)
+        .map(|i| {
+            gaussian_random_field(
+                Dims::d3(16, 16, 16),
+                GrfConfig::default().with_seed(700 + i),
+            )
+        })
+        .collect()
+}
+
+fn tiny_trainer() -> Trainer {
+    Trainer {
+        config: TrainerConfig {
+            stationary_points: 8,
+            augment_per_field: 24,
+            sampler: StridedSampler::new(2),
+            ..TrainerConfig::default()
+        },
+    }
+}
+
+#[test]
+fn models_roundtrip_through_json_for_every_compressor() {
+    let fields = corpus();
+    let probe = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(800));
+    for comp in all_compressors() {
+        let name = comp.name();
+        let model = tiny_trainer().train(comp.as_ref(), &fields).expect("train");
+        let json = serde_json::to_string(&model).expect("serialize");
+        let reloaded: TrainedModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(reloaded.compressor, name);
+
+        let fv = fxrz_core::features::extract(&probe, StridedSampler::new(2));
+        for acr in [3.0, 10.0, 40.0] {
+            let a = model.predict_coordinate(&fv, acr);
+            let b = reloaded.predict_coordinate(&fv, acr);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{name}: prediction drifted after reload ({a} vs {b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn reloaded_model_binds_and_compresses() {
+    let fields = corpus();
+    let model = tiny_trainer().train(&Sz, &fields).expect("train");
+    let json = serde_json::to_string(&model).expect("serialize");
+    let reloaded: TrainedModel = serde_json::from_str(&json).expect("deserialize");
+    let frc = FixedRatioCompressor::new(reloaded, Box::new(Sz)).expect("bind");
+    let probe = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(801));
+    let out = frc.compress(&probe, 8.0).expect("compress");
+    assert!(out.measured_ratio > 1.0);
+}
+
+#[test]
+fn model_metadata_survives() {
+    let fields = corpus();
+    let mut trainer = tiny_trainer();
+    trainer.config.ca = Some(CompressibilityAdjuster::with_lambda(0.10));
+    let model = trainer.train(&Zfp::default(), &fields).expect("train");
+    let json = serde_json::to_string(&model).expect("serialize");
+    let reloaded: TrainedModel = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(reloaded.stride, 2);
+    assert_eq!(reloaded.ca.expect("ca present").lambda, 0.10);
+    assert_eq!(reloaded.n_rows, model.n_rows);
+    // JSON decimal round-trip may perturb the last ULP
+    assert!((reloaded.valid_ratio_range.0 - model.valid_ratio_range.0).abs() < 1e-12);
+    assert!((reloaded.valid_ratio_range.1 - model.valid_ratio_range.1).abs() < 1e-12);
+}

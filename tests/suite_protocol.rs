@@ -1,0 +1,107 @@
+//! Integration: the evaluation-suite protocol (the paper's Table V) must
+//! uphold its structural invariants at every scale preset.
+
+use fxrz::datagen::suite::{table1_datasets, test_fields, train_fields};
+use fxrz::datagen::{App, Scale};
+use fxrz::prelude::*;
+use fxrz_core::features::{extract, FeatureSet};
+use fxrz_core::sampling::StridedSampler;
+
+#[test]
+fn every_app_has_train_and_test_fields() {
+    for app in App::ALL {
+        let train = train_fields(app, Scale::Tiny);
+        let test = test_fields(app, Scale::Tiny);
+        assert!(train.len() >= 3, "{}: train {}", app.name(), train.len());
+        assert!(!test.is_empty(), "{}: no test fields", app.name());
+    }
+}
+
+#[test]
+fn suite_is_deterministic() {
+    for app in App::ALL {
+        let a = train_fields(app, Scale::Tiny);
+        let b = train_fields(app, Scale::Tiny);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data(), "{}", app.name());
+        }
+    }
+}
+
+#[test]
+fn capability_level_1_hurricane_test_is_a_later_timestep() {
+    // train steps 5..=30, test step 48
+    let train = train_fields(App::Hurricane, Scale::Tiny);
+    let test = test_fields(App::Hurricane, Scale::Tiny);
+    assert!(train.iter().all(|f| !f.name().contains("t=48")));
+    assert!(test.iter().all(|f| f.name().contains("t=48")));
+}
+
+#[test]
+fn capability_level_2_nyx_test_is_a_different_config() {
+    let train = train_fields(App::Nyx, Scale::Tiny);
+    let test = test_fields(App::Nyx, Scale::Tiny);
+    assert!(train.iter().all(|f| f.name().contains("cfg=0")));
+    assert!(test.iter().all(|f| f.name().contains("cfg=1")));
+}
+
+#[test]
+fn features_are_finite_for_all_suite_fields() {
+    for app in App::ALL {
+        for field in train_fields(app, Scale::Tiny)
+            .iter()
+            .chain(test_fields(app, Scale::Tiny).iter())
+        {
+            let fv = extract(field, StridedSampler::new(2));
+            for (name, v) in FeatureSet::All
+                .names()
+                .iter()
+                .zip(FeatureSet::All.project(&fv))
+            {
+                assert!(
+                    v.is_finite(),
+                    "{}: feature {name} of {} is {v}",
+                    app.name(),
+                    field.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ca_ratio_is_a_valid_fraction_everywhere() {
+    let ca = CompressibilityAdjuster::default();
+    for app in App::ALL {
+        for field in test_fields(app, Scale::Tiny) {
+            let r = ca.non_constant_ratio(&field);
+            assert!((0.0..=1.0).contains(&r), "{}: R = {r}", field.name());
+        }
+    }
+}
+
+#[test]
+fn table1_datasets_cover_all_applications() {
+    let ds = table1_datasets(Scale::Tiny);
+    assert_eq!(ds.len(), 5);
+    let names: Vec<&str> = ds.iter().map(|f| f.name()).collect();
+    assert!(names.iter().any(|n| n.contains("nyx")));
+    assert!(names.iter().any(|n| n.contains("qmcpack")));
+    assert!(names.iter().filter(|n| n.contains("rtm")).count() == 2);
+    assert!(names.iter().any(|n| n.contains("hurricane")));
+}
+
+#[test]
+fn scales_order_field_sizes() {
+    for app in App::ALL {
+        let tiny = &train_fields(app, Scale::Tiny)[0];
+        let small = &train_fields(app, Scale::Small)[0];
+        assert!(
+            small.len() > tiny.len(),
+            "{}: small {} !> tiny {}",
+            app.name(),
+            small.len(),
+            tiny.len()
+        );
+    }
+}
