@@ -2,20 +2,35 @@
 //!
 //! ```text
 //! tablegen <experiment|all> [--scale tiny|small|medium|paper]
-//!          [--targets N] [--out DIR]
+//!          [--targets N] [--out DIR] [--metrics]
 //! tablegen list
 //! ```
+//!
+//! `--metrics` prints a per-experiment telemetry breakdown (span timings,
+//! codec/compressor counters) to stderr after each experiment finishes.
 
 use fxrz_bench::{experiments, Ctx};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tablegen <experiment|all|list> [--scale tiny|small|medium|paper] [--targets N] [--out DIR]");
+    eprintln!("usage: tablegen <experiment|all|list> [--scale tiny|small|medium|paper] [--targets N] [--out DIR] [--metrics]");
     eprintln!("experiments:");
     for (id, desc, _) in experiments::registry() {
         eprintln!("  {id:<16} {desc}");
     }
     ExitCode::FAILURE
+}
+
+/// Runs one experiment; with `metrics` the registry is reset first so the
+/// breakdown printed afterwards covers exactly this experiment's stages.
+fn run_instrumented(run: &fn(&Ctx), ctx: &Ctx, metrics: bool) {
+    if metrics {
+        fxrz_telemetry::global().reset();
+    }
+    run(ctx);
+    if metrics {
+        eprint!("{}", fxrz_telemetry::global().snapshot());
+    }
 }
 
 fn main() -> ExitCode {
@@ -24,6 +39,7 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut ctx = Ctx::default();
+    let mut metrics = false;
     let mut selected: Option<String> = None;
     let mut i = 0usize;
     while i < args.len() {
@@ -52,6 +68,9 @@ fn main() -> ExitCode {
                 };
                 ctx.out_dir = dir.into();
             }
+            "--metrics" => {
+                metrics = true;
+            }
             "list" => {
                 for (id, desc, _) in experiments::registry() {
                     println!("{id:<16} {desc}");
@@ -77,7 +96,7 @@ fn main() -> ExitCode {
         for (id, _, run) in &registry {
             eprintln!(">>> running {id} (scale {:?})", ctx.scale);
             let t0 = std::time::Instant::now();
-            run(&ctx);
+            run_instrumented(run, &ctx, metrics);
             eprintln!("<<< {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
         }
         return ExitCode::SUCCESS;
@@ -86,7 +105,7 @@ fn main() -> ExitCode {
         Some((id, _, run)) => {
             eprintln!(">>> running {id} (scale {:?})", ctx.scale);
             let t0 = std::time::Instant::now();
-            run(&ctx);
+            run_instrumented(run, &ctx, metrics);
             eprintln!("<<< {id} done in {:.1}s", t0.elapsed().as_secs_f64());
             ExitCode::SUCCESS
         }

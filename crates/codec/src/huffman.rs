@@ -185,11 +185,28 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
             w.write_bit((code >> k) & 1 == 1);
         }
     }
-    w.into_bytes()
+    let out = w.into_bytes();
+    let registry = fxrz_telemetry::global();
+    registry.incr("codec.huffman.encode.calls");
+    registry.add("codec.huffman.encode.symbols_in", symbols.len() as u64);
+    registry.add("codec.huffman.encode.bytes_out", out.len() as u64);
+    out
 }
 
 /// Decodes a buffer produced by [`encode`].
 pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let out = decode_unmetered(buf);
+    let registry = fxrz_telemetry::global();
+    registry.incr("codec.huffman.decode.calls");
+    registry.add("codec.huffman.decode.bytes_in", buf.len() as u64);
+    match &out {
+        Ok(symbols) => registry.add("codec.huffman.decode.symbols_out", symbols.len() as u64),
+        Err(_) => registry.incr("codec.huffman.decode.errors"),
+    }
+    out
+}
+
+fn decode_unmetered(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
     let mut pos = 0usize;
     let count = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
     let n_dict = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;

@@ -33,6 +33,15 @@ fn hash4(data: &[u8], i: usize) -> usize {
 /// Compresses `data`. The output always begins with the decompressed length
 /// as a varint, so [`decompress`] needs no out-of-band metadata.
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    let out = compress_unmetered(data);
+    let registry = fxrz_telemetry::global();
+    registry.incr("codec.lz77.compress.calls");
+    registry.add("codec.lz77.compress.bytes_in", data.len() as u64);
+    registry.add("codec.lz77.compress.bytes_out", out.len() as u64);
+    out
+}
+
+fn compress_unmetered(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     write_varint(&mut out, data.len() as u64);
     if data.is_empty() {
@@ -108,6 +117,18 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompresses a buffer produced by [`compress`].
 pub fn decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let out = decompress_unmetered(buf);
+    let registry = fxrz_telemetry::global();
+    registry.incr("codec.lz77.decompress.calls");
+    registry.add("codec.lz77.decompress.bytes_in", buf.len() as u64);
+    match &out {
+        Ok(data) => registry.add("codec.lz77.decompress.bytes_out", data.len() as u64),
+        Err(_) => registry.incr("codec.lz77.decompress.errors"),
+    }
+    out
+}
+
+fn decompress_unmetered(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
     let mut pos = 0usize;
     let total = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
     // untrusted length: cap the pre-allocation; matches can only expand

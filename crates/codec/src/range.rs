@@ -124,6 +124,9 @@ impl RangeEncoder {
         for _ in 0..5 {
             self.shift_low();
         }
+        let registry = fxrz_telemetry::global();
+        registry.incr("codec.range.encode.calls");
+        registry.add("codec.range.encode.bytes_out", self.out.len() as u64);
         self.out
     }
 }
@@ -139,6 +142,9 @@ pub struct RangeDecoder<'a> {
 impl<'a> RangeDecoder<'a> {
     /// Initializes from a buffer produced by [`RangeEncoder::finish`].
     pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
+        let registry = fxrz_telemetry::global();
+        registry.incr("codec.range.decode.calls");
+        registry.add("codec.range.decode.bytes_in", buf.len() as u64);
         if buf.len() < 5 {
             return Err(CodecError::Truncated);
         }

@@ -27,6 +27,10 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
         }
     }
     write_varint(&mut out, run);
+    let registry = fxrz_telemetry::global();
+    registry.incr("codec.rle.encode.calls");
+    registry.add("codec.rle.encode.symbols_in", symbols.len() as u64);
+    registry.add("codec.rle.encode.bytes_out", out.len() as u64);
     out
 }
 
@@ -43,6 +47,18 @@ pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
 /// claims more than `max_total` symbols — the allocation guard for decoding
 /// untrusted streams whose symbol count is known out of band.
 pub fn decode_limited(buf: &[u8], max_total: usize) -> Result<Vec<u32>, CodecError> {
+    let out = decode_limited_unmetered(buf, max_total);
+    let registry = fxrz_telemetry::global();
+    registry.incr("codec.rle.decode.calls");
+    registry.add("codec.rle.decode.bytes_in", buf.len() as u64);
+    match &out {
+        Ok(symbols) => registry.add("codec.rle.decode.symbols_out", symbols.len() as u64),
+        Err(_) => registry.incr("codec.rle.decode.errors"),
+    }
+    out
+}
+
+fn decode_limited_unmetered(buf: &[u8], max_total: usize) -> Result<Vec<u32>, CodecError> {
     let mut pos = 0usize;
     let total = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
     if total > max_total {

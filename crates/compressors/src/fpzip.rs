@@ -156,68 +156,72 @@ impl Compressor for Fpzip {
     }
 
     fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
-        let prec = match cfg {
-            ErrorConfig::Precision(p) if (MIN_PRECISION..=MAX_PRECISION).contains(p) => *p,
-            ErrorConfig::Precision(p) => {
-                return Err(CompressError::BadConfig(format!(
-                    "fpzip precision must be in {MIN_PRECISION}..={MAX_PRECISION}, got {p}"
-                )))
+        crate::instrument::compress(self.name(), field.nbytes(), || {
+            let prec = match cfg {
+                ErrorConfig::Precision(p) if (MIN_PRECISION..=MAX_PRECISION).contains(p) => *p,
+                ErrorConfig::Precision(p) => {
+                    return Err(CompressError::BadConfig(format!(
+                        "fpzip precision must be in {MIN_PRECISION}..={MAX_PRECISION}, got {p}"
+                    )))
+                }
+                other => {
+                    return Err(CompressError::BadConfig(format!(
+                        "fpzip accepts ErrorConfig::Precision, got {other}"
+                    )))
+                }
+            };
+
+            let dims = field.dims();
+            let data = field.data();
+            let trunc: Vec<i64> = data
+                .iter()
+                .map(|&v| truncate(f32_to_monotone(v), prec) as i64)
+                .collect();
+
+            let mut enc = RangeEncoder::new();
+            let mut coder = ResidualCoder::new();
+            for (idx, c) in dims.iter_coords().enumerate() {
+                let pred = lorenzo_predict_int(&trunc, dims, idx, &c[..dims.ndim()]);
+                coder.encode(&mut enc, trunc[idx].wrapping_sub(pred));
             }
-            other => {
-                return Err(CompressError::BadConfig(format!(
-                    "fpzip accepts ErrorConfig::Precision, got {other}"
-                )))
-            }
-        };
 
-        let dims = field.dims();
-        let data = field.data();
-        let trunc: Vec<i64> = data
-            .iter()
-            .map(|&v| truncate(f32_to_monotone(v), prec) as i64)
-            .collect();
-
-        let mut enc = RangeEncoder::new();
-        let mut coder = ResidualCoder::new();
-        for (idx, c) in dims.iter_coords().enumerate() {
-            let pred = lorenzo_predict_int(&trunc, dims, idx, &c[..dims.ndim()]);
-            coder.encode(&mut enc, trunc[idx].wrapping_sub(pred));
-        }
-
-        let mut out = Vec::new();
-        header::write(&mut out, magic::FPZIP, field.name(), dims);
-        out.push(prec as u8);
-        out.extend_from_slice(&enc.finish());
-        Ok(out)
+            let mut out = Vec::new();
+            header::write(&mut out, magic::FPZIP, field.name(), dims);
+            out.push(prec as u8);
+            out.extend_from_slice(&enc.finish());
+            Ok(out)
+        })
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
-        let (name, dims, off) = header::read(bytes, magic::FPZIP, "fpzip")?;
-        let rest = &bytes[off..];
-        let &prec_byte = rest
-            .first()
-            .ok_or(CompressError::Header("missing precision"))?;
-        let prec = u32::from(prec_byte);
-        if !(MIN_PRECISION..=MAX_PRECISION).contains(&prec) {
-            return Err(CompressError::Header("stored precision out of range"));
-        }
-        let mut dec = RangeDecoder::new(&rest[1..]).map_err(CompressError::Decode)?;
-        let mut coder = ResidualCoder::new();
+        crate::instrument::decompress(self.name(), bytes.len(), || {
+            let (name, dims, off) = header::read(bytes, magic::FPZIP, "fpzip")?;
+            let rest = &bytes[off..];
+            let &prec_byte = rest
+                .first()
+                .ok_or(CompressError::Header("missing precision"))?;
+            let prec = u32::from(prec_byte);
+            if !(MIN_PRECISION..=MAX_PRECISION).contains(&prec) {
+                return Err(CompressError::Header("stored precision out of range"));
+            }
+            let mut dec = RangeDecoder::new(&rest[1..]).map_err(CompressError::Decode)?;
+            let mut coder = ResidualCoder::new();
 
-        let mut trunc = vec![0i64; dims.len()];
-        for (idx, c) in dims.iter_coords().enumerate() {
-            let pred = lorenzo_predict_int(&trunc, dims, idx, &c[..dims.ndim()]);
-            trunc[idx] = pred.wrapping_add(coder.decode(&mut dec));
-        }
-        let max_t = (1u64 << prec) - 1;
-        let data: Vec<f32> = trunc
-            .iter()
-            .map(|&t| {
-                let t = t.clamp(0, max_t as i64) as u32;
-                monotone_to_f32(reconstruct(t, prec))
-            })
-            .collect();
-        Ok(Field::new(name, dims, data))
+            let mut trunc = vec![0i64; dims.len()];
+            for (idx, c) in dims.iter_coords().enumerate() {
+                let pred = lorenzo_predict_int(&trunc, dims, idx, &c[..dims.ndim()]);
+                trunc[idx] = pred.wrapping_add(coder.decode(&mut dec));
+            }
+            let max_t = (1u64 << prec) - 1;
+            let data: Vec<f32> = trunc
+                .iter()
+                .map(|&t| {
+                    let t = t.clamp(0, max_t as i64) as u32;
+                    monotone_to_f32(reconstruct(t, prec))
+                })
+                .collect();
+            Ok(Field::new(name, dims, data))
+        })
     }
 
     fn config_space(&self) -> ConfigSpace {

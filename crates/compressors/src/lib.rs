@@ -23,6 +23,7 @@
 
 pub mod fpzip;
 pub mod header;
+pub mod instrument;
 pub mod mgard;
 pub mod sz;
 pub mod sz2;

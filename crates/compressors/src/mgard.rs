@@ -141,186 +141,191 @@ impl Compressor for Mgard {
     }
 
     fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
-        let eb = match cfg {
-            ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
-            ErrorConfig::Abs(eb) => {
-                return Err(CompressError::BadConfig(format!(
-                    "mgard needs a positive finite error bound, got {eb}"
-                )))
+        crate::instrument::compress(self.name(), field.nbytes(), || {
+            let eb = match cfg {
+                ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
+                ErrorConfig::Abs(eb) => {
+                    return Err(CompressError::BadConfig(format!(
+                        "mgard needs a positive finite error bound, got {eb}"
+                    )))
+                }
+                other => {
+                    return Err(CompressError::BadConfig(format!(
+                        "mgard accepts ErrorConfig::Abs, got {other}"
+                    )))
+                }
+            };
+
+            let dims = field.dims();
+            let data = field.data();
+            let levels = num_levels(dims);
+            let bin = 2.0 * eb;
+
+            let mut recon = vec![0.0f32; dims.len()];
+            let mut syms: Vec<u32> = Vec::with_capacity(dims.len());
+            let mut unpred: Vec<u8> = Vec::new();
+
+            // level = levels (coarsest, delta-coded), then levels-1 .. 0
+            let mut prev_coarse = 0.0f64;
+            let quantize = |val: f32,
+                            pred: f64,
+                            recon_slot: &mut f32,
+                            syms: &mut Vec<u32>,
+                            unpred: &mut Vec<u8>| {
+                let q = ((val as f64 - pred) / bin).round();
+                if q.abs() < (HALF - 1) as f64 && val.is_finite() {
+                    let qi = q as i64;
+                    let rec = (pred + qi as f64 * bin) as f32;
+                    if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
+                        *recon_slot = rec;
+                        syms.push(if qi == 0 {
+                            SYM_ZERO
+                        } else {
+                            (zigzag(qi) as u32) + SYM_BASE - 1
+                        });
+                        return;
+                    }
+                }
+                *recon_slot = val;
+                syms.push(SYM_UNPRED);
+                unpred.extend_from_slice(&val.to_le_bytes());
+            };
+
+            // coarsest level
+            {
+                let recon_tmp = &mut recon;
+                for_level_nodes(dims, levels, levels, |idx, _| {
+                    let val = data[idx];
+                    let mut slot = 0.0f32;
+                    quantize(val, prev_coarse, &mut slot, &mut syms, &mut unpred);
+                    recon_tmp[idx] = slot;
+                    prev_coarse = slot as f64;
+                });
             }
-            other => {
-                return Err(CompressError::BadConfig(format!(
-                    "mgard accepts ErrorConfig::Abs, got {other}"
-                )))
-            }
-        };
-
-        let dims = field.dims();
-        let data = field.data();
-        let levels = num_levels(dims);
-        let bin = 2.0 * eb;
-
-        let mut recon = vec![0.0f32; dims.len()];
-        let mut syms: Vec<u32> = Vec::with_capacity(dims.len());
-        let mut unpred: Vec<u8> = Vec::new();
-
-        // level = levels (coarsest, delta-coded), then levels-1 .. 0
-        let mut prev_coarse = 0.0f64;
-        let quantize = |val: f32,
-                        pred: f64,
-                        recon_slot: &mut f32,
-                        syms: &mut Vec<u32>,
-                        unpred: &mut Vec<u8>| {
-            let q = ((val as f64 - pred) / bin).round();
-            if q.abs() < (HALF - 1) as f64 && val.is_finite() {
-                let qi = q as i64;
-                let rec = (pred + qi as f64 * bin) as f32;
-                if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
-                    *recon_slot = rec;
-                    syms.push(if qi == 0 {
-                        SYM_ZERO
-                    } else {
-                        (zigzag(qi) as u32) + SYM_BASE - 1
-                    });
-                    return;
+            // finer levels
+            for k in (0..levels).rev() {
+                // Split borrows: prediction reads `recon`, result written back.
+                let mut updates: Vec<(usize, f32)> = Vec::new();
+                for_level_nodes(dims, k, levels, |idx, coords| {
+                    let pred = interp_predict(&recon, dims, coords, k);
+                    let mut slot = 0.0f32;
+                    quantize(data[idx], pred, &mut slot, &mut syms, &mut unpred);
+                    updates.push((idx, slot));
+                    // Note: nodes within one level never predict each other,
+                    // so deferring the write is safe — but finer raster order
+                    // nodes of the same level don't interact anyway; write now.
+                });
+                for (idx, v) in updates {
+                    recon[idx] = v;
                 }
             }
-            *recon_slot = val;
-            syms.push(SYM_UNPRED);
-            unpred.extend_from_slice(&val.to_le_bytes());
-        };
 
-        // coarsest level
-        {
-            let recon_tmp = &mut recon;
-            for_level_nodes(dims, levels, levels, |idx, _| {
-                let val = data[idx];
-                let mut slot = 0.0f32;
-                quantize(val, prev_coarse, &mut slot, &mut syms, &mut unpred);
-                recon_tmp[idx] = slot;
-                prev_coarse = slot as f64;
-            });
-        }
-        // finer levels
-        for k in (0..levels).rev() {
-            // Split borrows: prediction reads `recon`, result written back.
-            let mut updates: Vec<(usize, f32)> = Vec::new();
-            for_level_nodes(dims, k, levels, |idx, coords| {
-                let pred = interp_predict(&recon, dims, coords, k);
-                let mut slot = 0.0f32;
-                quantize(data[idx], pred, &mut slot, &mut syms, &mut unpred);
-                updates.push((idx, slot));
-                // Note: nodes within one level never predict each other,
-                // so deferring the write is safe — but finer raster order
-                // nodes of the same level don't interact anyway; write now.
-            });
-            for (idx, v) in updates {
-                recon[idx] = v;
-            }
-        }
+            let rle_bytes = rle::encode(&syms);
+            let mut payload = Vec::with_capacity(rle_bytes.len() + unpred.len() + 16);
+            payload.extend_from_slice(&eb.to_le_bytes());
+            write_varint(&mut payload, rle_bytes.len() as u64);
+            payload.extend_from_slice(&rle_bytes);
+            payload.extend_from_slice(&unpred);
 
-        let rle_bytes = rle::encode(&syms);
-        let mut payload = Vec::with_capacity(rle_bytes.len() + unpred.len() + 16);
-        payload.extend_from_slice(&eb.to_le_bytes());
-        write_varint(&mut payload, rle_bytes.len() as u64);
-        payload.extend_from_slice(&rle_bytes);
-        payload.extend_from_slice(&unpred);
-
-        let mut out = Vec::new();
-        header::write(&mut out, magic::MGARD, field.name(), dims);
-        out.extend_from_slice(&lz77::compress(&payload));
-        Ok(out)
+            let mut out = Vec::new();
+            header::write(&mut out, magic::MGARD, field.name(), dims);
+            out.extend_from_slice(&lz77::compress(&payload));
+            Ok(out)
+        })
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
-        let (name, dims, off) = header::read(bytes, magic::MGARD, "mgard")?;
-        let payload = lz77::decompress(&bytes[off..])?;
-        if payload.len() < 8 {
-            return Err(CompressError::Header("payload too short for error bound"));
-        }
-        let eb = f64::from_le_bytes(payload[..8].try_into().expect("checked length"));
-        if !(eb > 0.0 && eb.is_finite()) {
-            return Err(CompressError::Header("invalid stored error bound"));
-        }
-        let bin = 2.0 * eb;
-        let mut pos = 8usize;
-        let rle_len = read_varint(&payload, &mut pos)
-            .ok_or(CompressError::Header("missing rle length"))? as usize;
-        if pos + rle_len > payload.len() {
-            return Err(CompressError::Header("rle block overruns payload"));
-        }
-        let syms = rle::decode_limited(&payload[pos..pos + rle_len], dims.len())?;
-        if syms.len() != dims.len() {
-            return Err(CompressError::Header("symbol count mismatch"));
-        }
-        let mut unpred = &payload[pos + rle_len..];
-
-        let levels = num_levels(dims);
-        let mut recon = vec![0.0f32; dims.len()];
-        let mut cursor = 0usize;
-        let mut next_value = |pred: f64, unpred: &mut &[u8]| -> Result<f32, CompressError> {
-            let sym = syms[cursor];
-            cursor += 1;
-            match sym {
-                SYM_ZERO => Ok(pred as f32),
-                SYM_UNPRED => {
-                    if unpred.len() < 4 {
-                        return Err(CompressError::Header("missing unpredictable value"));
-                    }
-                    let (head, tail) = unpred.split_at(4);
-                    *unpred = tail;
-                    Ok(f32::from_le_bytes(head.try_into().expect("checked length")))
-                }
-                s => {
-                    let q = unzigzag((s - (SYM_BASE - 1)) as u64);
-                    Ok((pred + q as f64 * bin) as f32)
-                }
+        crate::instrument::decompress(self.name(), bytes.len(), || {
+            let (name, dims, off) = header::read(bytes, magic::MGARD, "mgard")?;
+            let payload = lz77::decompress(&bytes[off..])?;
+            if payload.len() < 8 {
+                return Err(CompressError::Header("payload too short for error bound"));
             }
-        };
+            let eb = f64::from_le_bytes(payload[..8].try_into().expect("checked length"));
+            if !(eb > 0.0 && eb.is_finite()) {
+                return Err(CompressError::Header("invalid stored error bound"));
+            }
+            let bin = 2.0 * eb;
+            let mut pos = 8usize;
+            let rle_len = read_varint(&payload, &mut pos)
+                .ok_or(CompressError::Header("missing rle length"))?
+                as usize;
+            if pos + rle_len > payload.len() {
+                return Err(CompressError::Header("rle block overruns payload"));
+            }
+            let syms = rle::decode_limited(&payload[pos..pos + rle_len], dims.len())?;
+            if syms.len() != dims.len() {
+                return Err(CompressError::Header("symbol count mismatch"));
+            }
+            let mut unpred = &payload[pos + rle_len..];
 
-        // coarsest
-        let mut prev_coarse = 0.0f64;
-        let mut err: Option<CompressError> = None;
-        {
-            let recon_ref = &mut recon;
-            for_level_nodes(dims, levels, levels, |idx, _| {
-                if err.is_some() {
-                    return;
-                }
-                match next_value(prev_coarse, &mut unpred) {
-                    Ok(v) => {
-                        recon_ref[idx] = v;
-                        prev_coarse = v as f64;
+            let levels = num_levels(dims);
+            let mut recon = vec![0.0f32; dims.len()];
+            let mut cursor = 0usize;
+            let mut next_value = |pred: f64, unpred: &mut &[u8]| -> Result<f32, CompressError> {
+                let sym = syms[cursor];
+                cursor += 1;
+                match sym {
+                    SYM_ZERO => Ok(pred as f32),
+                    SYM_UNPRED => {
+                        if unpred.len() < 4 {
+                            return Err(CompressError::Header("missing unpredictable value"));
+                        }
+                        let (head, tail) = unpred.split_at(4);
+                        *unpred = tail;
+                        Ok(f32::from_le_bytes(head.try_into().expect("checked length")))
                     }
-                    Err(e) => err = Some(e),
+                    s => {
+                        let q = unzigzag((s - (SYM_BASE - 1)) as u64);
+                        Ok((pred + q as f64 * bin) as f32)
+                    }
                 }
-            });
-        }
-        if let Some(e) = err {
-            return Err(e);
-        }
-        // finer levels
-        for k in (0..levels).rev() {
-            let mut updates: Vec<(usize, f32)> = Vec::new();
-            let mut lvl_err: Option<CompressError> = None;
-            for_level_nodes(dims, k, levels, |idx, coords| {
-                if lvl_err.is_some() {
-                    return;
-                }
-                let pred = interp_predict(&recon, dims, coords, k);
-                match next_value(pred, &mut unpred) {
-                    Ok(v) => updates.push((idx, v)),
-                    Err(e) => lvl_err = Some(e),
-                }
-            });
-            if let Some(e) = lvl_err {
+            };
+
+            // coarsest
+            let mut prev_coarse = 0.0f64;
+            let mut err: Option<CompressError> = None;
+            {
+                let recon_ref = &mut recon;
+                for_level_nodes(dims, levels, levels, |idx, _| {
+                    if err.is_some() {
+                        return;
+                    }
+                    match next_value(prev_coarse, &mut unpred) {
+                        Ok(v) => {
+                            recon_ref[idx] = v;
+                            prev_coarse = v as f64;
+                        }
+                        Err(e) => err = Some(e),
+                    }
+                });
+            }
+            if let Some(e) = err {
                 return Err(e);
             }
-            for (idx, v) in updates {
-                recon[idx] = v;
+            // finer levels
+            for k in (0..levels).rev() {
+                let mut updates: Vec<(usize, f32)> = Vec::new();
+                let mut lvl_err: Option<CompressError> = None;
+                for_level_nodes(dims, k, levels, |idx, coords| {
+                    if lvl_err.is_some() {
+                        return;
+                    }
+                    let pred = interp_predict(&recon, dims, coords, k);
+                    match next_value(pred, &mut unpred) {
+                        Ok(v) => updates.push((idx, v)),
+                        Err(e) => lvl_err = Some(e),
+                    }
+                });
+                if let Some(e) = lvl_err {
+                    return Err(e);
+                }
+                for (idx, v) in updates {
+                    recon[idx] = v;
+                }
             }
-        }
-        Ok(Field::new(name, dims, recon))
+            Ok(Field::new(name, dims, recon))
+        })
     }
 
     fn config_space(&self) -> ConfigSpace {

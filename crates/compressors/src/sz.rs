@@ -69,110 +69,115 @@ impl Compressor for Sz {
     }
 
     fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
-        let eb = match cfg {
-            ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
-            ErrorConfig::Abs(eb) => {
-                return Err(CompressError::BadConfig(format!(
-                    "sz needs a positive finite error bound, got {eb}"
-                )))
-            }
-            other => {
-                return Err(CompressError::BadConfig(format!(
-                    "sz accepts ErrorConfig::Abs, got {other}"
-                )))
-            }
-        };
+        crate::instrument::compress(self.name(), field.nbytes(), || {
+            let eb = match cfg {
+                ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
+                ErrorConfig::Abs(eb) => {
+                    return Err(CompressError::BadConfig(format!(
+                        "sz needs a positive finite error bound, got {eb}"
+                    )))
+                }
+                other => {
+                    return Err(CompressError::BadConfig(format!(
+                        "sz accepts ErrorConfig::Abs, got {other}"
+                    )))
+                }
+            };
 
-        let dims = field.dims();
-        let data = field.data();
-        let n = data.len();
-        let bin = 2.0 * eb;
+            let dims = field.dims();
+            let data = field.data();
+            let n = data.len();
+            let bin = 2.0 * eb;
 
-        let mut codes: Vec<u32> = Vec::with_capacity(n);
-        let mut unpred: Vec<u8> = Vec::new();
-        let mut recon: Vec<f32> = vec![0.0; n];
+            let mut codes: Vec<u32> = Vec::with_capacity(n);
+            let mut unpred: Vec<u8> = Vec::new();
+            let mut recon: Vec<f32> = vec![0.0; n];
 
-        for (idx, c) in dims.iter_coords().enumerate() {
-            let val = data[idx];
-            let coords = &c[..dims.ndim()];
-            let pred = lorenzo_predict(&recon, dims, idx, coords);
-            let diff = val as f64 - pred;
-            let q = (diff / bin).round();
-            let mut stored = false;
-            if q.abs() < (HALF - 1) as f64 && val.is_finite() {
-                let q = q as i64;
-                let rec = (pred + q as f64 * bin) as f32;
-                if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
-                    codes.push((q + HALF) as u32);
-                    recon[idx] = rec;
-                    stored = true;
+            for (idx, c) in dims.iter_coords().enumerate() {
+                let val = data[idx];
+                let coords = &c[..dims.ndim()];
+                let pred = lorenzo_predict(&recon, dims, idx, coords);
+                let diff = val as f64 - pred;
+                let q = (diff / bin).round();
+                let mut stored = false;
+                if q.abs() < (HALF - 1) as f64 && val.is_finite() {
+                    let q = q as i64;
+                    let rec = (pred + q as f64 * bin) as f32;
+                    if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
+                        codes.push((q + HALF) as u32);
+                        recon[idx] = rec;
+                        stored = true;
+                    }
+                }
+                if !stored {
+                    codes.push(UNPREDICTABLE);
+                    unpred.extend_from_slice(&val.to_le_bytes());
+                    recon[idx] = val;
                 }
             }
-            if !stored {
-                codes.push(UNPREDICTABLE);
-                unpred.extend_from_slice(&val.to_le_bytes());
-                recon[idx] = val;
-            }
-        }
 
-        // payload = eb (8 bytes) | varint(huff len) | huffman | unpredictables
-        let huff = huffman::encode(&codes);
-        let mut payload = Vec::with_capacity(huff.len() + unpred.len() + 16);
-        payload.extend_from_slice(&eb.to_le_bytes());
-        write_varint(&mut payload, huff.len() as u64);
-        payload.extend_from_slice(&huff);
-        payload.extend_from_slice(&unpred);
+            // payload = eb (8 bytes) | varint(huff len) | huffman | unpredictables
+            let huff = huffman::encode(&codes);
+            let mut payload = Vec::with_capacity(huff.len() + unpred.len() + 16);
+            payload.extend_from_slice(&eb.to_le_bytes());
+            write_varint(&mut payload, huff.len() as u64);
+            payload.extend_from_slice(&huff);
+            payload.extend_from_slice(&unpred);
 
-        let mut out = Vec::new();
-        header::write(&mut out, magic::SZ, field.name(), dims);
-        out.extend_from_slice(&lz77::compress(&payload));
-        Ok(out)
+            let mut out = Vec::new();
+            header::write(&mut out, magic::SZ, field.name(), dims);
+            out.extend_from_slice(&lz77::compress(&payload));
+            Ok(out)
+        })
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
-        let (name, dims, off) = header::read(bytes, magic::SZ, "sz")?;
-        let payload = lz77::decompress(&bytes[off..])?;
+        crate::instrument::decompress(self.name(), bytes.len(), || {
+            let (name, dims, off) = header::read(bytes, magic::SZ, "sz")?;
+            let payload = lz77::decompress(&bytes[off..])?;
 
-        if payload.len() < 8 {
-            return Err(CompressError::Header("payload too short for error bound"));
-        }
-        let eb = f64::from_le_bytes(payload[..8].try_into().expect("slice of checked length"));
-        if !(eb > 0.0 && eb.is_finite()) {
-            return Err(CompressError::Header("invalid stored error bound"));
-        }
-        let bin = 2.0 * eb;
-
-        let mut pos = 8usize;
-        let huff_len = read_varint(&payload, &mut pos)
-            .ok_or(CompressError::Header("missing huffman length"))?
-            as usize;
-        if pos + huff_len > payload.len() {
-            return Err(CompressError::Header("huffman block overruns payload"));
-        }
-        let codes = huffman::decode(&payload[pos..pos + huff_len])?;
-        if codes.len() != dims.len() {
-            return Err(CompressError::Header("code count mismatch"));
-        }
-        let mut unpred = &payload[pos + huff_len..];
-
-        let mut recon: Vec<f32> = vec![0.0; dims.len()];
-        for (idx, c) in dims.iter_coords().enumerate() {
-            let code = codes[idx];
-            if code == UNPREDICTABLE {
-                if unpred.len() < 4 {
-                    return Err(CompressError::Header("missing unpredictable value"));
-                }
-                let (head, tail) = unpred.split_at(4);
-                recon[idx] = f32::from_le_bytes(head.try_into().expect("slice of checked length"));
-                unpred = tail;
-            } else {
-                let q = code as i64 - HALF;
-                let coords = &c[..dims.ndim()];
-                let pred = lorenzo_predict(&recon, dims, idx, coords);
-                recon[idx] = (pred + q as f64 * bin) as f32;
+            if payload.len() < 8 {
+                return Err(CompressError::Header("payload too short for error bound"));
             }
-        }
-        Ok(Field::new(name, dims, recon))
+            let eb = f64::from_le_bytes(payload[..8].try_into().expect("slice of checked length"));
+            if !(eb > 0.0 && eb.is_finite()) {
+                return Err(CompressError::Header("invalid stored error bound"));
+            }
+            let bin = 2.0 * eb;
+
+            let mut pos = 8usize;
+            let huff_len = read_varint(&payload, &mut pos)
+                .ok_or(CompressError::Header("missing huffman length"))?
+                as usize;
+            if pos + huff_len > payload.len() {
+                return Err(CompressError::Header("huffman block overruns payload"));
+            }
+            let codes = huffman::decode(&payload[pos..pos + huff_len])?;
+            if codes.len() != dims.len() {
+                return Err(CompressError::Header("code count mismatch"));
+            }
+            let mut unpred = &payload[pos + huff_len..];
+
+            let mut recon: Vec<f32> = vec![0.0; dims.len()];
+            for (idx, c) in dims.iter_coords().enumerate() {
+                let code = codes[idx];
+                if code == UNPREDICTABLE {
+                    if unpred.len() < 4 {
+                        return Err(CompressError::Header("missing unpredictable value"));
+                    }
+                    let (head, tail) = unpred.split_at(4);
+                    recon[idx] =
+                        f32::from_le_bytes(head.try_into().expect("slice of checked length"));
+                    unpred = tail;
+                } else {
+                    let q = code as i64 - HALF;
+                    let coords = &c[..dims.ndim()];
+                    let pred = lorenzo_predict(&recon, dims, idx, coords);
+                    recon[idx] = (pred + q as f64 * bin) as f32;
+                }
+            }
+            Ok(Field::new(name, dims, recon))
+        })
     }
 
     fn config_space(&self) -> ConfigSpace {

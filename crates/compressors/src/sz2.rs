@@ -287,189 +287,195 @@ impl Compressor for Sz2 {
     }
 
     fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
-        let eb = match cfg {
-            ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
-            ErrorConfig::Abs(eb) => {
-                return Err(CompressError::BadConfig(format!(
-                    "sz2 needs a positive finite error bound, got {eb}"
-                )))
-            }
-            other => {
-                return Err(CompressError::BadConfig(format!(
-                    "sz2 accepts ErrorConfig::Abs, got {other}"
-                )))
-            }
-        };
-        let dims = field.dims();
-        let data = field.data();
-        let ndim = dims.ndim();
-        let bin = 2.0 * eb;
-
-        let blocks = BlockIter::new(dims);
-        let mut recon = vec![0.0f32; dims.len()];
-        let mut codes: Vec<u32> = Vec::with_capacity(dims.len());
-        let mut unpred: Vec<u8> = Vec::new();
-        let mut modes: Vec<u8> = Vec::with_capacity(blocks.origins.len());
-        let mut coef_bytes: Vec<u8> = Vec::new();
-
-        for origin in &blocks.origins {
-            let fitted = fit_regression(data, dims, origin);
-            let (ints, coefs) = quantize_coefs(&fitted, eb, ndim);
-            let (reg_cost, lor_cost) = predictor_costs(data, dims, origin, &coefs, &ints, eb);
-            // SZ2's per-block predictor selection on estimated coded bits
-            // (the regression cost already carries its coefficient bytes)
-            let use_reg = reg_cost < lor_cost;
-            modes.push(u8::from(use_reg));
-            if use_reg {
-                for q in ints {
-                    write_varint(&mut coef_bytes, fxrz_codec::bitstream::zigzag(q));
+        crate::instrument::compress(self.name(), field.nbytes(), || {
+            let eb = match cfg {
+                ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
+                ErrorConfig::Abs(eb) => {
+                    return Err(CompressError::BadConfig(format!(
+                        "sz2 needs a positive finite error bound, got {eb}"
+                    )))
                 }
-            }
-
-            for_block_points(dims, origin, |idx, coords, local| {
-                let val = data[idx];
-                let pred = if use_reg {
-                    regression_predict(&coefs, local)
-                } else {
-                    lorenzo_predict(&recon, dims, idx, coords)
-                };
-                let q = (val as f64 - pred) / bin;
-                let q = q.round();
-                let mut stored = false;
-                if q.abs() < (HALF - 1) as f64 && val.is_finite() && pred.is_finite() {
-                    let qi = q as i64;
-                    let rec = (pred + qi as f64 * bin) as f32;
-                    if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
-                        codes.push((qi + HALF) as u32);
-                        recon[idx] = rec;
-                        stored = true;
-                    }
+                other => {
+                    return Err(CompressError::BadConfig(format!(
+                        "sz2 accepts ErrorConfig::Abs, got {other}"
+                    )))
                 }
-                if !stored {
-                    codes.push(UNPREDICTABLE);
-                    unpred.extend_from_slice(&val.to_le_bytes());
-                    recon[idx] = val;
-                }
-            });
-        }
-
-        let huff = huffman::encode(&codes);
-        let mut payload =
-            Vec::with_capacity(huff.len() + unpred.len() + coef_bytes.len() + modes.len() + 32);
-        payload.extend_from_slice(&eb.to_le_bytes());
-        write_varint(&mut payload, modes.len() as u64);
-        payload.extend_from_slice(&modes);
-        write_varint(&mut payload, coef_bytes.len() as u64);
-        payload.extend_from_slice(&coef_bytes);
-        write_varint(&mut payload, huff.len() as u64);
-        payload.extend_from_slice(&huff);
-        payload.extend_from_slice(&unpred);
-
-        let mut out = Vec::new();
-        header::write(&mut out, magic::SZ2, field.name(), dims);
-        out.extend_from_slice(&lz77::compress(&payload));
-        let _ = ndim;
-        Ok(out)
-    }
-
-    fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
-        let (name, dims, off) = header::read(bytes, magic::SZ2, "sz2")?;
-        let payload = lz77::decompress(&bytes[off..])?;
-        if payload.len() < 8 {
-            return Err(CompressError::Header("payload too short for error bound"));
-        }
-        let eb = f64::from_le_bytes(payload[..8].try_into().expect("checked length"));
-        if !(eb > 0.0 && eb.is_finite()) {
-            return Err(CompressError::Header("invalid stored error bound"));
-        }
-        let bin = 2.0 * eb;
-        let ndim = dims.ndim();
-        let mut pos = 8usize;
-
-        let n_modes = read_varint(&payload, &mut pos)
-            .ok_or(CompressError::Header("missing mode count"))? as usize;
-        if pos + n_modes > payload.len() {
-            return Err(CompressError::Header("mode stream overruns payload"));
-        }
-        let modes = payload[pos..pos + n_modes].to_vec();
-        pos += n_modes;
-
-        let coef_len = read_varint(&payload, &mut pos)
-            .ok_or(CompressError::Header("missing coefficient length"))?
-            as usize;
-        if pos + coef_len > payload.len() {
-            return Err(CompressError::Header("coefficients overrun payload"));
-        }
-        let coef_bytes = &payload[pos..pos + coef_len];
-        pos += coef_len;
-
-        let huff_len = read_varint(&payload, &mut pos)
-            .ok_or(CompressError::Header("missing huffman length"))?
-            as usize;
-        if pos + huff_len > payload.len() {
-            return Err(CompressError::Header("huffman block overruns payload"));
-        }
-        let codes = huffman::decode(&payload[pos..pos + huff_len])?;
-        if codes.len() != dims.len() {
-            return Err(CompressError::Header("code count mismatch"));
-        }
-        let mut unpred = &payload[pos + huff_len..];
-
-        let blocks = BlockIter::new(dims);
-        if blocks.origins.len() != n_modes {
-            return Err(CompressError::Header("mode count mismatch"));
-        }
-        let mut recon = vec![0.0f32; dims.len()];
-        let mut cursor = 0usize;
-        let mut coef_pos = 0usize;
-
-        for (b, origin) in blocks.origins.iter().enumerate() {
-            let use_reg = modes[b] != 0;
-            let coefs: Vec<f32> = if use_reg {
-                let mut ints = Vec::with_capacity(ndim + 1);
-                for _ in 0..=ndim {
-                    let v = read_varint(coef_bytes, &mut coef_pos)
-                        .ok_or(CompressError::Header("missing block coefficients"))?;
-                    ints.push(fxrz_codec::bitstream::unzigzag(v));
-                }
-                dequantize_coefs(&ints, eb, ndim)
-            } else {
-                Vec::new()
             };
+            let dims = field.dims();
+            let data = field.data();
+            let ndim = dims.ndim();
+            let bin = 2.0 * eb;
 
-            let mut err: Option<CompressError> = None;
-            {
-                let recon_cell = &mut recon;
-                for_block_points(dims, origin, |idx, coords, local| {
-                    if err.is_some() {
-                        return;
+            let blocks = BlockIter::new(dims);
+            let mut recon = vec![0.0f32; dims.len()];
+            let mut codes: Vec<u32> = Vec::with_capacity(dims.len());
+            let mut unpred: Vec<u8> = Vec::new();
+            let mut modes: Vec<u8> = Vec::with_capacity(blocks.origins.len());
+            let mut coef_bytes: Vec<u8> = Vec::new();
+
+            for origin in &blocks.origins {
+                let fitted = fit_regression(data, dims, origin);
+                let (ints, coefs) = quantize_coefs(&fitted, eb, ndim);
+                let (reg_cost, lor_cost) = predictor_costs(data, dims, origin, &coefs, &ints, eb);
+                // SZ2's per-block predictor selection on estimated coded bits
+                // (the regression cost already carries its coefficient bytes)
+                let use_reg = reg_cost < lor_cost;
+                modes.push(u8::from(use_reg));
+                if use_reg {
+                    for q in ints {
+                        write_varint(&mut coef_bytes, fxrz_codec::bitstream::zigzag(q));
                     }
-                    let code = codes[cursor];
-                    cursor += 1;
-                    if code == UNPREDICTABLE {
-                        if unpred.len() < 4 {
-                            err = Some(CompressError::Header("missing unpredictable value"));
-                            return;
-                        }
-                        let (head, tail) = unpred.split_at(4);
-                        unpred = tail;
-                        recon_cell[idx] = f32::from_le_bytes(head.try_into().expect("chunk of 4"));
+                }
+
+                for_block_points(dims, origin, |idx, coords, local| {
+                    let val = data[idx];
+                    let pred = if use_reg {
+                        regression_predict(&coefs, local)
                     } else {
-                        let q = code as i64 - HALF;
-                        let pred = if use_reg {
-                            regression_predict(&coefs, local)
-                        } else {
-                            lorenzo_predict(recon_cell, dims, idx, coords)
-                        };
-                        recon_cell[idx] = (pred + q as f64 * bin) as f32;
+                        lorenzo_predict(&recon, dims, idx, coords)
+                    };
+                    let q = (val as f64 - pred) / bin;
+                    let q = q.round();
+                    let mut stored = false;
+                    if q.abs() < (HALF - 1) as f64 && val.is_finite() && pred.is_finite() {
+                        let qi = q as i64;
+                        let rec = (pred + qi as f64 * bin) as f32;
+                        if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
+                            codes.push((qi + HALF) as u32);
+                            recon[idx] = rec;
+                            stored = true;
+                        }
+                    }
+                    if !stored {
+                        codes.push(UNPREDICTABLE);
+                        unpred.extend_from_slice(&val.to_le_bytes());
+                        recon[idx] = val;
                     }
                 });
             }
-            if let Some(e) = err {
-                return Err(e);
+
+            let huff = huffman::encode(&codes);
+            let mut payload =
+                Vec::with_capacity(huff.len() + unpred.len() + coef_bytes.len() + modes.len() + 32);
+            payload.extend_from_slice(&eb.to_le_bytes());
+            write_varint(&mut payload, modes.len() as u64);
+            payload.extend_from_slice(&modes);
+            write_varint(&mut payload, coef_bytes.len() as u64);
+            payload.extend_from_slice(&coef_bytes);
+            write_varint(&mut payload, huff.len() as u64);
+            payload.extend_from_slice(&huff);
+            payload.extend_from_slice(&unpred);
+
+            let mut out = Vec::new();
+            header::write(&mut out, magic::SZ2, field.name(), dims);
+            out.extend_from_slice(&lz77::compress(&payload));
+            let _ = ndim;
+            Ok(out)
+        })
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
+        crate::instrument::decompress(self.name(), bytes.len(), || {
+            let (name, dims, off) = header::read(bytes, magic::SZ2, "sz2")?;
+            let payload = lz77::decompress(&bytes[off..])?;
+            if payload.len() < 8 {
+                return Err(CompressError::Header("payload too short for error bound"));
             }
-        }
-        Ok(Field::new(name, dims, recon))
+            let eb = f64::from_le_bytes(payload[..8].try_into().expect("checked length"));
+            if !(eb > 0.0 && eb.is_finite()) {
+                return Err(CompressError::Header("invalid stored error bound"));
+            }
+            let bin = 2.0 * eb;
+            let ndim = dims.ndim();
+            let mut pos = 8usize;
+
+            let n_modes = read_varint(&payload, &mut pos)
+                .ok_or(CompressError::Header("missing mode count"))?
+                as usize;
+            if pos + n_modes > payload.len() {
+                return Err(CompressError::Header("mode stream overruns payload"));
+            }
+            let modes = payload[pos..pos + n_modes].to_vec();
+            pos += n_modes;
+
+            let coef_len = read_varint(&payload, &mut pos)
+                .ok_or(CompressError::Header("missing coefficient length"))?
+                as usize;
+            if pos + coef_len > payload.len() {
+                return Err(CompressError::Header("coefficients overrun payload"));
+            }
+            let coef_bytes = &payload[pos..pos + coef_len];
+            pos += coef_len;
+
+            let huff_len = read_varint(&payload, &mut pos)
+                .ok_or(CompressError::Header("missing huffman length"))?
+                as usize;
+            if pos + huff_len > payload.len() {
+                return Err(CompressError::Header("huffman block overruns payload"));
+            }
+            let codes = huffman::decode(&payload[pos..pos + huff_len])?;
+            if codes.len() != dims.len() {
+                return Err(CompressError::Header("code count mismatch"));
+            }
+            let mut unpred = &payload[pos + huff_len..];
+
+            let blocks = BlockIter::new(dims);
+            if blocks.origins.len() != n_modes {
+                return Err(CompressError::Header("mode count mismatch"));
+            }
+            let mut recon = vec![0.0f32; dims.len()];
+            let mut cursor = 0usize;
+            let mut coef_pos = 0usize;
+
+            for (b, origin) in blocks.origins.iter().enumerate() {
+                let use_reg = modes[b] != 0;
+                let coefs: Vec<f32> = if use_reg {
+                    let mut ints = Vec::with_capacity(ndim + 1);
+                    for _ in 0..=ndim {
+                        let v = read_varint(coef_bytes, &mut coef_pos)
+                            .ok_or(CompressError::Header("missing block coefficients"))?;
+                        ints.push(fxrz_codec::bitstream::unzigzag(v));
+                    }
+                    dequantize_coefs(&ints, eb, ndim)
+                } else {
+                    Vec::new()
+                };
+
+                let mut err: Option<CompressError> = None;
+                {
+                    let recon_cell = &mut recon;
+                    for_block_points(dims, origin, |idx, coords, local| {
+                        if err.is_some() {
+                            return;
+                        }
+                        let code = codes[cursor];
+                        cursor += 1;
+                        if code == UNPREDICTABLE {
+                            if unpred.len() < 4 {
+                                err = Some(CompressError::Header("missing unpredictable value"));
+                                return;
+                            }
+                            let (head, tail) = unpred.split_at(4);
+                            unpred = tail;
+                            recon_cell[idx] =
+                                f32::from_le_bytes(head.try_into().expect("chunk of 4"));
+                        } else {
+                            let q = code as i64 - HALF;
+                            let pred = if use_reg {
+                                regression_predict(&coefs, local)
+                            } else {
+                                lorenzo_predict(recon_cell, dims, idx, coords)
+                            };
+                            recon_cell[idx] = (pred + q as f64 * bin) as f32;
+                        }
+                    });
+                }
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            Ok(Field::new(name, dims, recon))
+        })
     }
 
     fn config_space(&self) -> ConfigSpace {

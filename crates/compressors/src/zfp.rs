@@ -564,124 +564,137 @@ impl Compressor for Zfp {
     }
 
     fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
-        enum Knob {
-            Acc(f64),
-            Rate(u64),
-        }
-        let lay = layout(field.dims());
-        let size = 1usize << (2 * lay.d);
-        let knob = match (self.mode, cfg) {
-            (Mode::Accuracy, ErrorConfig::Abs(eb)) if *eb > 0.0 && eb.is_finite() => Knob::Acc(*eb),
-            (Mode::Rate, ErrorConfig::Rate(r)) if *r > 0.0 && r.is_finite() => {
-                let bits = (r * size as f64).round().max(16.0) as u64;
-                Knob::Rate(bits)
+        crate::instrument::compress(self.name(), field.nbytes(), || {
+            enum Knob {
+                Acc(f64),
+                Rate(u64),
             }
-            (m, other) => {
-                return Err(CompressError::BadConfig(format!(
-                    "zfp mode {m:?} got incompatible config {other}"
-                )))
-            }
-        };
+            let lay = layout(field.dims());
+            let size = 1usize << (2 * lay.d);
+            let knob = match (self.mode, cfg) {
+                (Mode::Accuracy, ErrorConfig::Abs(eb)) if *eb > 0.0 && eb.is_finite() => {
+                    Knob::Acc(*eb)
+                }
+                (Mode::Rate, ErrorConfig::Rate(r)) if *r > 0.0 && r.is_finite() => {
+                    let bits = (r * size as f64).round().max(16.0) as u64;
+                    Knob::Rate(bits)
+                }
+                (m, other) => {
+                    return Err(CompressError::BadConfig(format!(
+                        "zfp mode {m:?} got incompatible config {other}"
+                    )))
+                }
+            };
 
-        let perm = sequency_perm(lay.d);
-        let mut w = BitWriter::with_capacity(field.nbytes() / 8);
-        let origins = block_origins(&lay.axes);
-        let mut vals = vec![0.0f64; size];
+            let perm = sequency_perm(lay.d);
+            let mut w = BitWriter::with_capacity(field.nbytes() / 8);
+            let origins = block_origins(&lay.axes);
+            let mut vals = vec![0.0f64; size];
 
-        // Mode byte + (for accuracy) tolerance exponent live in the header.
-        let mut out = Vec::new();
-        header::write(&mut out, magic::ZFP, field.name(), field.dims());
-        match &knob {
-            Knob::Acc(eb) => {
-                out.push(0);
-                out.extend_from_slice(&eb.to_le_bytes());
+            // Mode byte + (for accuracy) tolerance exponent live in the header.
+            let mut out = Vec::new();
+            header::write(&mut out, magic::ZFP, field.name(), field.dims());
+            match &knob {
+                Knob::Acc(eb) => {
+                    out.push(0);
+                    out.extend_from_slice(&eb.to_le_bytes());
+                }
+                Knob::Rate(bits) => {
+                    out.push(1);
+                    out.extend_from_slice(&bits.to_le_bytes());
+                }
             }
-            Knob::Rate(bits) => {
-                out.push(1);
-                out.extend_from_slice(&bits.to_le_bytes());
-            }
-        }
 
-        for outer in 0..lay.outer {
-            let base = outer * lay.outer_stride;
-            for origin in &origins {
-                gather(
-                    field.data(),
-                    base,
-                    origin,
-                    &lay.axes,
-                    &lay.strides,
-                    &mut vals,
-                );
-                match knob {
-                    Knob::Acc(eb) => {
-                        // plane weight 2^(k - s) must stay ≤ eb / 2^GUARD
-                        let e_tol = eb.log2().floor() as i32;
-                        self.encode_block(&mut w, &vals, lay.d, &perm, |s| e_tol + s - GUARD, None);
-                    }
-                    Knob::Rate(bits) => {
-                        self.encode_block(&mut w, &vals, lay.d, &perm, |_| 0, Some(bits));
+            for outer in 0..lay.outer {
+                let base = outer * lay.outer_stride;
+                for origin in &origins {
+                    gather(
+                        field.data(),
+                        base,
+                        origin,
+                        &lay.axes,
+                        &lay.strides,
+                        &mut vals,
+                    );
+                    match knob {
+                        Knob::Acc(eb) => {
+                            // plane weight 2^(k - s) must stay ≤ eb / 2^GUARD
+                            let e_tol = eb.log2().floor() as i32;
+                            self.encode_block(
+                                &mut w,
+                                &vals,
+                                lay.d,
+                                &perm,
+                                |s| e_tol + s - GUARD,
+                                None,
+                            );
+                        }
+                        Knob::Rate(bits) => {
+                            self.encode_block(&mut w, &vals, lay.d, &perm, |_| 0, Some(bits));
+                        }
                     }
                 }
             }
-        }
-        out.extend_from_slice(&w.into_bytes());
-        Ok(out)
+            out.extend_from_slice(&w.into_bytes());
+            Ok(out)
+        })
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
-        let (name, dims, off) = header::read(bytes, magic::ZFP, "zfp")?;
-        let rest = &bytes[off..];
-        if rest.len() < 9 {
-            return Err(CompressError::Header("zfp mode header truncated"));
-        }
-        let mode_byte = rest[0];
-        let knob_bytes: [u8; 8] = rest[1..9].try_into().expect("slice of checked length");
-        let payload = &rest[9..];
+        crate::instrument::decompress(self.name(), bytes.len(), || {
+            let (name, dims, off) = header::read(bytes, magic::ZFP, "zfp")?;
+            let rest = &bytes[off..];
+            if rest.len() < 9 {
+                return Err(CompressError::Header("zfp mode header truncated"));
+            }
+            let mode_byte = rest[0];
+            let knob_bytes: [u8; 8] = rest[1..9].try_into().expect("slice of checked length");
+            let payload = &rest[9..];
 
-        let lay = layout(dims);
-        let size = 1usize << (2 * lay.d);
-        let perm = sequency_perm(lay.d);
-        let origins = block_origins(&lay.axes);
-        let mut r = BitReader::new(payload);
-        let mut data = vec![0.0f32; dims.len()];
-        let mut block = vec![0.0f64; size];
+            let lay = layout(dims);
+            let size = 1usize << (2 * lay.d);
+            let perm = sequency_perm(lay.d);
+            let origins = block_origins(&lay.axes);
+            let mut r = BitReader::new(payload);
+            let mut data = vec![0.0f32; dims.len()];
+            let mut block = vec![0.0f64; size];
 
-        match mode_byte {
-            0 => {
-                let eb = f64::from_le_bytes(knob_bytes);
-                if !(eb > 0.0 && eb.is_finite()) {
-                    return Err(CompressError::Header("invalid stored tolerance"));
-                }
-                let e_tol = eb.log2().floor() as i32;
-                for outer in 0..lay.outer {
-                    let base = outer * lay.outer_stride;
-                    for origin in &origins {
-                        self.decode_block(
-                            &mut r,
-                            lay.d,
-                            &perm,
-                            |s| e_tol + s - GUARD,
-                            None,
-                            &mut block,
-                        )?;
-                        scatter(&mut data, base, origin, &lay.axes, &lay.strides, &block);
+            match mode_byte {
+                0 => {
+                    let eb = f64::from_le_bytes(knob_bytes);
+                    if !(eb > 0.0 && eb.is_finite()) {
+                        return Err(CompressError::Header("invalid stored tolerance"));
+                    }
+                    let e_tol = eb.log2().floor() as i32;
+                    for outer in 0..lay.outer {
+                        let base = outer * lay.outer_stride;
+                        for origin in &origins {
+                            self.decode_block(
+                                &mut r,
+                                lay.d,
+                                &perm,
+                                |s| e_tol + s - GUARD,
+                                None,
+                                &mut block,
+                            )?;
+                            scatter(&mut data, base, origin, &lay.axes, &lay.strides, &block);
+                        }
                     }
                 }
-            }
-            1 => {
-                let bits = u64::from_le_bytes(knob_bytes);
-                for outer in 0..lay.outer {
-                    let base = outer * lay.outer_stride;
-                    for origin in &origins {
-                        self.decode_block(&mut r, lay.d, &perm, |_| 0, Some(bits), &mut block)?;
-                        scatter(&mut data, base, origin, &lay.axes, &lay.strides, &block);
+                1 => {
+                    let bits = u64::from_le_bytes(knob_bytes);
+                    for outer in 0..lay.outer {
+                        let base = outer * lay.outer_stride;
+                        for origin in &origins {
+                            self.decode_block(&mut r, lay.d, &perm, |_| 0, Some(bits), &mut block)?;
+                            scatter(&mut data, base, origin, &lay.axes, &lay.strides, &block);
+                        }
                     }
                 }
+                _ => return Err(CompressError::Header("unknown zfp mode byte")),
             }
-            _ => return Err(CompressError::Header("unknown zfp mode byte")),
-        }
-        Ok(Field::new(name, dims, data))
+            Ok(Field::new(name, dims, data))
+        })
     }
 
     fn config_space(&self) -> ConfigSpace {

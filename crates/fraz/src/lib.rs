@@ -88,6 +88,7 @@ impl FrazSearcher {
                 "target ratio must be finite and > 1, got {tcr}"
             )));
         }
+        let _search_span = fxrz_telemetry::span!("fraz_search");
         let t0 = Instant::now();
         let space = compressor.config_space();
         let range = field.stats().range;
@@ -96,7 +97,9 @@ impl FrazSearcher {
 
         let mut probe = |t: f64, runs: &mut usize| -> Result<f64, CompressError> {
             let cfg = space.at(t, range);
+            let round_start = Instant::now();
             let cr = compressor.ratio(field, &cfg)?;
+            fxrz_telemetry::global().observe_duration("fraz.round_ns", round_start.elapsed());
             *runs += 1;
             let err = (cr - tcr).abs();
             if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
@@ -125,6 +128,9 @@ impl FrazSearcher {
             }
         }
 
+        let registry = fxrz_telemetry::global();
+        registry.incr("fraz.searches");
+        registry.add("fraz.compressor_runs", runs as u64);
         let (_, config, measured_ratio) = best.expect("at least one probe ran");
         Ok(FrazResult {
             config,

@@ -46,6 +46,9 @@ impl RateCurve {
             let cr = compressor.ratio(field, &cfg)?;
             points.push((cr, cfg.coordinate()));
         }
+        let registry = fxrz_telemetry::global();
+        registry.incr("fxrz.augment.curves");
+        registry.add("fxrz.augment.stationary_probes", n_points as u64);
         Ok(Self::from_points(points))
     }
 
@@ -151,6 +154,7 @@ impl RateCurve {
         let lo = lo.max(1.0);
         let hi = hi.max(lo * 1.0001);
         let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
+        fxrz_telemetry::global().add("fxrz.augment.rows", n as u64);
         (0..n)
             .map(|i| {
                 let cr = (ln_lo + (ln_hi - ln_lo) * i as f64 / (n - 1) as f64).exp();

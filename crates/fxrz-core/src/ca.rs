@@ -115,6 +115,9 @@ impl CompressibilityAdjuster {
                 break;
             }
         }
+        let registry = fxrz_telemetry::global();
+        registry.add("fxrz.ca.blocks", total_blocks as u64);
+        registry.add("fxrz.ca.non_constant_blocks", non_constant as u64);
         non_constant as f64 / total_blocks as f64
     }
 

@@ -170,7 +170,13 @@ pub fn extract(field: &Field, sampler: StridedSampler) -> FeatureVector {
     let mut grad_min = f64::INFINITY;
     let mut grad_max = f64::NEG_INFINITY;
 
-    for c in sampler.coords(field) {
+    let sample_coords = sampler.coords(field);
+    {
+        let registry = fxrz_telemetry::global();
+        registry.incr("fxrz.features.extractions");
+        registry.add("fxrz.features.sampled_points", sample_coords.len() as u64);
+    }
+    for c in sample_coords {
         let coords = &c[..ndim];
         let idx = dims.linear(coords);
         let v = data[idx] as f64;

@@ -14,7 +14,8 @@ use crate::sampling::StridedSampler;
 use crate::train::TrainedModel;
 use fxrz_compressors::{Compressor, ErrorConfig};
 use fxrz_datagen::Field;
-use std::time::{Duration, Instant};
+use fxrz_telemetry::{span, spanned};
+use std::time::Duration;
 
 /// One fixed-ratio estimation (no compression performed yet).
 #[derive(Clone, Debug)]
@@ -94,21 +95,26 @@ impl FixedRatioCompressor {
                 "target compression ratio must be finite and > 1, got {tcr}"
             )));
         }
-        let t0 = Instant::now();
-        let sampler = StridedSampler::new(self.model.stride);
-        let fv = features::extract(field, sampler);
-        let r = self
-            .model
-            .ca
-            .map(|ca: CompressibilityAdjuster| ca.non_constant_ratio(field))
-            .unwrap_or(1.0);
+        let (fv, t_features) = spanned("features", || {
+            let sampler = StridedSampler::new(self.model.stride);
+            features::extract(field, sampler)
+        });
+        let (r, t_ca) = spanned("ca", || {
+            self.model
+                .ca
+                .map(|ca: CompressibilityAdjuster| ca.non_constant_ratio(field))
+                .unwrap_or(1.0)
+        });
         let acr = (tcr * r).max(1.0);
-        let coord = self.model.predict_coordinate(&fv, acr);
-        let config = self
-            .model
-            .config_space
-            .from_coordinate(coord, fv.value_range);
-        let analysis_time = t0.elapsed();
+        let (config, t_predict) = spanned("predict", || {
+            let coord = self.model.predict_coordinate(&fv, acr);
+            self.model
+                .config_space
+                .from_coordinate(coord, fv.value_range)
+        });
+        // Analysis time is exactly what the span tree records: the three
+        // compression-free stages, excluding any caller overhead.
+        let analysis_time = t_features + t_ca + t_predict;
         Ok(Estimate {
             config,
             acr,
@@ -123,10 +129,15 @@ impl FixedRatioCompressor {
     /// # Errors
     /// Propagates estimation and compression failures.
     pub fn compress(&self, field: &Field, tcr: f64) -> Result<FixedRatioOutcome, FxrzError> {
+        let _compress_span = span!("compress");
         let estimate = self.estimate(field, tcr)?;
-        let t0 = Instant::now();
-        let bytes = self.compressor.compress(field, &estimate.config)?;
-        let compression_time = t0.elapsed();
+        let (bytes, compression_time) = spanned("codec", || {
+            self.compressor.compress(field, &estimate.config)
+        });
+        let bytes = bytes?;
+        let registry = fxrz_telemetry::global();
+        registry.add("fxrz.compress.bytes_in", field.nbytes() as u64);
+        registry.add("fxrz.compress.bytes_out", bytes.len() as u64);
         let measured_ratio = field.nbytes() as f64 / bytes.len() as f64;
         Ok(FixedRatioOutcome {
             bytes,

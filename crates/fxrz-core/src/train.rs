@@ -25,8 +25,9 @@ use fxrz_ml::adaboost::{AdaBoostParams, AdaBoostR2};
 use fxrz_ml::forest::{ForestParams, RandomForest};
 use fxrz_ml::svr::{Svr, SvrParams};
 use fxrz_ml::{Dataset, ModelKind, Regressor};
+use fxrz_telemetry::{span, spanned};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Trainer configuration. Defaults mirror the paper's choices.
 #[derive(Clone, Copy, Debug)]
@@ -186,6 +187,7 @@ impl Trainer {
         if fields.is_empty() {
             return Err(FxrzError::EmptyCorpus);
         }
+        let _train_span = span!("train");
         let cfg = &self.config;
         let n_features = cfg.feature_set.len() + 1; // + target-ratio column
         let mut data = Dataset::new(n_features);
@@ -199,34 +201,36 @@ impl Trainer {
 
         for field in fields {
             // stationary points (the only compressor runs in training)
-            let t0 = Instant::now();
-            let curve = RateCurve::build(compressor, field, cfg.stationary_points)?;
-            timings.stationary += t0.elapsed();
+            let (curve, t_stationary) = spanned("stationary", || {
+                RateCurve::build(compressor, field, cfg.stationary_points)
+            });
+            let curve = curve?;
+            timings.stationary += t_stationary;
             let (lo, hi) = curve.valid_range();
             range_lo = range_lo.min(lo);
             range_hi = range_hi.max(hi);
 
             // features + CA + augmentation
-            let t1 = Instant::now();
-            let fv = features::extract(field, cfg.sampler);
-            let r = cfg.ca.map(|ca| ca.non_constant_ratio(field)).unwrap_or(1.0);
-            let base_row = cfg.feature_set.project(&fv);
-            let coord_offset = if relative_coordinate {
-                fv.value_range.max(f64::MIN_POSITIVE).ln()
-            } else {
-                0.0
-            };
-            for (cr, coord) in curve.augment(cfg.augment_per_field) {
-                let acr = (cr * r).max(1.0);
-                let mut row = base_row.clone();
-                row.push(acr);
-                data.push(&row, coord - coord_offset);
-            }
-            timings.augment += t1.elapsed();
+            let ((), t_augment) = spanned("augment", || {
+                let fv = features::extract(field, cfg.sampler);
+                let r = cfg.ca.map(|ca| ca.non_constant_ratio(field)).unwrap_or(1.0);
+                let base_row = cfg.feature_set.project(&fv);
+                let coord_offset = if relative_coordinate {
+                    fv.value_range.max(f64::MIN_POSITIVE).ln()
+                } else {
+                    0.0
+                };
+                for (cr, coord) in curve.augment(cfg.augment_per_field) {
+                    let acr = (cr * r).max(1.0);
+                    let mut row = base_row.clone();
+                    row.push(acr);
+                    data.push(&row, coord - coord_offset);
+                }
+            });
+            timings.augment += t_augment;
         }
 
-        let t2 = Instant::now();
-        let regressor = match cfg.model {
+        let (regressor, t_fit) = spanned("fit", || match cfg.model {
             ModelKind::Rfr => TrainedRegressor::Rfr(RandomForest::fit(
                 &data,
                 ForestParams {
@@ -238,8 +242,9 @@ impl Trainer {
                 TrainedRegressor::AdaBoost(AdaBoostR2::fit(&data, AdaBoostParams::default()))
             }
             ModelKind::Svr => TrainedRegressor::Svr(Svr::fit(&data, SvrParams::default())),
-        };
-        timings.fit += t2.elapsed();
+        });
+        timings.fit += t_fit;
+        fxrz_telemetry::global().add("fxrz.train.rows", data.len() as u64);
 
         Ok(TrainedModel {
             regressor,

@@ -169,6 +169,8 @@ pub fn measure_rank(
     field: &Field,
     tcr: f64,
 ) -> Result<RankWork, String> {
+    let _rank_span = fxrz_telemetry::span!("rank");
+    let rank_start = Instant::now();
     let (config, analysis) = strategy.plan(field, tcr)?;
     let t0 = Instant::now();
     let bytes = strategy
@@ -176,6 +178,9 @@ pub fn measure_rank(
         .compress(field, &config)
         .map_err(|e| e.to_string())?;
     let compress = t0.elapsed();
+    let registry = fxrz_telemetry::global();
+    registry.incr("parallel_io.ranks");
+    registry.observe_duration("parallel_io.rank_ns", rank_start.elapsed());
     Ok(RankWork {
         analysis,
         compress,
@@ -200,6 +205,9 @@ pub fn measure_ranks_parallel(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(fields.len().max(1));
+    let registry = fxrz_telemetry::global();
+    registry.set_gauge("parallel_io.workers", max_threads as i64);
+    registry.add("parallel_io.fields_queued", fields.len() as u64);
     crossbeam::thread::scope(|scope| {
         #[allow(clippy::needless_range_loop)] // index pairs results with fields
         for chunk_start in (0..fields.len()).step_by(max_threads) {

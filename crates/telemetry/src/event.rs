@@ -1,0 +1,251 @@
+//! Leveled events with a pluggable sink.
+//!
+//! Call sites go through the [`crate::event!`] macro (or the per-level
+//! shorthands), which checks one relaxed atomic before formatting
+//! anything. With no sink attached and the level filter at its default
+//! (`Off`), an event call site is a single load-and-branch.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 1,
+    /// Suspicious conditions the pipeline worked around.
+    Warn = 2,
+    /// High-level progress (one event per stage, not per element).
+    Info = 3,
+    /// Per-stage detail for debugging.
+    Debug = 4,
+    /// Very fine-grained detail.
+    Trace = 5,
+}
+
+impl Level {
+    /// Uppercase name, fixed width not guaranteed.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses a level name (case-insensitive); `off`/`none` → `None`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One formatted event, handed to the sink.
+pub struct Record<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Module path of the call site.
+    pub target: &'a str,
+    /// Rendered message.
+    pub message: &'a str,
+}
+
+/// Receives events; implementations must be cheap and non-blocking-ish
+/// (they run inline at the call site).
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, record: &Record<'_>);
+}
+
+/// Writes `[LEVEL target] message` lines to stderr.
+pub struct StderrTextSink;
+
+impl Sink for StderrTextSink {
+    fn emit(&self, record: &Record<'_>) {
+        eprintln!("[{} {}] {}", record.level, record.target, record.message);
+    }
+}
+
+/// Writes one JSON object per event to an arbitrary writer.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: parking_lot::Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps `out`; each event becomes one `{"level","target","msg"}` line.
+    pub fn new(out: W) -> Self {
+        Self {
+            out: parking_lot::Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn emit(&self, record: &Record<'_>) {
+        let line = serde_json::to_string(&serde_json::Value::Object(vec![
+            (
+                "level".to_string(),
+                serde_json::Value::Str(record.level.as_str().to_string()),
+            ),
+            (
+                "target".to_string(),
+                serde_json::Value::Str(record.target.to_string()),
+            ),
+            (
+                "msg".to_string(),
+                serde_json::Value::Str(record.message.to_string()),
+            ),
+        ]))
+        .expect("event serialization is infallible");
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// 0 = off; otherwise the numeric value of the maximum enabled [`Level`].
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Enables events up to `level` (`None` disables all events).
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// True when events at `level` would be dispatched. This is the hot-path
+/// gate: one relaxed load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Installs the sink receiving dispatched events.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    *SINK.write() = Some(sink);
+}
+
+/// Removes the sink; events are counted but not emitted.
+pub fn clear_sink() {
+    *SINK.write() = None;
+}
+
+/// Formats and delivers an event (call through [`crate::event!`], which
+/// performs the level check first).
+pub fn dispatch(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    crate::global().incr(match level {
+        Level::Error => "events.error",
+        Level::Warn => "events.warn",
+        _ => "events.other",
+    });
+    if let Some(sink) = SINK.read().as_ref() {
+        let message = args.to_string();
+        sink.emit(&Record {
+            level,
+            target,
+            message: &message,
+        });
+    }
+}
+
+/// Emits an event at an explicit level:
+/// `event!(Level::Warn, "ratio {} out of range", r)`.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $($arg:tt)+) => {
+        if $crate::event::enabled($level) {
+            $crate::event::dispatch($level, module_path!(), format_args!($($arg)+));
+        }
+    };
+}
+
+/// Emits an [`Level::Error`](crate::Level::Error) event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Error, $($arg)+) };
+}
+
+/// Emits a [`Level::Warn`](crate::Level::Warn) event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Warn, $($arg)+) };
+}
+
+/// Emits an [`Level::Info`](crate::Level::Info) event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Info, $($arg)+) };
+}
+
+/// Emits a [`Level::Debug`](crate::Level::Debug) event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Debug, $($arg)+) };
+}
+
+/// Emits a [`Level::Trace`](crate::Level::Trace) event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::event!($crate::Level::Trace, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        // Tests share the process-global filter; only assert the default
+        // state when no other test has raised it.
+        if MAX_LEVEL.load(Ordering::Relaxed) == 0 {
+            assert!(!enabled(Level::Error));
+        }
+    }
+
+    #[test]
+    fn json_sink_emits_one_line_per_event() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.emit(&Record {
+            level: Level::Info,
+            target: "t",
+            message: "hello \"world\"",
+        });
+        sink.emit(&Record {
+            level: Level::Warn,
+            target: "t",
+            message: "second",
+        });
+        let buf = sink.out.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"level\":\"INFO\""));
+        assert!(lines[0].contains("hello \\\"world\\\""));
+    }
+}

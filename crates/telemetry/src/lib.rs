@@ -1,0 +1,73 @@
+//! fxrz-telemetry: a lightweight tracing + metrics layer for the FXRZ
+//! pipeline.
+//!
+//! Four pieces, all reachable from one global [`MetricsRegistry`]:
+//!
+//! * **Metrics** ([`metrics`]) — named [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s backed by atomics; cheap enough for
+//!   per-call instrumentation of codec and compressor hot paths.
+//! * **Spans** ([`span`]) — RAII guards recording nested wall-clock
+//!   timings. Nesting is tracked per thread, so
+//!   `span!("compress")` containing `span!("features")` records under the
+//!   path `compress/features`.
+//! * **Events** ([`event`]) — leveled log records with a pluggable sink
+//!   (stderr text or JSON lines). When no sink is attached the whole layer
+//!   reduces to one relaxed atomic load per call site.
+//! * **Snapshots** ([`metrics::MetricsSnapshot`]) — a serializable view of
+//!   everything recorded, with a human-readable `Display` report and a
+//!   JSON form used by `fxrz --metrics json`.
+//!
+//! ```
+//! use fxrz_telemetry as telemetry;
+//!
+//! let _guard = telemetry::span!("compress");
+//! telemetry::global().add("codec.bytes_in", 4096);
+//! drop(_guard);
+//! let snapshot = telemetry::global().snapshot();
+//! assert!(snapshot.spans.iter().any(|s| s.path == "compress"));
+//! # telemetry::global().reset();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use event::{
+    clear_sink, enabled, set_max_level, set_sink, JsonLinesSink, Level, Record, Sink,
+    StderrTextSink,
+};
+pub use metrics::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, SpanSnapshot,
+};
+pub use span::{spanned, SpanGuard};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry every instrumentation site records into.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_flow_end_to_end() {
+        let reg = MetricsRegistry::new();
+        reg.add("x.bytes", 10);
+        reg.add("x.bytes", 32);
+        reg.observe("x.latency_ns", 1500);
+        reg.set_gauge("x.depth", 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].value, 42);
+        assert_eq!(snap.gauges[0].value, 3);
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+}

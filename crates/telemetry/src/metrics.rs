@@ -1,0 +1,522 @@
+//! Atomic counters, gauges and log-bucketed histograms, collected in a
+//! thread-safe [`MetricsRegistry`] and exported as a serializable
+//! [`MetricsSnapshot`].
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Monotonically increasing `u64` metric.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time signed metric (queue depths, worker counts, …).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two of the `u64` domain,
+/// plus one for zero.
+const BUCKETS: usize = 65;
+
+/// Lock-free histogram over `u64` observations (nanoseconds, byte counts)
+/// with power-of-two buckets.
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Percentiles are estimated from bucket midpoints and
+/// clamped to the exact observed min/max, so small-count histograms stay
+/// sane.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value (`0` → 0, otherwise `floor(log2(v)) + 1`).
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Midpoint of the bucket's value range, used as its representative.
+fn bucket_mid(index: usize) -> f64 {
+    if index == 0 {
+        0.0
+    } else {
+        let lo = (1u128 << (index - 1)) as f64;
+        let hi = (1u128 << index) as f64;
+        (lo + hi) / 2.0
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating above ~584 years).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from bucket midpoints,
+    /// clamped to the observed min/max. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let min = self.min.load(Ordering::Relaxed) as f64;
+        let max = self.max.load(Ordering::Relaxed) as f64;
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return bucket_mid(i).clamp(min, max);
+            }
+        }
+        max
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count();
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum(),
+            min,
+            max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Accumulated timing for one span path.
+#[derive(Default)]
+pub(crate) struct SpanStat {
+    pub(crate) durations: Histogram,
+}
+
+/// Thread-safe home for all named metrics.
+///
+/// Lookup is get-or-create: a read-lock fast path, falling back to a write
+/// lock on first use of a name. Handles are `Arc`s, so hot call sites can
+/// cache them and skip the map entirely.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    spans: RwLock<BTreeMap<String, Arc<SpanStat>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.read().get(name) {
+        return Arc::clone(existing);
+    }
+    Arc::clone(
+        map.write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl MetricsRegistry {
+    /// An empty registry (prefer [`crate::global`] outside tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle to the named counter, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Handle to the named gauge, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Handle to the named histogram, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Adds one to the named counter.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Records a duration (as nanoseconds) into the named histogram.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.histogram(name).record_duration(d);
+    }
+
+    /// Records a completed span occurrence (used by [`crate::span`]).
+    pub fn record_span(&self, path: &str, d: Duration) {
+        get_or_create(&self.spans, path)
+            .durations
+            .record_duration(d);
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        let spans = self
+            .spans
+            .read()
+            .iter()
+            .map(|(path, s)| {
+                let h = &s.durations;
+                let count = h.count();
+                SpanSnapshot {
+                    path: path.clone(),
+                    count,
+                    total_ns: h.sum(),
+                    mean_ns: if count == 0 {
+                        0.0
+                    } else {
+                        h.sum() as f64 / count as f64
+                    },
+                    p50_ns: h.quantile(0.50),
+                    p99_ns: h.quantile(0.99),
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+
+    /// Drops every metric (test isolation; CLI uses one registry per run).
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+        self.spans.write().clear();
+    }
+}
+
+/// Exported state of one counter.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// Exported state of one gauge.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+/// Exported state of one histogram.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// Exported timing of one span path (e.g. `compress/features`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Slash-joined nesting path.
+    pub path: String,
+    /// Completed occurrences.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across occurrences.
+    pub total_ns: u64,
+    /// Mean nanoseconds per occurrence.
+    pub mean_ns: f64,
+    /// Estimated median nanoseconds.
+    pub p50_ns: f64,
+    /// Estimated 99th-percentile nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// Everything the registry knew at one instant; serializable to JSON and
+/// printable as a human report (see [`crate::report`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All span paths, sorted by path.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Compact JSON form (the `--metrics json` output).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a span by path.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1100);
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=1000.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 1000.0, "p99 {p99} must clamp to max");
+        assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        let snap = h.snapshot("empty");
+        assert_eq!((snap.min, snap.max, snap.count), (0, 0, 0));
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("shared");
+        let b = reg.counter("shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.counter("shared").get(), 5);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.incr("zebra");
+        reg.incr("alpha");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        reg.incr("contended");
+                        reg.observe("contended.hist", i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert_eq!(reg.counter("contended").get(), threads * per_thread);
+        assert_eq!(
+            reg.histogram("contended.hist").count(),
+            threads * per_thread
+        );
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.add("bytes", 42);
+        reg.set_gauge("workers", -3);
+        for v in [1u64, 100, 10_000] {
+            reg.observe("latency", v);
+        }
+        reg.record_span("compress/features", Duration::from_micros(250));
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.counter("bytes"), Some(42));
+        assert_eq!(back.gauges[0].value, -3);
+        assert_eq!(back.histograms[0].count, 3);
+        assert_eq!(back.histograms[0].sum, 10_101);
+        let span = back.span("compress/features").expect("span present");
+        assert_eq!(span.count, 1);
+        assert_eq!(
+            span.total_ns,
+            snap.span("compress/features").unwrap().total_ns
+        );
+        // a second serialization of the decoded form is identical
+        assert_eq!(back.to_json(), json);
+    }
+}

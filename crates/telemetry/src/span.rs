@@ -1,0 +1,130 @@
+//! RAII wall-clock spans with per-thread nesting.
+//!
+//! A span opened while another is active on the same thread records under
+//! the parent's path plus `/name`, so the registry ends up holding a flat
+//! map of slash-joined paths (`compress`, `compress/features`, …) — a
+//! serializable encoding of the call tree.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Stack of full paths for the spans currently open on this thread.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live span; records its duration into the global registry on drop.
+#[must_use = "a span measures nothing unless it is held until the stage ends"]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Full slash-joined path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own frame. Guards are usually dropped in LIFO order;
+            // if user code drops them out of order, remove by identity so
+            // the stack never corrupts sibling paths.
+            if let Some(pos) = stack.iter().rposition(|p| *p == self.path) {
+                stack.remove(pos);
+            }
+        });
+        crate::global().record_span(&self.path, elapsed);
+    }
+}
+
+/// Opens a span named `name`, nested under the thread's current span.
+pub fn enter(name: &str) -> SpanGuard {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        path,
+        start: Instant::now(),
+    }
+}
+
+/// Path of the innermost open span on this thread, if any.
+pub fn current_path() -> Option<String> {
+    SPAN_STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Runs `f` inside a span named `name`; returns the result and the span's
+/// wall-clock duration. The `Duration` return makes it easy to keep
+/// existing timing fields (e.g. `Estimate::analysis_time`) in sync with
+/// what the registry records.
+pub fn spanned<T, F: FnOnce() -> T>(name: &str, f: F) -> (T, Duration) {
+    let guard = enter(name);
+    let out = f();
+    let elapsed = guard.elapsed();
+    drop(guard);
+    (out, elapsed)
+}
+
+/// Opens a [`SpanGuard`](crate::span::SpanGuard) for the named stage:
+/// `let _guard = fxrz_telemetry::span!("compress");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_slash_paths() {
+        let outer = enter("test_outer");
+        assert_eq!(current_path().as_deref(), Some("test_outer"));
+        {
+            let inner = enter("inner");
+            assert_eq!(inner.path(), "test_outer/inner");
+            assert_eq!(current_path().as_deref(), Some("test_outer/inner"));
+        }
+        assert_eq!(current_path().as_deref(), Some("test_outer"));
+        drop(outer);
+        assert_eq!(current_path(), None);
+    }
+
+    #[test]
+    fn spanned_returns_value_and_duration() {
+        let (value, elapsed) = spanned("test_spanned", || 7u32);
+        assert_eq!(value, 7);
+        assert!(elapsed.as_nanos() > 0 || elapsed.is_zero());
+        let snap = crate::global().snapshot();
+        assert!(snap.span("test_spanned").is_some());
+    }
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_stack() {
+        let a = enter("test_a");
+        let b = enter("b");
+        drop(a); // wrong order on purpose
+        assert_eq!(current_path().as_deref(), Some("test_a/b"));
+        drop(b);
+        assert_eq!(current_path(), None);
+    }
+}

@@ -10,7 +10,12 @@
 //! fxrz decompress --input x.fxrz --output x.f32
 //! fxrz search     --compressor sz --ratio 30 --dims 64x64x64 --input x.f32   (FRaZ baseline)
 //! fxrz info       --input x.fxrz
+//! fxrz stats      --input snap.fxrza
 //! ```
+//!
+//! Every subcommand accepts `--metrics <text|json>` to dump the process
+//! telemetry snapshot (span timings, codec byte counters, histograms) on
+//! exit, and `--metrics-out FILE` to write it to a file instead of stderr.
 
 use fxrz::archive::{Archive, ArchiveWriter};
 use fxrz::compressors::{by_name, detect};
@@ -26,7 +31,7 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE"
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr"
     );
     ExitCode::FAILURE
 }
@@ -86,6 +91,30 @@ fn write_field(path: &str, field: &Field) -> Result<(), String> {
     std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Emits the process telemetry snapshot as requested by `--metrics` /
+/// `--metrics-out` (no-op when the flag is absent).
+fn emit_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
+    let Some(format) = flags.get("metrics") else {
+        return Ok(());
+    };
+    let snapshot = fxrz::telemetry::global().snapshot();
+    let rendered = match format.as_str() {
+        "json" => snapshot.to_json(),
+        "text" | "" => snapshot.to_string(),
+        other => return Err(format!("bad --metrics format `{other}` (text|json)")),
+    };
+    match flags.get("metrics-out") {
+        Some(path) => std::fs::write(path, rendered.as_bytes()).map_err(|e| format!("{path}: {e}")),
+        None => {
+            eprint!("{rendered}");
+            if !rendered.ends_with('\n') {
+                eprintln!();
+            }
+            Ok(())
+        }
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -96,119 +125,122 @@ fn run() -> Result<(), String> {
         flags.get(k).cloned().ok_or(format!("missing --{k}"))
     };
 
-    match cmd.as_str() {
-        "gen" => {
-            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims (e.g. 64x64x64)")?;
-            let seed: u64 = flags
-                .get("seed")
-                .map_or(Ok(7), |s| s.parse())
-                .map_err(|_| "bad --seed")?;
-            let t: u32 = flags
-                .get("timestep")
-                .map_or(Ok(0), |s| s.parse())
-                .map_err(|_| "bad --timestep")?;
-            let app = flag("app")?;
-            let field = match app.as_str() {
-                "nyx" => nyx::baryon_density(
-                    dims,
-                    nyx::NyxConfig::default().with_seed(seed).with_timestep(t),
-                ),
-                "hurricane" => hurricane::tc(
-                    dims,
-                    hurricane::HurricaneConfig::default()
-                        .with_seed(seed)
-                        .with_timestep(t.max(1)),
-                ),
-                "rtm" => {
-                    let mut sim =
-                        rtm::RtmSimulator::new(dims, rtm::RtmConfig::default().with_seed(seed));
-                    sim.run_to(t.max(30));
-                    sim.snapshot()
-                }
-                "qmcpack" => {
-                    qmcpack::orbitals(dims, qmcpack::QmcPackConfig::default().with_seed(seed))
-                }
-                other => return Err(format!("unknown --app {other}")),
-            };
-            write_field(&flag("out")?, &field)?;
-            let s = field.stats();
-            println!(
-                "wrote {} ({dims}, range {:.4e}, mean {:.4e})",
-                flag("out")?,
-                s.range,
-                s.mean
-            );
-            Ok(())
-        }
-        "train" => {
-            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
-            let comp = by_name(&flag("compressor")?).ok_or("unknown --compressor")?;
-            if pos.is_empty() {
-                return Err("no training files given".into());
+    // The command body runs inside a closure so that early `?` returns
+    // still fall through to the metrics emission below.
+    let run_cmd = || -> Result<(), String> {
+        match cmd.as_str() {
+            "gen" => {
+                let dims = parse_dims(&flag("dims")?).ok_or("bad --dims (e.g. 64x64x64)")?;
+                let seed: u64 = flags
+                    .get("seed")
+                    .map_or(Ok(7), |s| s.parse())
+                    .map_err(|_| "bad --seed")?;
+                let t: u32 = flags
+                    .get("timestep")
+                    .map_or(Ok(0), |s| s.parse())
+                    .map_err(|_| "bad --timestep")?;
+                let app = flag("app")?;
+                let field = match app.as_str() {
+                    "nyx" => nyx::baryon_density(
+                        dims,
+                        nyx::NyxConfig::default().with_seed(seed).with_timestep(t),
+                    ),
+                    "hurricane" => hurricane::tc(
+                        dims,
+                        hurricane::HurricaneConfig::default()
+                            .with_seed(seed)
+                            .with_timestep(t.max(1)),
+                    ),
+                    "rtm" => {
+                        let mut sim =
+                            rtm::RtmSimulator::new(dims, rtm::RtmConfig::default().with_seed(seed));
+                        sim.run_to(t.max(30));
+                        sim.snapshot()
+                    }
+                    "qmcpack" => {
+                        qmcpack::orbitals(dims, qmcpack::QmcPackConfig::default().with_seed(seed))
+                    }
+                    other => return Err(format!("unknown --app {other}")),
+                };
+                write_field(&flag("out")?, &field)?;
+                let s = field.stats();
+                println!(
+                    "wrote {} ({dims}, range {:.4e}, mean {:.4e})",
+                    flag("out")?,
+                    s.range,
+                    s.mean
+                );
+                Ok(())
             }
-            let fields: Result<Vec<Field>, String> =
-                pos.iter().map(|p| read_field(p, dims)).collect();
-            let fields = fields?;
-            let model = Trainer::new()
-                .train(comp.as_ref(), &fields)
-                .map_err(|e| e.to_string())?;
-            println!(
-                "trained {} on {} fields in {:.2}s; valid CR range {:.1}..{:.1}",
-                comp.name(),
-                fields.len(),
-                model.timings.total().as_secs_f64(),
-                model.valid_ratio_range.0,
-                model.valid_ratio_range.1
-            );
-            let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
-            std::fs::write(flag("model")?, json).map_err(|e| e.to_string())?;
-            Ok(())
-        }
-        "compress" => {
-            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
-            let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
-            let json = std::fs::read_to_string(flag("model")?).map_err(|e| e.to_string())?;
-            let model: TrainedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-            let comp = by_name(&model.compressor).ok_or("model names unknown compressor")?;
-            let frc = FixedRatioCompressor::new(model, comp).map_err(|e| e.to_string())?;
-            let field = read_field(&flag("input")?, dims)?;
-            let out = frc.compress(&field, ratio).map_err(|e| e.to_string())?;
-            std::fs::write(flag("output")?, &out.bytes).map_err(|e| e.to_string())?;
-            println!(
+            "train" => {
+                let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+                let comp = by_name(&flag("compressor")?).ok_or("unknown --compressor")?;
+                if pos.is_empty() {
+                    return Err("no training files given".into());
+                }
+                let fields: Result<Vec<Field>, String> =
+                    pos.iter().map(|p| read_field(p, dims)).collect();
+                let fields = fields?;
+                let model = Trainer::new()
+                    .train(comp.as_ref(), &fields)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "trained {} on {} fields in {:.2}s; valid CR range {:.1}..{:.1}",
+                    comp.name(),
+                    fields.len(),
+                    model.timings.total().as_secs_f64(),
+                    model.valid_ratio_range.0,
+                    model.valid_ratio_range.1
+                );
+                let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
+                std::fs::write(flag("model")?, json).map_err(|e| e.to_string())?;
+                Ok(())
+            }
+            "compress" => {
+                let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+                let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+                let json = std::fs::read_to_string(flag("model")?).map_err(|e| e.to_string())?;
+                let model: TrainedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+                let comp = by_name(&model.compressor).ok_or("model names unknown compressor")?;
+                let frc = FixedRatioCompressor::new(model, comp).map_err(|e| e.to_string())?;
+                let field = read_field(&flag("input")?, dims)?;
+                let out = frc.compress(&field, ratio).map_err(|e| e.to_string())?;
+                std::fs::write(flag("output")?, &out.bytes).map_err(|e| e.to_string())?;
+                println!(
                 "target CR {ratio}: measured {:.2} (error {:.1}%), config {}, analysis {:.2} ms",
                 out.measured_ratio,
                 out.estimation_error(ratio) * 100.0,
                 out.estimate.config,
                 out.estimate.analysis_time.as_secs_f64() * 1e3
             );
-            Ok(())
-        }
-        "decompress" => {
-            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
-            let comp = detect(&bytes).ok_or("unrecognized stream magic")?;
-            let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
-            write_field(&flag("output")?, &field)?;
-            println!(
-                "decompressed {} ({}) with {}",
-                field.name(),
-                field.dims(),
-                comp.name()
-            );
-            Ok(())
-        }
-        "search" => {
-            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
-            let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
-            let iters: usize = flags
-                .get("iters")
-                .map_or(Ok(15), |s| s.parse())
-                .map_err(|_| "bad --iters")?;
-            let comp = by_name(&flag("compressor")?).ok_or("unknown --compressor")?;
-            let field = read_field(&flag("input")?, dims)?;
-            let res = FrazSearcher::with_total_iters(iters)
-                .search(comp.as_ref(), &field, ratio)
-                .map_err(|e| e.to_string())?;
-            println!(
+                Ok(())
+            }
+            "decompress" => {
+                let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                let comp = detect(&bytes).ok_or("unrecognized stream magic")?;
+                let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                write_field(&flag("output")?, &field)?;
+                println!(
+                    "decompressed {} ({}) with {}",
+                    field.name(),
+                    field.dims(),
+                    comp.name()
+                );
+                Ok(())
+            }
+            "search" => {
+                let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+                let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+                let iters: usize = flags
+                    .get("iters")
+                    .map_or(Ok(15), |s| s.parse())
+                    .map_err(|_| "bad --iters")?;
+                let comp = by_name(&flag("compressor")?).ok_or("unknown --compressor")?;
+                let field = read_field(&flag("input")?, dims)?;
+                let res = FrazSearcher::with_total_iters(iters)
+                    .search(comp.as_ref(), &field, ratio)
+                    .map_err(|e| e.to_string())?;
+                println!(
                 "FRaZ-{iters}: config {}, measured CR {:.2} (error {:.1}%), {} compressor runs in {:.2}s",
                 res.config,
                 res.measured_ratio,
@@ -216,66 +248,116 @@ fn run() -> Result<(), String> {
                 res.compressor_runs,
                 res.search_time.as_secs_f64()
             );
-            Ok(())
-        }
-        "info" => {
-            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
-            let comp = detect(&bytes).ok_or("unrecognized stream magic")?;
-            let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
-            let s = field.stats();
-            println!("compressor : {}", comp.name());
-            println!("field      : {}", field.name());
-            println!("dims       : {}", field.dims());
-            println!(
-                "ratio      : {:.2}",
-                field.nbytes() as f64 / bytes.len() as f64
-            );
-            println!("range/mean : {:.4e} / {:.4e}", s.range, s.mean);
-            Ok(())
-        }
-        "pack" => {
-            let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
-            let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
-            let json = std::fs::read_to_string(flag("model")?).map_err(|e| e.to_string())?;
-            let model: TrainedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-            let comp = by_name(&model.compressor).ok_or("model names unknown compressor")?;
-            let frc = FixedRatioCompressor::new(model, comp).map_err(|e| e.to_string())?;
-            if pos.is_empty() {
-                return Err("no input files given".into());
+                Ok(())
             }
-            let mut writer = ArchiveWriter::new();
-            for path in &pos {
-                let field = read_field(path, dims)?;
-                let mcr = writer
-                    .add_fixed_ratio(&frc, &field, ratio)
-                    .map_err(|e| e.to_string())?;
-                println!("packed {path} at CR {mcr:.2} (target {ratio})");
+            "info" => {
+                let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                let comp = detect(&bytes).ok_or("unrecognized stream magic")?;
+                let field = comp.decompress(&bytes).map_err(|e| e.to_string())?;
+                let s = field.stats();
+                println!("compressor : {}", comp.name());
+                println!("field      : {}", field.name());
+                println!("dims       : {}", field.dims());
+                println!(
+                    "ratio      : {:.2}",
+                    field.nbytes() as f64 / bytes.len() as f64
+                );
+                println!("range/mean : {:.4e} / {:.4e}", s.range, s.mean);
+                Ok(())
             }
-            let bytes = writer.finish();
-            std::fs::write(flag("output")?, &bytes).map_err(|e| e.to_string())?;
-            println!("archive: {} fields, {} bytes", pos.len(), bytes.len());
-            Ok(())
-        }
-        "ls" => {
-            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
-            let archive = Archive::open(&bytes).map_err(|e| e.to_string())?;
-            println!("{:<40} {:>12} {:>8}", "field", "compressed", "codec");
-            for e in archive.entries() {
-                let codec = archive.compressor_of(&e.name).unwrap_or("?");
-                println!("{:<40} {:>12} {:>8}", e.name, e.compressed_len, codec);
+            "pack" => {
+                let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+                let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+                let json = std::fs::read_to_string(flag("model")?).map_err(|e| e.to_string())?;
+                let model: TrainedModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+                let comp = by_name(&model.compressor).ok_or("model names unknown compressor")?;
+                let frc = FixedRatioCompressor::new(model, comp).map_err(|e| e.to_string())?;
+                if pos.is_empty() {
+                    return Err("no input files given".into());
+                }
+                let mut writer = ArchiveWriter::new();
+                for path in &pos {
+                    let field = read_field(path, dims)?;
+                    let mcr = writer
+                        .add_fixed_ratio(&frc, &field, ratio)
+                        .map_err(|e| e.to_string())?;
+                    println!("packed {path} at CR {mcr:.2} (target {ratio})");
+                }
+                let bytes = writer.finish();
+                std::fs::write(flag("output")?, &bytes).map_err(|e| e.to_string())?;
+                println!("archive: {} fields, {} bytes", pos.len(), bytes.len());
+                Ok(())
             }
-            Ok(())
+            "ls" => {
+                let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                let archive = Archive::open(&bytes).map_err(|e| e.to_string())?;
+                println!("{:<40} {:>12} {:>8}", "field", "compressed", "codec");
+                for e in archive.entries() {
+                    let codec = archive.compressor_of(&e.name).unwrap_or("?");
+                    println!("{:<40} {:>12} {:>8}", e.name, e.compressed_len, codec);
+                }
+                Ok(())
+            }
+            "unpack" => {
+                let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                let archive = Archive::open(&bytes).map_err(|e| e.to_string())?;
+                let field = archive.get(&flag("field")?).map_err(|e| e.to_string())?;
+                write_field(&flag("output")?, &field)?;
+                println!("unpacked {} ({})", field.name(), field.dims());
+                Ok(())
+            }
+            "stats" => {
+                let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                let archive = Archive::open(&bytes).map_err(|e| e.to_string())?;
+                println!(
+                    "{:<32} {:>8} {:>12} {:>12} {:>8} {:>12} {:>12}",
+                    "field", "codec", "compressed", "raw", "ratio", "min", "max"
+                );
+                let mut total_raw = 0u64;
+                let mut total_compressed = 0u64;
+                for e in archive.entries() {
+                    total_compressed += e.compressed_len as u64;
+                    match archive.get(&e.name) {
+                        Ok(field) => {
+                            let codec = archive.compressor_of(&e.name).unwrap_or("?");
+                            let s = field.stats();
+                            total_raw += field.nbytes() as u64;
+                            println!(
+                                "{:<32} {:>8} {:>12} {:>12} {:>8.2} {:>12.4e} {:>12.4e}",
+                                e.name,
+                                codec,
+                                e.compressed_len,
+                                field.nbytes(),
+                                field.nbytes() as f64 / e.compressed_len.max(1) as f64,
+                                s.min,
+                                s.max
+                            );
+                        }
+                        Err(err) => {
+                            println!(
+                                "{:<32} {:>8} {:>12} {:>12} {:>8} (unreadable: {err})",
+                                e.name, "?", e.compressed_len, "-", "-"
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "total: {} fields, {} -> {} bytes (ratio {:.2})",
+                    archive.len(),
+                    total_raw,
+                    total_compressed,
+                    total_raw as f64 / total_compressed.max(1) as f64
+                );
+                Ok(())
+            }
+            other => Err(format!("unknown subcommand {other}")),
         }
-        "unpack" => {
-            let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
-            let archive = Archive::open(&bytes).map_err(|e| e.to_string())?;
-            let field = archive.get(&flag("field")?).map_err(|e| e.to_string())?;
-            write_field(&flag("output")?, &field)?;
-            println!("unpacked {} ({})", field.name(), field.dims());
-            Ok(())
-        }
-        other => Err(format!("unknown subcommand {other}")),
-    }
+    };
+    let result = run_cmd();
+    // Metrics are emitted even when the command failed — a partial
+    // snapshot is exactly what post-mortem debugging wants.
+    let metrics = emit_metrics(&flags);
+    result.and(metrics)
 }
 
 fn main() -> ExitCode {

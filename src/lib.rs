@@ -24,6 +24,7 @@ pub use fxrz_datagen as datagen;
 pub use fxrz_fraz as fraz;
 pub use fxrz_ml as ml;
 pub use fxrz_parallel_io as parallel_io;
+pub use fxrz_telemetry as telemetry;
 
 /// Convenient glob-import surface covering the common API.
 pub mod prelude {
@@ -47,4 +48,5 @@ pub mod prelude {
     pub use fxrz_fraz::FrazSearcher;
     pub use fxrz_ml::{adaboost::AdaBoostR2, forest::RandomForest, svr::Svr, tree::RegressionTree};
     pub use fxrz_parallel_io::{Cluster, DumpReport};
+    pub use fxrz_telemetry::{MetricsRegistry, MetricsSnapshot};
 }

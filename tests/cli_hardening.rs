@@ -1,0 +1,112 @@
+//! CLI hardening: `fxrz info`, `ls` and `stats` pointed at truncated or
+//! non-archive files must exit with a clean error message — never a panic
+//! — and `--metrics` must keep working alongside a failing subcommand.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fxrz(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fxrz"))
+        .args(args)
+        .output()
+        .expect("spawn fxrz")
+}
+
+fn scratch(name: &str, bytes: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("fxrz-cli-hardening-{name}"));
+    std::fs::write(&path, bytes).expect("write scratch file");
+    path
+}
+
+fn assert_clean_failure(out: &Output, ctx: &str) {
+    assert!(!out.status.success(), "{ctx}: expected failure exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error:"),
+        "{ctx}: stderr lacks an error line: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{ctx}: the process panicked: {stderr}"
+    );
+}
+
+#[test]
+fn info_on_non_archive_is_a_clean_error() {
+    let path = scratch("garbage.bin", b"this is not a compressed stream");
+    let out = fxrz(&["info", "--input", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "info on garbage");
+}
+
+#[test]
+fn ls_and_stats_on_corrupt_header_are_clean_errors() {
+    // Valid archive magic followed by a varint that never terminates: the
+    // index parser must bail out instead of reading past the buffer.
+    let mut corrupt = b"FXRZA1".to_vec();
+    corrupt.extend_from_slice(&[0xFF; 12]);
+    let path = scratch("corrupt-header.fxrza", &corrupt);
+    for cmd in ["ls", "stats"] {
+        let out = fxrz(&[cmd, "--input", path.to_str().unwrap()]);
+        assert_clean_failure(&out, &format!("{cmd} on corrupt header"));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("corrupt archive"),
+            "{cmd}: expected a corrupt-archive message, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn ls_on_truncated_index_is_a_clean_error() {
+    // Magic + "3 entries" but the buffer ends mid-index.
+    let truncated = b"FXRZA1\x03\x05ab".to_vec();
+    let path = scratch("truncated.fxrza", &truncated);
+    let out = fxrz(&["ls", "--input", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "ls on truncated index");
+}
+
+#[test]
+fn stats_on_empty_file_is_a_clean_error() {
+    let path = scratch("empty.fxrza", b"");
+    let out = fxrz(&["stats", "--input", path.to_str().unwrap()]);
+    assert_clean_failure(&out, "stats on empty file");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not an fxrz archive"), "stderr: {stderr}");
+}
+
+#[test]
+fn metrics_flag_survives_a_failing_subcommand() {
+    let path = scratch("garbage2.bin", b"junk");
+    let metrics_out = std::env::temp_dir().join("fxrz-cli-hardening-metrics.json");
+    let _ = std::fs::remove_file(&metrics_out);
+    let out = fxrz(&[
+        "info",
+        "--input",
+        path.to_str().unwrap(),
+        "--metrics",
+        "json",
+        "--metrics-out",
+        metrics_out.to_str().unwrap(),
+    ]);
+    assert_clean_failure(&out, "info with --metrics");
+    let json = std::fs::read_to_string(&metrics_out).expect("metrics file written");
+    assert!(json.starts_with('{'), "metrics output is JSON: {json}");
+}
+
+#[test]
+fn bad_metrics_format_is_rejected() {
+    let out = fxrz(&[
+        "gen",
+        "--app",
+        "nyx",
+        "--dims",
+        "4x4x4",
+        "--out",
+        "/dev/null",
+        "--metrics",
+        "yaml",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --metrics"), "stderr: {stderr}");
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Reimplements the small API surface the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`,
+//! `BenchmarkId::from_parameter`, `Throughput::Bytes` and `Bencher::iter`.
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples;
+//! median / mean / throughput are printed to stdout. No HTML reports, no
+//! statistical regression analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared measurement throughput for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark's display name within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over warm-up plus `sample_size` samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark; `f` must call [`Bencher::iter`].
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            warmup: self.criterion.warmup,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{}: no samples (iter not called?)", self.name, id.name);
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let mut line = format!(
+            "{}/{}: median {} mean {} ({} samples)",
+            self.name,
+            id.name,
+            format_duration(median),
+            format_duration(mean),
+            samples.len()
+        );
+        if let Some(tp) = self.throughput {
+            let per_iter = match tp {
+                Throughput::Bytes(b) => b as f64,
+                Throughput::Elements(e) => e as f64,
+            };
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                let rate = per_iter / secs;
+                match tp {
+                    Throughput::Bytes(_) => {
+                        let _ = write!(line, " [{:.2} MiB/s]", rate / (1024.0 * 1024.0));
+                    }
+                    Throughput::Elements(_) => {
+                        let _ = write!(line, " [{rate:.0} elem/s]");
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a benchmark group: a function running each target with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 3, "routine should run warmup + samples");
+    }
+}

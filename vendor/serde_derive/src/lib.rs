@@ -1,0 +1,448 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — structs with named fields and
+//! enums with unit, tuple, and struct variants — against the vendored
+//! `serde` stand-in's `Value`-tree traits. Written directly over
+//! `proc_macro` (no `syn`/`quote`, which are equally unreachable offline):
+//! the input item is token-walked into a small [`Shape`] model and the
+//! impl is emitted as formatted source text.
+//!
+//! Supported attribute: `#[serde(skip)]` on a named field (not serialized;
+//! rebuilt with `Default::default()`).
+//!
+//! Unsupported (panics with a clear message): generics, lifetimes, tuple
+//! structs, unions, and other `#[serde(...)]` options.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// Enum variant payload shape.
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// The parsed derive input.
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True when an attribute group (the `[...]` contents) is `serde(skip)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes a leading attribute (`#` + bracket group) if present.
+/// Returns whether it was `#[serde(skip)]`.
+fn eat_attr(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Option<bool> {
+    match iter.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            iter.next();
+            match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    Some(attr_is_serde_skip(&g))
+                }
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn eat_visibility(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Parses `name: Type, …` named fields from a brace-group stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        while let Some(s) = eat_attr(&mut iter) {
+            skip |= s;
+        }
+        eat_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        // Consume the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated elements of a tuple-variant group.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    arity += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                saw_tokens = true;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parses enum variants from the enum body's brace-group stream.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while eat_attr(&mut iter).is_some() {}
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // consume the trailing comma if any
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Token-walks the derive input into a [`Shape`].
+fn parse_input(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        while eat_attr(&mut iter).is_some() {}
+        eat_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("serde_derive: expected struct name, found {other:?}"),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Struct {
+                            name,
+                            fields: parse_named_fields(g.stream()),
+                        };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive stand-in: generic types are not supported ({name})")
+                    }
+                    other => panic!(
+                        "serde_derive stand-in: only structs with named fields are supported \
+                         ({name}, found {other:?})"
+                    ),
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("serde_derive: expected enum name, found {other:?}"),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Enum {
+                            name,
+                            variants: parse_variants(g.stream()),
+                        };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive stand-in: generic enums are not supported ({name})")
+                    }
+                    other => panic!("serde_derive: malformed enum {name}, found {other:?}"),
+                }
+            }
+            Some(_) => continue, // e.g. `union` keyword path never reaches here
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn render_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push((String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(inner))])\n\
+                             }}\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn render_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!("{0}: ::serde::field(v, \"{0}\")?,\n", f.name));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return Err(::serde::DeError::expected(\"object\", v));\n\
+                         }}\n\
+                         Ok(Self {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::element(arr, {i})?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", inner))?;\n\
+                                 return Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::field(inner, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             match s {{\n\
+                                 {unit_arms}\
+                                 other => return Err(::serde::DeError(format!(\n\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         if let Some(obj) = v.as_object() {{\n\
+                             if obj.len() == 1 {{\n\
+                                 let (tag, inner) = &obj[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => return Err(::serde::DeError(format!(\n\
+                                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::expected(\"{name} variant\", v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (JSON-tree lowering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    render_serialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize` (JSON-tree rebuilding).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    render_deserialize(&shape)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides [`to_string`] / [`from_str`] over the vendored `serde`
+//! stand-in's [`Value`] tree: a plain JSON writer and a recursive-descent
+//! parser. Number handling matches what the workspace round-trips —
+//! integers stay integers, floats print with enough digits to round-trip
+//! (`{:?}` formatting), and non-finite floats serialize as `null`
+//! (upstream serde_json behavior).
+
+#![forbid(unsafe_code)]
+
+pub use serde::Value;
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text and rebuilds a `T` from the value tree.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Value::UInt(u) => {
+            out.push_str(&u.to_string());
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // {:?} prints the shortest representation that round-trips
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document into a [`Value`].
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(Error(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                c => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            entries.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                c => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        c as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        if self.peek()? != b'"' {
+            return Err(Error(format!("expected string at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // surrogate pair handling for completeness
+                            if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    out.push(
+                                        char::from_u32(combined)
+                                            .ok_or_else(|| Error("bad surrogate pair".into()))?,
+                                    );
+                                } else {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error("bad unicode escape".into()))?,
+                                );
+                            }
+                        }
+                        c => {
+                            return Err(Error(format!("bad escape `\\{}`", c as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // copy the full UTF-8 sequence
+                    let start = self.pos;
+                    let rest = &self.bytes[start..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error("bad \\u escape".into()))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        } else {
+            // prefer i64 (fits most), fall back to u64 for the top half
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => text
+                    .parse::<u64>()
+                    .map(Value::UInt)
+                    .map_err(|_| Error(format!("bad number `{text}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let v: f64 = from_str(&to_string(&0.1f64).unwrap()).unwrap();
+        assert_eq!(v, 0.1);
+        let i: i64 = from_str("-42").unwrap();
+        assert_eq!(i, -42);
+        let b: bool = from_str("true").unwrap();
+        assert!(b);
+        let s: String = from_str("\"a\\nb\\u00e9\"").unwrap();
+        assert_eq!(s, "a\nbé");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let xs = vec![1.5f64, -2.0, 3.25];
+        let back: Vec<f64> = from_str(&to_string(&xs).unwrap()).unwrap();
+        assert_eq!(back, xs);
+        let opt: Option<u32> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn nested_structure_parses() {
+        let v = parse_value(r#"{"a": [1, 2.5, "x"], "b": {"c": null}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        let arr = obj[0].1.as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+    }
+
+    #[test]
+    fn errors_not_panics() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("nul").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(from_str::<u32>("\"str\"").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+}
