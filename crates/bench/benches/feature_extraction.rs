@@ -1,6 +1,7 @@
 //! Criterion micro-bench: feature extraction cost vs sampling stride —
 //! quantifies the paper's "1.5 % sampling makes analysis ~20× faster"
-//! claim (§V-F).
+//! claim (§V-F) — plus worker-pool scaling of the same kernel on a
+//! 256³ field (expect ≥2× at 4 threads over 1).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fxrz_core::features;
@@ -28,9 +29,26 @@ fn bench_features(c: &mut Criterion) {
     group.finish();
 }
 
+/// Worker-pool scaling on a field big enough that chunking pays: 256³
+/// (64 Mi points, ~256 k sampled at stride 4). `with_threads` pins the
+/// pool width per measurement; results stay bit-identical across rows
+/// (the determinism contract), only the wall-clock should move.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let field = nyx::baryon_density(Dims::d3(256, 256, 256), NyxConfig::default());
+    let sampler = StridedSampler::new(4);
+    let mut group = c.benchmark_group("feature_extraction_parallel_256");
+    group.throughput(Throughput::Bytes(field.nbytes() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| fxrz_parallel::with_threads(threads, || features::extract(&field, sampler)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_features
+    targets = bench_features, bench_parallel_scaling
 }
 criterion_main!(benches);

@@ -108,7 +108,7 @@ impl FrazSearcher {
             Ok(cr)
         };
 
-        for b in 0..self.bins {
+        'search: for b in 0..self.bins {
             let mut lo = b as f64 / self.bins as f64;
             let mut hi = (b + 1) as f64 / self.bins as f64;
             // Iterative bisection on the (monotone-in-t) ratio curve. The
@@ -117,7 +117,11 @@ impl FrazSearcher {
                 let mid = 0.5 * (lo + hi);
                 let cr = probe(mid, &mut runs)?;
                 if (cr - tcr).abs() / tcr < 1e-3 {
-                    break; // converged within this bin
+                    // Converged: the whole search is done, not just this
+                    // bin — probing the remaining bins would only spend
+                    // compressor runs on configurations that cannot beat
+                    // a result already within 0.1% of the target.
+                    break 'search;
                 }
                 if cr < tcr {
                     // need more compression -> looser quality -> larger t
@@ -166,7 +170,7 @@ mod tests {
         let fraz = FrazSearcher::with_total_iters(15);
         let res = fraz.search(&Sz, &f, 30.0).expect("search");
         assert!(res.compressor_runs <= fraz.budget());
-        assert!(res.compressor_runs >= 3);
+        assert!(res.compressor_runs >= 1);
         let err = res.estimation_error(30.0);
         assert!(err < 0.5, "error {err}, mcr {}", res.measured_ratio);
     }
@@ -201,6 +205,44 @@ mod tests {
         let fraz = FrazSearcher::default();
         assert!(fraz.search(&Sz, &f, 0.5).is_err());
         assert!(fraz.search(&Sz, &f, f64::NAN).is_err());
+    }
+
+    /// Always compresses a 16³ f32 field (16384 bytes) to 512 bytes, so
+    /// every probe measures exactly ratio 32 regardless of configuration.
+    struct FlatRatio;
+
+    impl Compressor for FlatRatio {
+        fn name(&self) -> &'static str {
+            "flat"
+        }
+
+        fn compress(&self, field: &Field, _cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
+            Ok(vec![0u8; field.nbytes() / 32])
+        }
+
+        fn decompress(&self, _bytes: &[u8]) -> Result<Field, CompressError> {
+            Err(CompressError::Header("flat mock cannot decompress"))
+        }
+
+        fn config_space(&self) -> fxrz_compressors::ConfigSpace {
+            fxrz_compressors::ConfigSpace::AbsRelRange {
+                min_rel: 1e-6,
+                max_rel: 1e-1,
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_stops_the_whole_search() {
+        // The very first probe lands exactly on the target, so the search
+        // must stop after one compressor run. Before the labelled break,
+        // the convergence `break` only exited the current bin and the
+        // search still burned one probe per remaining bin (3 runs total).
+        let f = field();
+        let fraz = FrazSearcher::with_total_iters(15);
+        let res = fraz.search(&FlatRatio, &f, 32.0).expect("search");
+        assert_eq!(res.compressor_runs, 1, "converged search must stop");
+        assert!((res.measured_ratio - 32.0).abs() < 1e-9);
     }
 
     #[test]

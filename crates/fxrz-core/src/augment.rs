@@ -29,8 +29,12 @@ impl RateCurve {
     /// Builds the curve by running `compressor` on `field` at `n_points`
     /// stationary configurations spread uniformly over its config space.
     ///
+    /// The probes are independent compressor executions, so they run on
+    /// the shared worker pool; results are collected in probe order, so
+    /// the curve is identical for any thread count.
+    ///
     /// # Errors
-    /// Propagates the first compressor failure.
+    /// Propagates the lowest-index compressor failure.
     pub fn build(
         compressor: &dyn Compressor,
         field: &Field,
@@ -39,13 +43,15 @@ impl RateCurve {
         assert!(n_points >= 2, "need at least two stationary points");
         let space = compressor.config_space();
         let range = field.stats().range;
-        let mut points: Vec<(f64, f64)> = Vec::with_capacity(n_points); // (cr, coord)
-        for i in 0..n_points {
+        let points: Vec<(f64, f64)> = fxrz_parallel::par_map(n_points, 1, |probe| {
+            let i = probe.start;
             let t = i as f64 / (n_points - 1) as f64;
             let cfg = space.at(t, range);
             let cr = compressor.ratio(field, &cfg)?;
-            points.push((cr, cfg.coordinate()));
-        }
+            Ok((cr, cfg.coordinate()))
+        })
+        .into_iter()
+        .collect::<Result<_, CompressError>>()?;
         let registry = fxrz_telemetry::global();
         registry.incr("fxrz.augment.curves");
         registry.add("fxrz.augment.stationary_probes", n_points as u64);
@@ -60,16 +66,34 @@ impl RateCurve {
     /// precision-controlled ones (FPZIP: higher precision ⇒ lower ratio).
     /// Orientation is detected and the points are stored with CR
     /// ascending; isotonic clean-up then smooths measurement noise.
-    pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
-        assert!(points.len() >= 2, "need at least two points");
+    ///
+    /// Points with a non-finite CR or coordinate (a NaN-contaminated
+    /// measurement) are dropped — `partial_cmp` would otherwise reorder
+    /// them arbitrarily.
+    ///
+    /// # Panics
+    /// Panics when fewer than two finite points remain.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        let mut points: Vec<(f64, f64)> = points
+            .into_iter()
+            .filter(|(cr, x)| cr.is_finite() && x.is_finite())
+            .collect();
+        assert!(points.len() >= 2, "need at least two (finite) points");
         // sort by coordinate first to establish the curve's direction
         points.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        // direction: does CR mostly rise or fall along the coordinate?
-        let rises = points
+        // Direction: does CR mostly rise or fall along the coordinate?
+        // Stairwise curves with equal rise and fall counts tie at 0; the
+        // endpoint CRs break the tie (net movement decides), defaulting
+        // to ascending only when the endpoints are equal too.
+        let trend = points
             .windows(2)
             .map(|w| (w[1].0 - w[0].0).signum())
-            .sum::<f64>()
-            >= 0.0;
+            .sum::<f64>();
+        let rises = if trend == 0.0 {
+            points.last().expect("nonempty").0 >= points.first().expect("nonempty").0
+        } else {
+            trend > 0.0
+        };
         if !rises {
             points.reverse(); // now CR is (mostly) ascending
         }
@@ -150,9 +174,18 @@ impl RateCurve {
     /// training rows instead of crowding the flat high-ratio tail.
     pub fn augment(&self, n: usize) -> Vec<(f64, f64)> {
         assert!(n >= 2, "need at least two augmented samples");
-        let (lo, hi) = self.valid_range();
-        let lo = lo.max(1.0);
-        let hi = hi.max(lo * 1.0001);
+        let (raw_lo, raw_hi) = self.valid_range();
+        // CRs below 1 mean expansion; the sample range is normally clamped
+        // to [1, hi]. When the *whole* curve sits below CR 1 that clamp
+        // would collapse the range to the degenerate sliver [1, 1.0001]
+        // far outside the curve — keep the curve's own range instead.
+        let (lo, hi) = if raw_hi > 1.0 {
+            let lo = raw_lo.max(1.0);
+            (lo, raw_hi.max(lo * 1.0001))
+        } else {
+            let lo = raw_lo.max(f64::MIN_POSITIVE);
+            (lo, raw_hi.max(lo * 1.0001))
+        };
         let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
         fxrz_telemetry::global().add("fxrz.augment.rows", n as u64);
         (0..n)
@@ -273,8 +306,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "two points")]
+    #[should_panic(expected = "two (finite) points")]
     fn single_point_rejected() {
         let _ = RateCurve::from_points(vec![(10.0, 1.0)]);
+    }
+
+    #[test]
+    fn stairwise_tie_breaks_on_endpoint_crs() {
+        // Equal rise/fall counts sum to a zero signum trend; the curve
+        // nonetheless falls from CR 40 to CR 5 along the coordinate. The
+        // old `>= 0` rule silently picked "ascending" and produced a
+        // curve whose low end mapped to the wrong side of the config
+        // space.
+        let c = RateCurve::from_points(vec![
+            (40.0, 0.0),
+            (41.0, 1.0),
+            (20.0, 2.0),
+            (21.0, 3.0),
+            (5.0, 4.0),
+        ]);
+        assert_eq!(c.valid_range(), (5.0, 41.0));
+        // the loosest (lowest-CR) end must map to the high coordinate
+        assert_eq!(c.coordinate_for_ratio(5.0), 4.0);
+        // and the tightest end to the low coordinate
+        assert!(c.coordinate_for_ratio(41.0) <= 1.0);
+    }
+
+    #[test]
+    fn descending_trend_still_detected() {
+        // strictly falling curve (FPZIP-style): unchanged by the tie-break
+        let c = RateCurve::from_points(vec![(80.0, 0.0), (40.0, 1.0), (10.0, 2.0)]);
+        assert_eq!(c.coordinate_for_ratio(10.0), 2.0);
+        assert_eq!(c.coordinate_for_ratio(80.0), 0.0);
+    }
+
+    #[test]
+    fn augment_survives_curve_entirely_below_one() {
+        // A pathological field can expand at every probe (CR < 1). The
+        // 1.0-floor used to collapse the sample range to [1, 1.0001],
+        // minting samples entirely outside the curve.
+        let c = RateCurve::from_points(vec![(0.25, 0.0), (0.5, 1.0), (0.9, 2.0)]);
+        let samples = c.augment(8);
+        assert_eq!(samples.len(), 8);
+        assert!((samples[0].0 - 0.25).abs() < 1e-12, "{samples:?}");
+        assert!((samples[7].0 - 0.9).abs() < 1e-12, "{samples:?}");
+        for (cr, x) in &samples {
+            assert!(cr.is_finite() && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let c = RateCurve::from_points(vec![
+            (10.0, 0.0),
+            (f64::NAN, 1.0),
+            (20.0, f64::INFINITY),
+            (40.0, 2.0),
+        ]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.valid_range(), (10.0, 40.0));
+        assert!((c.coordinate_for_ratio(25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two (finite) points")]
+    fn all_nan_points_rejected() {
+        let _ = RateCurve::from_points(vec![(f64::NAN, 0.0), (f64::NAN, 1.0)]);
     }
 }

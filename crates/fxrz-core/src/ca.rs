@@ -5,7 +5,9 @@
 //! dataset look more compressible than its information-bearing part is.
 //! CA splits the field into small blocks (4×4×4 for 3-D data), classifies
 //! each block as *constant* when its value range falls below
-//! `λ · |mean value|` (λ = 0.15 is the paper's tuned optimum), and adjusts
+//! `λ · |mean(block)|` — the threshold is **per block**, so fields with
+//! large-scale trends are judged against their local amplitude, not the
+//! global mean (λ = 0.15 is the paper's tuned optimum) — and adjusts
 //! the user's target ratio before it reaches the model:
 //!
 //! ```text
@@ -44,81 +46,97 @@ impl CompressibilityAdjuster {
 
     /// Fraction `R` of non-constant blocks in `field` (Formula 4's `R`).
     ///
-    /// A block is constant when `range(block) < λ · |mean(field)|`. When
-    /// the field mean is exactly zero only strictly-constant blocks count.
+    /// A block is constant when `range(block) < λ · |mean(block)|` —
+    /// the paper's per-block rule. A strictly flat block is always
+    /// constant (covers zero-mean blocks, whose threshold is zero), and
+    /// non-finite values are ignored; an all-non-finite block counts as
+    /// constant. Blocks are scanned on the shared worker pool; the count
+    /// is an integer sum, so `R` is identical for any thread count.
     pub fn non_constant_ratio(&self, field: &Field) -> f64 {
         let dims = field.dims();
         let ndim = dims.ndim();
         let data = field.data();
-        let threshold = self.lambda * field.stats().mean.abs();
 
-        // iterate blocks with an odometer over block origins
         let counts: Vec<usize> = (0..ndim)
             .map(|a| dims.axis(a).div_ceil(self.block))
             .collect();
         let strides = dims.strides();
         let total_blocks: usize = counts.iter().product();
-        let mut non_constant = 0usize;
 
-        let mut it = vec![0usize; ndim];
-        loop {
-            // scan one block
-            let mut bmin = f32::INFINITY;
-            let mut bmax = f32::NEG_INFINITY;
-            let lens: Vec<usize> = (0..ndim)
-                .map(|a| (dims.axis(a) - it[a] * self.block).min(self.block))
-                .collect();
-            let base: usize = (0..ndim).map(|a| it[a] * self.block * strides[a]).sum();
-            let inner: usize = lens.iter().product();
-            let mut inner_it = vec![0usize; ndim];
-            for _ in 0..inner {
-                let off: usize = (0..ndim).map(|a| inner_it[a] * strides[a]).sum();
-                let v = data[base + off];
-                bmin = bmin.min(v);
-                bmax = bmax.max(v);
-                // increment inner odometer
-                let mut a = ndim;
-                while a > 0 {
-                    a -= 1;
-                    inner_it[a] += 1;
-                    if inner_it[a] < lens[a] {
-                        break;
-                    }
-                    inner_it[a] = 0;
-                }
-            }
-            // constant when range < λ·|mean|; a strictly flat block is
-            // always constant (covers the zero-mean / zero-threshold case)
-            if bmax > bmin && (bmax - bmin) as f64 >= threshold {
-                non_constant += 1;
-            }
-            // advance block odometer
-            let mut a = ndim;
-            let mut done = false;
-            loop {
-                if a == 0 {
-                    done = true;
-                    break;
-                }
-                a -= 1;
-                it[a] += 1;
-                if it[a] < counts[a] {
-                    break;
-                }
-                it[a] = 0;
-                if a == 0 {
-                    done = true;
-                    break;
-                }
-            }
-            if done {
-                break;
-            }
-        }
+        // Blocks per parallel chunk: fixed, independent of thread count.
+        const BLOCKS_PER_CHUNK: usize = 256;
+        let non_constant = fxrz_parallel::par_reduce(
+            total_blocks,
+            BLOCKS_PER_CHUNK,
+            |chunk| {
+                chunk
+                    .filter(|&b| self.block_is_non_constant(b, data, dims, &counts, &strides))
+                    .count()
+            },
+            0usize,
+            |acc, c| acc + c,
+        );
+
         let registry = fxrz_telemetry::global();
         registry.add("fxrz.ca.blocks", total_blocks as u64);
         registry.add("fxrz.ca.non_constant_blocks", non_constant as u64);
         non_constant as f64 / total_blocks as f64
+    }
+
+    /// Scans the block with linear index `bidx` (row-major over the
+    /// per-axis block counts) and applies the per-block constancy rule.
+    fn block_is_non_constant(
+        &self,
+        bidx: usize,
+        data: &[f32],
+        dims: fxrz_datagen::Dims,
+        counts: &[usize],
+        strides: &[usize; 4],
+    ) -> bool {
+        let ndim = dims.ndim();
+        // decompose the linear block index into block-grid coordinates
+        let mut it = [0usize; 4];
+        let mut rem = bidx;
+        for a in (0..ndim).rev() {
+            it[a] = rem % counts[a];
+            rem /= counts[a];
+        }
+        let lens: Vec<usize> = (0..ndim)
+            .map(|a| (dims.axis(a) - it[a] * self.block).min(self.block))
+            .collect();
+        let base: usize = (0..ndim).map(|a| it[a] * self.block * strides[a]).sum();
+        let inner: usize = lens.iter().product();
+
+        let mut bmin = f32::INFINITY;
+        let mut bmax = f32::NEG_INFINITY;
+        let mut bsum = 0.0f64;
+        let mut bn = 0usize;
+        let mut inner_it = [0usize; 4];
+        for _ in 0..inner {
+            let off: usize = (0..ndim).map(|a| inner_it[a] * strides[a]).sum();
+            let v = data[base + off];
+            if v.is_finite() {
+                bmin = bmin.min(v);
+                bmax = bmax.max(v);
+                bsum += v as f64;
+                bn += 1;
+            }
+            // increment inner odometer
+            let mut a = ndim;
+            while a > 0 {
+                a -= 1;
+                inner_it[a] += 1;
+                if inner_it[a] < lens[a] {
+                    break;
+                }
+                inner_it[a] = 0;
+            }
+        }
+        if bn == 0 || bmax <= bmin {
+            return false; // empty or strictly flat: constant
+        }
+        let threshold = self.lambda * (bsum / bn as f64).abs();
+        (bmax - bmin) as f64 >= threshold
     }
 
     /// Formula 4: the adjusted compression ratio fed to the model.
@@ -205,6 +223,37 @@ mod tests {
             ((c[0] * 64 + c[1] * 8 + c[2]) as f32 * 1.7).sin() * 100.0
         });
         assert_eq!(ca.adjust(100.0, &v), 100.0);
+    }
+
+    #[test]
+    fn per_block_threshold_handles_trended_fields() {
+        // Linear trend along axis 0: within a 4-wide block the local range
+        // is slope·3 ≈ 94 everywhere. Under the old *global*-mean rule the
+        // threshold was 0.15·mean(field) ≈ 148 everywhere, so every block
+        // looked constant (R = 0). The paper's per-block rule judges each
+        // block against its own amplitude: low-valued blocks stay
+        // non-constant, high-valued ones become constant, and R lands
+        // strictly inside (0, 1).
+        let f = Field::from_fn("trend", Dims::d2(64, 64), |c| c[0] as f32 * 31.25);
+        let r = CompressibilityAdjuster::default().non_constant_ratio(&f);
+        assert!(r > 0.1 && r < 0.9, "r = {r}");
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut f = Field::from_fn("n", Dims::d2(8, 8), |c| ((c[0] * 8 + c[1]) as f32).sin());
+        f.data_mut()[3] = f32::NAN;
+        f.data_mut()[9] = f32::INFINITY;
+        f.data_mut()[17] = f32::NEG_INFINITY;
+        let r = CompressibilityAdjuster::default().non_constant_ratio(&f);
+        assert!(r.is_finite() && r > 0.0 && r <= 1.0, "r = {r}");
+    }
+
+    #[test]
+    fn all_nan_field_is_fully_constant() {
+        let f = Field::new("nan", Dims::d2(8, 8), vec![f32::NAN; 64]);
+        let r = CompressibilityAdjuster::default().non_constant_ratio(&f);
+        assert_eq!(r, 0.0);
     }
 
     #[test]

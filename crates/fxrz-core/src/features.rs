@@ -147,46 +147,85 @@ fn lorenzo(data: &[f32], dims: Dims, coords: &[usize]) -> f64 {
     pred
 }
 
-/// Extracts all eight features of `field` at the sampler's points.
-pub fn extract(field: &Field, sampler: StridedSampler) -> FeatureVector {
-    let dims = field.dims();
-    let ndim = dims.ndim();
-    let strides = dims.strides();
-    let data = field.data();
+/// Sampled points per parallel chunk. Fixed (never derived from the
+/// thread count) so chunk boundaries — and therefore the chunk-ordered
+/// floating-point reduction — are identical for any pool size.
+const POINTS_PER_CHUNK: usize = 8192;
 
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    let mut sum = 0.0f64;
-    let mut n_val = 0usize;
+/// Partial feature statistics over one chunk of sampled points.
+#[derive(Clone, Copy, Debug)]
+struct Accum {
+    min: f64,
+    max: f64,
+    sum: f64,
+    n_val: usize,
+    mnd_sum: f64,
+    mnd_n: usize,
+    mld_sum: f64,
+    mld_n: usize,
+    msd_sum: f64,
+    msd_n: usize,
+    grad_sum: f64,
+    grad_n: usize,
+    grad_min: f64,
+    grad_max: f64,
+}
 
-    let mut mnd_sum = 0.0f64;
-    let mut mnd_n = 0usize;
-    let mut mld_sum = 0.0f64;
-    let mut mld_n = 0usize;
-    let mut msd_sum = 0.0f64;
-    let mut msd_n = 0usize;
-    let mut grad_sum = 0.0f64;
-    let mut grad_n = 0usize;
-    let mut grad_min = f64::INFINITY;
-    let mut grad_max = f64::NEG_INFINITY;
-
-    let sample_coords = sampler.coords(field);
-    {
-        let registry = fxrz_telemetry::global();
-        registry.incr("fxrz.features.extractions");
-        registry.add("fxrz.features.sampled_points", sample_coords.len() as u64);
+impl Default for Accum {
+    fn default() -> Self {
+        Self {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            n_val: 0,
+            mnd_sum: 0.0,
+            mnd_n: 0,
+            mld_sum: 0.0,
+            mld_n: 0,
+            msd_sum: 0.0,
+            msd_n: 0,
+            grad_sum: 0.0,
+            grad_n: 0,
+            grad_min: f64::INFINITY,
+            grad_max: f64::NEG_INFINITY,
+        }
     }
-    for c in sample_coords {
-        let coords = &c[..ndim];
+}
+
+impl Accum {
+    /// Folds `next` (the following chunk) into `self`. Always called in
+    /// chunk order, which fixes the floating-point addition order.
+    fn merge(mut self, next: Self) -> Self {
+        self.min = self.min.min(next.min);
+        self.max = self.max.max(next.max);
+        self.sum += next.sum;
+        self.n_val += next.n_val;
+        self.mnd_sum += next.mnd_sum;
+        self.mnd_n += next.mnd_n;
+        self.mld_sum += next.mld_sum;
+        self.mld_n += next.mld_n;
+        self.msd_sum += next.msd_sum;
+        self.msd_n += next.msd_n;
+        self.grad_sum += next.grad_sum;
+        self.grad_n += next.grad_n;
+        self.grad_min = self.grad_min.min(next.grad_min);
+        self.grad_max = self.grad_max.max(next.grad_max);
+        self
+    }
+
+    /// Accumulates one sampled point; non-finite values and stencil
+    /// contributions are skipped, matching the sequential semantics.
+    fn point(&mut self, data: &[f32], dims: Dims, strides: &[usize; 4], coords: &[usize]) {
+        let ndim = dims.ndim();
         let idx = dims.linear(coords);
         let v = data[idx] as f64;
         if !v.is_finite() {
-            continue;
+            return;
         }
-        min = min.min(v);
-        max = max.max(v);
-        sum += v;
-        n_val += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.n_val += 1;
 
         // MND: average of in-grid axis neighbours
         let mut nb_sum = 0.0f64;
@@ -202,16 +241,16 @@ pub fn extract(field: &Field, sampler: StridedSampler) -> FeatureVector {
             }
         }
         if nb_n > 0 && nb_sum.is_finite() {
-            mnd_sum += (v - nb_sum / nb_n as f64).abs();
-            mnd_n += 1;
+            self.mnd_sum += (v - nb_sum / nb_n as f64).abs();
+            self.mnd_n += 1;
         }
 
         // MLD: Lorenzo residual (skip the origin-corner where pred = 0)
         if coords.iter().any(|&x| x > 0) {
             let p = lorenzo(data, dims, coords);
             if p.is_finite() {
-                mld_sum += (v - p).abs();
-                mld_n += 1;
+                self.mld_sum += (v - p).abs();
+                self.mld_n += 1;
             }
         }
 
@@ -232,8 +271,8 @@ pub fn extract(field: &Field, sampler: StridedSampler) -> FeatureVector {
             }
         }
         if spline_axes > 0 && spline_sum.is_finite() {
-            msd_sum += (v - spline_sum / spline_axes as f64).abs();
-            msd_n += 1;
+            self.msd_sum += (v - spline_sum / spline_axes as f64).abs();
+            self.msd_n += 1;
         }
 
         // Gradients: backward differences per axis
@@ -241,25 +280,61 @@ pub fn extract(field: &Field, sampler: StridedSampler) -> FeatureVector {
             if coords[a] > 0 {
                 let g = (v - data[idx - strides[a]] as f64).abs();
                 if g.is_finite() {
-                    grad_sum += g;
-                    grad_n += 1;
-                    grad_min = grad_min.min(g);
-                    grad_max = grad_max.max(g);
+                    self.grad_sum += g;
+                    self.grad_n += 1;
+                    self.grad_min = self.grad_min.min(g);
+                    self.grad_max = self.grad_max.max(g);
                 }
             }
         }
     }
+}
+
+/// Extracts all eight features of `field` at the sampler's points.
+///
+/// Chunks of sampled points are processed on the shared worker pool and
+/// their partial statistics folded in chunk order, so the result is
+/// bit-identical whether the pool runs one thread or many.
+pub fn extract(field: &Field, sampler: StridedSampler) -> FeatureVector {
+    let dims = field.dims();
+    let ndim = dims.ndim();
+    let strides = dims.strides();
+    let data = field.data();
+
+    let sample_coords = sampler.coords(field);
+    {
+        let registry = fxrz_telemetry::global();
+        registry.incr("fxrz.features.extractions");
+        registry.add("fxrz.features.sampled_points", sample_coords.len() as u64);
+    }
+    let acc = fxrz_parallel::par_reduce(
+        sample_coords.len(),
+        POINTS_PER_CHUNK,
+        |chunk| {
+            let mut a = Accum::default();
+            for c in &sample_coords[chunk] {
+                a.point(data, dims, &strides, &c[..ndim]);
+            }
+            a
+        },
+        Accum::default(),
+        Accum::merge,
+    );
 
     let safe_div = |s: f64, n: usize| if n > 0 { s / n as f64 } else { 0.0 };
     FeatureVector {
-        value_range: if n_val > 0 { max - min } else { 0.0 },
-        mean_value: safe_div(sum, n_val),
-        mnd: safe_div(mnd_sum, mnd_n),
-        mld: safe_div(mld_sum, mld_n),
-        msd: safe_div(msd_sum, msd_n),
-        mean_gradient: safe_div(grad_sum, grad_n),
-        min_gradient: if grad_n > 0 { grad_min } else { 0.0 },
-        max_gradient: if grad_n > 0 { grad_max } else { 0.0 },
+        value_range: if acc.n_val > 0 {
+            acc.max - acc.min
+        } else {
+            0.0
+        },
+        mean_value: safe_div(acc.sum, acc.n_val),
+        mnd: safe_div(acc.mnd_sum, acc.mnd_n),
+        mld: safe_div(acc.mld_sum, acc.mld_n),
+        msd: safe_div(acc.msd_sum, acc.msd_n),
+        mean_gradient: safe_div(acc.grad_sum, acc.grad_n),
+        min_gradient: if acc.grad_n > 0 { acc.grad_min } else { 0.0 },
+        max_gradient: if acc.grad_n > 0 { acc.grad_max } else { 0.0 },
     }
 }
 
@@ -407,5 +482,35 @@ mod tests {
         let fv = extract(&f, full());
         assert!(fv.mean_value.is_finite());
         assert!(fv.value_range.is_finite());
+    }
+
+    #[test]
+    fn infinities_do_not_poison_any_feature() {
+        let mut f = Field::from_fn("inf", Dims::d2(16, 16), |c| (c[0] * c[1]) as f32);
+        f.data_mut()[17] = f32::INFINITY;
+        f.data_mut()[40] = f32::NEG_INFINITY;
+        f.data_mut()[90] = f32::NAN;
+        let fv = extract(&f, full());
+        for (name, v) in FeatureSet::All
+            .names()
+            .iter()
+            .zip(FeatureSet::All.project(&fv))
+        {
+            assert!(v.is_finite(), "{name} = {v}");
+        }
+    }
+
+    #[test]
+    fn all_nan_field_yields_zero_features() {
+        let f = Field::new("nan", Dims::d2(8, 8), vec![f32::NAN; 64]);
+        let fv = extract(&f, full());
+        assert_eq!(fv.value_range, 0.0);
+        assert_eq!(fv.mean_value, 0.0);
+        assert_eq!(fv.mnd, 0.0);
+        assert_eq!(fv.mld, 0.0);
+        assert_eq!(fv.msd, 0.0);
+        assert_eq!(fv.mean_gradient, 0.0);
+        assert_eq!(fv.min_gradient, 0.0);
+        assert_eq!(fv.max_gradient, 0.0);
     }
 }

@@ -134,4 +134,17 @@ mod tests {
     fn zero_stride_rejected() {
         let _ = StridedSampler::new(0);
     }
+
+    #[test]
+    fn sampling_is_independent_of_data_values() {
+        // The lattice depends only on the dims — NaN/Inf values in the
+        // data must not change which points are visited.
+        let clean = Field::from_fn("clean", Dims::d2(9, 9), |c| c[0] as f32);
+        let mut dirty = clean.clone();
+        dirty.data_mut()[0] = f32::NAN;
+        dirty.data_mut()[10] = f32::INFINITY;
+        let s = StridedSampler::new(4);
+        assert_eq!(s.coords(&clean), s.coords(&dirty));
+        assert_eq!(s.coords(&clean).len(), 9);
+    }
 }

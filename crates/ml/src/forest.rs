@@ -33,6 +33,17 @@ impl Default for ForestParams {
     }
 }
 
+/// SplitMix64 finalizer expanding the forest seed into one independent
+/// stream per tree. Seeding each tree's `StdRng` directly from
+/// `seed + tree` would correlate neighbouring streams; the avalanche
+/// mixing decorrelates them.
+fn tree_seed(seed: u64, tree: u64) -> u64 {
+    let mut z = seed.wrapping_add((tree + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A fitted random forest.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RandomForest {
@@ -42,22 +53,26 @@ pub struct RandomForest {
 impl RandomForest {
     /// Fits the forest on `data`.
     ///
+    /// Every tree draws its bootstrap and feature subsets from its own
+    /// seeded RNG stream (a SplitMix64 expansion of `params.seed`), so
+    /// trees are independent of each other and of the thread count —
+    /// training runs on the shared worker pool with bit-identical results
+    /// at any parallelism.
+    ///
     /// # Panics
     /// Panics on an empty dataset or `n_trees == 0`.
     pub fn fit(data: &Dataset, params: ForestParams) -> Self {
         assert!(params.n_trees > 0, "need at least one tree");
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
-        let mut rng = StdRng::seed_from_u64(params.seed);
         let mut tree_params = params.tree;
         if tree_params.max_features.is_none() {
             tree_params.max_features = Some(data.n_features().div_ceil(3).max(1));
         }
-        let trees = (0..params.n_trees)
-            .map(|_| {
-                let sample = data.bootstrap(data.len(), &mut rng);
-                RegressionTree::fit(&sample, tree_params, &mut rng)
-            })
-            .collect();
+        let trees = fxrz_parallel::par_map(params.n_trees, 1, |r| {
+            let mut rng = StdRng::seed_from_u64(tree_seed(params.seed, r.start as u64));
+            let sample = data.bootstrap(data.len(), &mut rng);
+            RegressionTree::fit(&sample, tree_params, &mut rng)
+        });
         Self { trees }
     }
 
@@ -159,6 +174,20 @@ mod tests {
             err(&big),
             err(&small)
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_model() {
+        let data = noisy_linear(150);
+        let p = ForestParams {
+            n_trees: 12,
+            ..ForestParams::default()
+        };
+        let seq = fxrz_parallel::with_threads(1, || RandomForest::fit(&data, p));
+        let par = RandomForest::fit(&data, p);
+        for x in [0.5, 3.3, 9.9] {
+            assert_eq!(seq.predict(&[x]).to_bits(), par.predict(&[x]).to_bits());
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! We reproduce the experiment's structure without a supercomputer:
 //!
 //! 1. **Measurement** — per-rank analysis/compress work is executed for
-//!    real (optionally on concurrent threads via crossbeam).
+//!    real, concurrently on the shared [`fxrz_parallel`] worker pool.
 //! 2. **Scale-out** — measured [`RankWork`] records are tiled round-robin
 //!    over any rank count (weak scaling, as in the paper).
 //! 3. **I/O model** — a fluid-flow shared-bandwidth server drains each
@@ -23,7 +23,6 @@ use fxrz_core::infer::FixedRatioCompressor;
 use fxrz_core::FxrzError;
 use fxrz_datagen::Field;
 use fxrz_fraz::FrazSearcher;
-use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
 /// A cluster description for the dump simulation.
@@ -75,8 +74,12 @@ pub struct DumpReport {
     pub end_to_end: Duration,
     /// Total compressed bytes written.
     pub total_bytes: u64,
-    /// Mean achieved compression ratio.
+    /// Mean of the per-rank achieved compression ratios (every rank
+    /// weighted equally, regardless of its size).
     pub mean_ratio: f64,
+    /// Bytes-weighted aggregate ratio: total raw bytes over total
+    /// compressed bytes (what the filesystem sees).
+    pub aggregate_ratio: f64,
 }
 
 /// A fixed-ratio planning strategy: decides an error configuration and
@@ -189,48 +192,33 @@ pub fn measure_rank(
     })
 }
 
-/// Measures several ranks concurrently on real threads (capped at the
-/// machine's parallelism), mirroring per-node concurrency on the cluster.
+/// Measures several ranks concurrently on the shared worker pool,
+/// mirroring per-node concurrency on the cluster.
+///
+/// Ranks are pulled from one shared work queue: a worker takes the next
+/// rank the moment it finishes its current one, so a single slow rank no
+/// longer idles every other worker the way the old chunk-spawn-join
+/// barrier did (which waited for the slowest rank of each chunk before
+/// starting the next).
 ///
 /// # Errors
-/// Returns the first rank failure.
+/// Returns the lowest-indexed rank failure.
 pub fn measure_ranks_parallel(
     strategy: &dyn DumpStrategy,
     fields: &[Field],
     tcr: f64,
 ) -> Result<Vec<RankWork>, String> {
-    let results: Mutex<Vec<(usize, Result<RankWork, String>)>> =
-        Mutex::new(Vec::with_capacity(fields.len()));
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(fields.len().max(1));
     let registry = fxrz_telemetry::global();
-    registry.set_gauge("parallel_io.workers", max_threads as i64);
+    registry.set_gauge(
+        "parallel_io.workers",
+        fxrz_parallel::current_threads() as i64,
+    );
     registry.add("parallel_io.fields_queued", fields.len() as u64);
-    crossbeam::thread::scope(|scope| {
-        #[allow(clippy::needless_range_loop)] // index pairs results with fields
-        for chunk_start in (0..fields.len()).step_by(max_threads) {
-            let chunk_end = (chunk_start + max_threads).min(fields.len());
-            let mut handles = Vec::new();
-            for i in chunk_start..chunk_end {
-                let field = &fields[i];
-                let results = &results;
-                handles.push(scope.spawn(move |_| {
-                    let r = measure_rank(strategy, field, tcr);
-                    results.lock().push((i, r));
-                }));
-            }
-            for h in handles {
-                h.join().expect("rank thread panicked");
-            }
-        }
+    fxrz_parallel::par_map(fields.len(), 1, |r| {
+        measure_rank(strategy, &fields[r.start], tcr)
     })
-    .expect("scope panicked");
-
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|&(i, _)| i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    .into_iter()
+    .collect()
 }
 
 impl Cluster {
@@ -273,7 +261,17 @@ impl Cluster {
             .map(|r| works[r % works.len()].compress)
             .max()
             .unwrap_or_default();
-        let mean_ratio = {
+        // `mean_ratio` averages per-rank ratios so small ranks count as
+        // much as large ones; `aggregate_ratio` is the bytes-weighted
+        // total the filesystem sees. They differ whenever rank sizes do.
+        let mean_ratio = (0..self.ranks)
+            .map(|r| {
+                let w = &works[r % works.len()];
+                w.raw_bytes as f64 / w.bytes.max(1) as f64
+            })
+            .sum::<f64>()
+            / self.ranks as f64;
+        let aggregate_ratio = {
             let raw: u64 = (0..self.ranks)
                 .map(|r| works[r % works.len()].raw_bytes)
                 .sum();
@@ -289,6 +287,7 @@ impl Cluster {
             end_to_end: Duration::from_secs_f64(end_to_end),
             total_bytes,
             mean_ratio,
+            aggregate_ratio,
         }
     }
 }
@@ -362,6 +361,42 @@ mod tests {
         };
         let report = cluster.simulate("x", &[work(0, 0, 100)]);
         assert!((report.mean_ratio - 10.0).abs() < 1e-9);
+        assert!((report.aggregate_ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ratio_weights_ranks_equally() {
+        let cluster = Cluster {
+            ranks: 2,
+            io_bandwidth: 1e9,
+        };
+        // Rank a: 1000 raw / 100 compressed = 10x.
+        // Rank b: 30000 raw / 1000 compressed = 30x.
+        let a = RankWork {
+            analysis: Duration::ZERO,
+            compress: Duration::ZERO,
+            bytes: 100,
+            raw_bytes: 1000,
+        };
+        let b = RankWork {
+            analysis: Duration::ZERO,
+            compress: Duration::ZERO,
+            bytes: 1000,
+            raw_bytes: 30_000,
+        };
+        let report = cluster.simulate("x", &[a, b]);
+        // Mean of per-rank ratios: (10 + 30) / 2 = 20. The bytes-weighted
+        // aggregate is 31000/1100 ~ 28.18 — the big rank dominates it.
+        assert!(
+            (report.mean_ratio - 20.0).abs() < 1e-9,
+            "{}",
+            report.mean_ratio
+        );
+        assert!(
+            (report.aggregate_ratio - 31_000.0 / 1_100.0).abs() < 1e-9,
+            "{}",
+            report.aggregate_ratio
+        );
     }
 
     #[test]

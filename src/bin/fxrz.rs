@@ -31,7 +31,7 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr"
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
     );
     ExitCode::FAILURE
 }
@@ -124,6 +124,18 @@ fn run() -> Result<(), String> {
     let flag = |k: &str| -> Result<String, String> {
         flags.get(k).cloned().ok_or(format!("missing --{k}"))
     };
+
+    // Worker-pool sizing must happen before any parallel kernel runs
+    // (the pool is created lazily on first use and then fixed for the
+    // process). `--threads` beats the FXRZ_THREADS environment variable.
+    if let Some(t) = flags.get("threads") {
+        let n: usize = t
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("bad --threads (want a positive integer)")?;
+        fxrz::parallel::configure_threads(n);
+    }
 
     // The command body runs inside a closure so that early `?` returns
     // still fall through to the metrics emission below.

@@ -23,6 +23,7 @@ pub use fxrz_core as core;
 pub use fxrz_datagen as datagen;
 pub use fxrz_fraz as fraz;
 pub use fxrz_ml as ml;
+pub use fxrz_parallel as parallel;
 pub use fxrz_parallel_io as parallel_io;
 pub use fxrz_telemetry as telemetry;
 

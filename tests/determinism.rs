@@ -1,0 +1,88 @@
+//! Bit-level determinism of every parallelized kernel.
+//!
+//! The worker-pool contract (see `fxrz-parallel`) is that chunk
+//! boundaries and reduction order depend only on the input length, never
+//! on the thread count. These tests pin that contract end to end: each
+//! hot kernel is run once forced sequential (`with_threads(1)`) and once
+//! on the full pool, and the results are compared **bit for bit** — an
+//! `assert!((a - b).abs() < eps)` would hide exactly the class of
+//! floating-point reassociation bug this suite exists to catch.
+
+use fxrz::core::features;
+use fxrz::ml::dataset::Dataset;
+use fxrz::ml::forest::{ForestParams, RandomForest};
+use fxrz::parallel::with_threads;
+use fxrz::prelude::*;
+
+fn test_field() -> Field {
+    nyx::baryon_density(Dims::d3(32, 32, 32), NyxConfig::default().with_seed(9))
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x} (seq) != {y} (par)"
+        );
+    }
+}
+
+#[test]
+fn feature_extraction_is_bit_identical_across_thread_counts() {
+    let field = test_field();
+    for sampler in [StridedSampler::full(), StridedSampler::new(4)] {
+        let seq = with_threads(1, || features::extract(&field, sampler));
+        let par = features::extract(&field, sampler);
+        assert_bits_eq(
+            &FeatureSet::All.project(&seq),
+            &FeatureSet::All.project(&par),
+            "features",
+        );
+    }
+}
+
+#[test]
+fn ca_ratio_is_bit_identical_across_thread_counts() {
+    let field = test_field();
+    let ca = CompressibilityAdjuster::default();
+    let seq = with_threads(1, || ca.non_constant_ratio(&field));
+    let par = ca.non_constant_ratio(&field);
+    assert_eq!(seq.to_bits(), par.to_bits(), "{seq} (seq) != {par} (par)");
+}
+
+#[test]
+fn rate_curve_is_bit_identical_across_thread_counts() {
+    let field = test_field();
+    let seq = with_threads(1, || RateCurve::build(&Sz, &field, 9)).expect("seq curve");
+    let par = RateCurve::build(&Sz, &field, 9).expect("par curve");
+    assert_eq!(seq.valid_range(), par.valid_range());
+    let flatten = |samples: Vec<(f64, f64)>| -> Vec<f64> {
+        samples.into_iter().flat_map(|(cr, x)| [cr, x]).collect()
+    };
+    assert_bits_eq(
+        &flatten(seq.augment(32)),
+        &flatten(par.augment(32)),
+        "augmented samples",
+    );
+}
+
+#[test]
+fn forest_training_is_bit_identical_across_thread_counts() {
+    let mut data = Dataset::new(2);
+    for i in 0..200 {
+        let x0 = i as f64 / 20.0;
+        let x1 = ((i * 37) % 100) as f64 / 10.0;
+        data.push(&[x0, x1], 2.0 * x0 - 0.5 * x1 + 1.0);
+    }
+    let params = ForestParams {
+        n_trees: 16,
+        ..ForestParams::default()
+    };
+    let seq = with_threads(1, || RandomForest::fit(&data, params));
+    let par = RandomForest::fit(&data, params);
+    let probe: Vec<[f64; 2]> = vec![[0.0, 0.0], [3.1, 4.2], [9.9, 0.5], [5.0, 5.0]];
+    let predictions = |m: &RandomForest| probe.iter().map(|x| m.predict(x)).collect::<Vec<_>>();
+    assert_bits_eq(&predictions(&seq), &predictions(&par), "predictions");
+}

@@ -1,11 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`thread::scope`] is provided — the one API the workspace uses —
-//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
-//! The signatures mirror crossbeam's: the scope closure and every spawned
-//! closure receive a [`thread::Scope`] reference, and `scope` returns a
-//! `Result` (always `Ok` here; panics propagate as panics, which is what
-//! the workspace's `.expect(..)` call sites rely on).
+//! Provides the two APIs the workspace uses:
+//!
+//! * [`thread::scope`] — implemented on top of `std::thread::scope`
+//!   (stable since Rust 1.63). The signatures mirror crossbeam's: the
+//!   scope closure and every spawned closure receive a [`thread::Scope`]
+//!   reference, and `scope` returns a `Result` (always `Ok` here; panics
+//!   propagate as panics, which is what the workspace's `.expect(..)`
+//!   call sites rely on).
+//! * [`channel::unbounded`] — an MPMC FIFO channel (cloneable senders
+//!   *and* receivers) built on `Mutex<VecDeque>` + `Condvar`. Crossbeam's
+//!   lock-free internals are irrelevant at the workspace's task
+//!   granularity; the observable semantics (blocking `recv`, disconnect
+//!   on last-sender drop) match.
 
 #![forbid(unsafe_code)]
 
@@ -63,6 +70,135 @@ pub mod thread {
     }
 }
 
+/// Multi-producer multi-consumer FIFO channels mirroring
+/// `crossbeam::channel`'s blocking subset.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half; cloning adds a producer.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// The receiving half; cloning adds a consumer.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").senders += 1;
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, waking one blocked receiver.
+        ///
+        /// # Errors
+        /// Never fails here (receiver liveness is not tracked); kept as a
+        /// `Result` for crossbeam API compatibility.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .state
+                .lock()
+                .expect("channel lock")
+                .queue
+                .push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value is available or all senders disconnect.
+        ///
+        /// # Errors
+        /// [`RecvError`] when the channel is empty and has no senders.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).expect("channel wait");
+            }
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally no sender is
+        /// left.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -84,5 +220,44 @@ mod tests {
         })
         .expect("scope");
         assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        tx.send(1).expect("send");
+        tx.send(2).expect("send");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+        assert_eq!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn channel_is_mpmc() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let got = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let got = &got;
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        got.fetch_add(v, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..100 {
+                tx.send(i).expect("send");
+            }
+            drop(tx); // disconnect so consumers exit
+        })
+        .expect("scope");
+        assert_eq!(got.load(Ordering::SeqCst), 4950);
     }
 }
