@@ -5,13 +5,39 @@
 //! indices, builds a Huffman code over their frequencies, length-limits it
 //! to [`MAX_CODE_LEN`] bits, and serializes canonical code lengths plus the
 //! symbol dictionary ahead of the payload bits.
+//!
+//! Both directions run word-at-a-time (the wire format is unchanged from
+//! the original bit-at-a-time implementation):
+//!
+//! * **Encode** precomputes a per-slot `(bit-reversed code, length)` table
+//!   and emits each symbol with one [`BitWriter::write_bits`] call. The
+//!   symbol→slot map is a dense index over the symbol range when the range
+//!   is compact (the SZ quantization-code case) and a sorted-dictionary
+//!   binary search otherwise — no per-call hashing either way.
+//! * **Decode** builds a two-level lookup table: a primary table on the
+//!   next [`PRIMARY_BITS`] stream bits resolves common symbols with one
+//!   peek, longer codes fall through to per-prefix sub-tables, and only
+//!   codes beyond `PRIMARY_BITS + SUB_BITS` (possible but vanishingly rare
+//!   under the Kraft-limited length distribution) take the canonical
+//!   bit-by-bit walk.
 
 use crate::bitstream::{read_varint, write_varint, BitReader, BitWriter};
+use crate::scratch::{with_scratch, CodecScratch};
 use crate::CodecError;
-use std::collections::HashMap;
 
 /// Upper bound on any code length, enforced by Kraft-sum adjustment.
 pub const MAX_CODE_LEN: u32 = 32;
+
+/// Bits resolved by the primary decode table (zlib uses 9–10; quantization
+/// alphabets are wider, so spend a little more).
+pub const PRIMARY_BITS: u32 = 11;
+
+/// Bits resolved by each overflow sub-table.
+const SUB_BITS: u32 = 11;
+
+/// Symbol spans up to this factor of the alphabet size use the dense
+/// direct-map index instead of binary search.
+const DENSE_SPAN_LIMIT: usize = 1 << 20;
 
 /// Computes Huffman code lengths for the given positive frequencies.
 ///
@@ -147,25 +173,85 @@ fn canonical_codes(lens: &[u32]) -> Vec<u64> {
     codes
 }
 
+/// Canonical codes compare MSB-first but the bitstream packs LSB-first;
+/// pre-reversing each code lets the payload loop emit it with a single
+/// `write_bits` call (and lets the decoder index tables by peeked bits).
+#[inline]
+fn reverse_code(code: u64, len: u32) -> u64 {
+    debug_assert!(len > 0);
+    code.reverse_bits() >> (64 - len)
+}
+
 /// Encodes a symbol stream. The output is self-describing (dictionary +
 /// canonical lengths + payload) and decoded by [`decode`].
 pub fn encode(symbols: &[u32]) -> Vec<u8> {
-    // Dense symbol dictionary in first-appearance order.
-    let mut index: HashMap<u32, usize> = HashMap::new();
-    let mut dict: Vec<u32> = Vec::new();
-    let mut freqs: Vec<u64> = Vec::new();
-    let mut dense: Vec<usize> = Vec::with_capacity(symbols.len());
-    for &s in symbols {
-        let slot = *index.entry(s).or_insert_with(|| {
-            dict.push(s);
-            freqs.push(0);
-            dict.len() - 1
-        });
-        freqs[slot] += 1;
-        dense.push(slot);
+    with_scratch(|scratch| encode_with(scratch, symbols))
+}
+
+/// [`encode`] against caller-provided scratch, so repeated calls (rate-curve
+/// probes, FRaZ search rounds) reuse the dense-index and table buffers.
+pub fn encode_with(scratch: &mut CodecScratch, symbols: &[u32]) -> Vec<u8> {
+    scratch.note_use();
+    let CodecScratch {
+        huff_sorted: sorted,
+        huff_slot: slot_of,
+        huff_dense: dense,
+        huff_freqs: freqs,
+        huff_dict: dict,
+        huff_codes: codes_tab,
+        ..
+    } = scratch;
+
+    // --- dense symbol dictionary in first-appearance order ---------------
+    sorted.clear();
+    sorted.extend_from_slice(symbols);
+    sorted.sort_unstable();
+    sorted.dedup();
+    dict.clear();
+    freqs.clear();
+    dense.clear();
+    dense.reserve(symbols.len());
+
+    let (min_sym, max_sym) = match (sorted.first(), sorted.last()) {
+        (Some(&lo), Some(&hi)) => (lo as usize, hi as usize),
+        _ => (0, 0),
+    };
+    let span = max_sym - min_sym + 1;
+    if !sorted.is_empty() && span <= DENSE_SPAN_LIMIT.max(4 * sorted.len()) {
+        // Dense index: direct map over the (compact) symbol range.
+        slot_of.clear();
+        slot_of.resize(span, usize::MAX);
+        for &s in symbols.iter() {
+            let si = s as usize - min_sym;
+            let mut slot = slot_of[si];
+            if slot == usize::MAX {
+                slot = dict.len();
+                slot_of[si] = slot;
+                dict.push(s);
+                freqs.push(0);
+            }
+            freqs[slot] += 1;
+            dense.push(slot as u32);
+        }
+    } else {
+        // Sparse alphabet: binary search into the sorted dictionary.
+        slot_of.clear();
+        slot_of.resize(sorted.len(), usize::MAX);
+        for &s in symbols.iter() {
+            let si = sorted.binary_search(&s).expect("symbol present");
+            let mut slot = slot_of[si];
+            if slot == usize::MAX {
+                slot = dict.len();
+                slot_of[si] = slot;
+                dict.push(s);
+                freqs.push(0);
+            }
+            freqs[slot] += 1;
+            dense.push(slot as u32);
+        }
     }
 
-    let lens = code_lengths(&freqs);
+    let lens = code_lengths(freqs);
     let codes = canonical_codes(&lens);
 
     let mut header = Vec::new();
@@ -176,14 +262,25 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
         write_varint(&mut header, lens[i] as u64);
     }
 
+    // --- per-slot (reversed code, len) encode table ----------------------
+    codes_tab.clear();
+    codes_tab.reserve(dict.len());
+    for slot in 0..dict.len() {
+        let len = lens[slot];
+        let rev = if len > 0 {
+            reverse_code(codes[slot], len)
+        } else {
+            0
+        };
+        codes_tab.push((rev, len));
+    }
+    fxrz_telemetry::global().incr("codec.huffman.table_builds");
+
     let mut w = BitWriter::with_capacity(symbols.len() / 4 + 16);
     w.write_bytes(&header);
-    for &slot in &dense {
-        let (code, len) = (codes[slot], lens[slot]);
-        // canonical codes compare MSB-first; emit them MSB-first
-        for k in (0..len).rev() {
-            w.write_bit((code >> k) & 1 == 1);
-        }
+    for &slot in dense.iter() {
+        let (rev, len) = codes_tab[slot as usize];
+        w.write_bits(rev, len);
     }
     let out = w.into_bytes();
     let registry = fxrz_telemetry::global();
@@ -204,6 +301,134 @@ pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
         Err(_) => registry.incr("codec.huffman.decode.errors"),
     }
     out
+}
+
+/// Decode-table entry layout (`u64`, `0` = no code with this prefix):
+/// * direct: bits `0..6` = code length, bits `32..` = dense slot;
+/// * escape: bit `6` set, bits `8..16` = sub-table index width, bits
+///   `32..` = offset of the sub-table in the shared `sub` arena.
+const ESCAPE: u64 = 1 << 6;
+
+struct DecodeTables {
+    primary_bits: u32,
+    primary: Vec<u64>,
+    sub: Vec<u64>,
+    // canonical fallback for codes longer than both table levels
+    first_code: Vec<u64>,
+    first_slot: Vec<usize>,
+    limit: Vec<u64>,
+    sorted_slots: Vec<usize>,
+    max_len: usize,
+}
+
+fn build_decode_tables(lens: &[u32]) -> Result<DecodeTables, CodecError> {
+    let mut order: Vec<usize> = (0..lens.len()).filter(|&i| lens[i] > 0).collect();
+    order.sort_by_key(|&i| (lens[i], i));
+    if order.is_empty() {
+        return Err(CodecError::Corrupt("no used codes"));
+    }
+    let max_len = lens[*order.last().expect("nonempty")] as usize;
+
+    // Canonical (first_code / first_slot / limit) arrays double as the
+    // assignment pass and the slow-path fallback tables.
+    let mut first_code = vec![0u64; max_len + 2];
+    let mut first_slot = vec![0usize; max_len + 2];
+    let mut limit = vec![u64::MAX; max_len + 1];
+    let mut sorted_slots: Vec<usize> = Vec::with_capacity(order.len());
+    let mut codes = vec![0u64; lens.len()];
+    {
+        let mut code = 0u64;
+        let mut prev_len = 0u32;
+        let mut i = 0usize;
+        while i < order.len() {
+            let l = lens[order[i]];
+            code <<= l - prev_len;
+            first_code[l as usize] = code;
+            first_slot[l as usize] = sorted_slots.len();
+            while i < order.len() && lens[order[i]] == l {
+                codes[order[i]] = code;
+                sorted_slots.push(order[i]);
+                code += 1;
+                i += 1;
+            }
+            limit[l as usize] = code;
+            prev_len = l;
+        }
+        first_code[max_len + 1] = code << 1;
+        // A canonical code overflowing its length budget means the stored
+        // lengths violate Kraft — reject rather than building bogus tables.
+        if max_len < 64 && first_code[max_len + 1] > (1u64 << (max_len + 1)) {
+            return Err(CodecError::Corrupt("code lengths violate kraft sum"));
+        }
+    }
+
+    let primary_bits = (max_len as u32).min(PRIMARY_BITS);
+    let mut primary = vec![0u64; 1usize << primary_bits];
+    let mut sub: Vec<u64> = Vec::new();
+
+    // Pass 1: direct entries, and the deepest code under each escape prefix.
+    let mut group_max = vec![0u32; 1usize << primary_bits];
+    for &slot in &sorted_slots {
+        let l = lens[slot];
+        let rev = reverse_code(codes[slot], l);
+        if l <= primary_bits {
+            let entry = (slot as u64) << 32 | l as u64;
+            let mut idx = rev as usize;
+            let step = 1usize << l;
+            while idx < primary.len() {
+                primary[idx] = entry;
+                idx += step;
+            }
+        } else {
+            let prefix = (rev & ((1 << primary_bits) - 1)) as usize;
+            group_max[prefix] = group_max[prefix].max(l);
+        }
+    }
+    // Pass 2: allocate sub-tables and fill them.
+    for (prefix, &gmax) in group_max.iter().enumerate() {
+        if gmax == 0 {
+            continue;
+        }
+        let sub_bits = (gmax - primary_bits).min(SUB_BITS);
+        let offset = sub.len() as u64;
+        sub.resize(sub.len() + (1usize << sub_bits), 0);
+        primary[prefix] = ESCAPE | (sub_bits as u64) << 8 | offset << 32;
+    }
+    for &slot in &sorted_slots {
+        let l = lens[slot];
+        if l <= primary_bits {
+            continue;
+        }
+        let rev = reverse_code(codes[slot], l);
+        let prefix = (rev & ((1 << primary_bits) - 1)) as usize;
+        let e = primary[prefix];
+        debug_assert!(e & ESCAPE != 0);
+        let sub_bits = (e >> 8) as u32 & 0xFF;
+        if l > primary_bits + sub_bits {
+            continue; // beyond both levels: canonical slow path handles it
+        }
+        let offset = (e >> 32) as usize;
+        let suffix = (rev >> primary_bits) as usize;
+        let entry = (slot as u64) << 32 | l as u64;
+        let step = 1usize << (l - primary_bits);
+        let mut idx = suffix;
+        while idx < 1usize << sub_bits {
+            sub[offset + idx] = entry;
+            idx += step;
+        }
+    }
+
+    fxrz_telemetry::global().incr("codec.huffman.table_builds");
+    Ok(DecodeTables {
+        primary_bits,
+        primary,
+        sub,
+        first_code,
+        first_slot,
+        limit,
+        sorted_slots,
+        max_len,
+    })
 }
 
 fn decode_unmetered(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
@@ -233,73 +458,58 @@ fn decode_unmetered(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
         return Err(CodecError::Corrupt("nonzero count with empty dictionary"));
     }
 
-    // Canonical decode tables: for each length, the first code value and the
-    // slot index of its first symbol.
-    let mut order: Vec<usize> = (0..n_dict).filter(|&i| lens[i] > 0).collect();
-    order.sort_by_key(|&i| (lens[i], i));
-    if order.is_empty() {
-        return Err(CodecError::Corrupt("no used codes"));
-    }
-    let max_len = lens[*order.last().expect("nonempty")] as usize;
-    let mut first_code = vec![0u64; max_len + 2];
-    let mut first_slot = vec![0usize; max_len + 2];
-    let mut sorted_slots: Vec<usize> = Vec::with_capacity(order.len());
-    {
-        let mut code = 0u64;
-        let mut prev_len = 0u32;
-        let mut i = 0usize;
-        while i < order.len() {
-            let l = lens[order[i]];
-            code <<= l - prev_len;
-            first_code[l as usize] = code;
-            first_slot[l as usize] = sorted_slots.len();
-            while i < order.len() && lens[order[i]] == l {
-                sorted_slots.push(order[i]);
-                code += 1;
-                i += 1;
-            }
-            prev_len = l;
-        }
-        // Sentinel: one past the largest valid code at max_len.
-        first_code[max_len + 1] = code << 1;
-    }
+    let tables = build_decode_tables(&lens)?;
+    let primary_bits = tables.primary_bits;
 
     let mut r = BitReader::new(&buf[pos..]);
     // `count` comes from untrusted input: cap the pre-allocation so a
     // corrupt stream yields CodecError instead of an allocation abort.
     let mut out = Vec::with_capacity(count.min(1 << 20));
 
-    // Per-length limit codes for the fast "does this length terminate" test.
-    let mut limit = vec![u64::MAX; max_len + 1];
-    {
-        // limit[l] = first_code of next used length, shifted down to l bits
-        let used_lens: Vec<usize> = (1..=max_len)
-            .filter(|&l| sorted_slots.iter().any(|&s| lens[s] as usize == l))
-            .collect();
-        for (k, &l) in used_lens.iter().enumerate() {
-            let count_at_l = sorted_slots
-                .iter()
-                .filter(|&&s| lens[s] as usize == l)
-                .count() as u64;
-            limit[l] = first_code[l] + count_at_l;
-            let _ = k;
+    'symbols: for _ in 0..count {
+        let avail = r.bits_remaining();
+        let e = tables.primary[r.peek_bits(primary_bits) as usize];
+        if e != 0 && e & ESCAPE == 0 {
+            let len = (e & 0x3F) as u32;
+            if len as usize <= avail {
+                r.consume(len);
+                out.push(dict[(e >> 32) as usize]);
+                continue;
+            }
+            return Err(CodecError::Truncated);
         }
-    }
-
-    for _ in 0..count {
+        if e & ESCAPE != 0 {
+            let sub_bits = (e >> 8) as u32 & 0xFF;
+            let suffix = (r.peek_bits(primary_bits + sub_bits) >> primary_bits) as usize;
+            let e2 = tables.sub[(e >> 32) as usize + suffix];
+            if e2 != 0 {
+                let len = (e2 & 0x3F) as u32;
+                if len as usize <= avail {
+                    r.consume(len);
+                    out.push(dict[(e2 >> 32) as usize]);
+                    continue;
+                }
+                return Err(CodecError::Truncated);
+            }
+        }
+        // Canonical bit-by-bit walk: codes past both table levels, and the
+        // truncated-tail cases (it naturally distinguishes Truncated from
+        // Corrupt because it consumes real bits one at a time).
         let mut code = 0u64;
         let mut l = 0usize;
         loop {
             let bit = r.read_bit().ok_or(CodecError::Truncated)?;
             code = (code << 1) | u64::from(bit);
             l += 1;
-            if l > max_len {
+            if l > tables.max_len {
                 return Err(CodecError::Corrupt("invalid huffman code"));
             }
-            if limit[l] != u64::MAX && code < limit[l] && code >= first_code[l] {
-                let slot = sorted_slots[first_slot[l] + (code - first_code[l]) as usize];
+            if tables.limit[l] != u64::MAX && code < tables.limit[l] && code >= tables.first_code[l]
+            {
+                let slot = tables.sorted_slots
+                    [tables.first_slot[l] + (code - tables.first_code[l]) as usize];
                 out.push(dict[slot]);
-                break;
+                continue 'symbols;
             }
         }
     }
@@ -354,6 +564,37 @@ mod tests {
     #[test]
     fn large_sparse_alphabet() {
         let syms: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn wide_alphabet_exercises_subtables() {
+        // >2^11 distinct symbols forces codes longer than PRIMARY_BITS, so
+        // decode must route through the overflow sub-tables.
+        let mut syms: Vec<u32> = Vec::new();
+        for i in 0..6000u32 {
+            syms.push(i);
+            if i % 3 == 0 {
+                syms.push(i); // mild skew so lengths vary
+            }
+        }
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn deep_codes_take_slow_path() {
+        // Fibonacci frequencies drive lengths past PRIMARY_BITS + SUB_BITS,
+        // exercising the canonical fallback walk.
+        let mut syms: Vec<u32> = Vec::new();
+        let (mut a, mut b) = (1u64, 1u64);
+        for i in 0..40u32 {
+            for _ in 0..a.min(50_000) {
+                syms.push(i);
+            }
+            let next = a + b;
+            a = b;
+            b = next;
+        }
         roundtrip(&syms);
     }
 
@@ -415,6 +656,21 @@ mod tests {
         write_varint(&mut buf, 4);
         write_varint(&mut buf, u64::MAX);
         assert!(matches!(decode(&buf), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn kraft_violating_header_is_rejected() {
+        use crate::bitstream::write_varint;
+        // Three symbols all claiming length 1 overflow the code space.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 3); // count
+        write_varint(&mut buf, 3); // n_dict
+        for s in 0..3u64 {
+            write_varint(&mut buf, s); // symbol
+            write_varint(&mut buf, 1); // len
+        }
+        buf.push(0); // payload byte
+        assert!(decode(&buf).is_err());
     }
 
     #[test]

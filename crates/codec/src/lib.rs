@@ -11,6 +11,8 @@
 //! * [`range`] — adaptive binary range coder with bit-tree contexts (the
 //!   residual coder of the FPZIP-style pipeline).
 //! * [`rle`] — zero-run-length pre-pass (the MGARD-style pipeline).
+//! * [`scratch`] — reusable per-thread working memory ([`CodecScratch`])
+//!   shared by the huffman/lz77 encode hot paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,9 @@ pub mod huffman;
 pub mod lz77;
 pub mod range;
 pub mod rle;
+pub mod scratch;
+
+pub use scratch::{with_scratch, CodecScratch};
 
 /// Errors surfaced while decoding a compressed stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

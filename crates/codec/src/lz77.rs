@@ -9,8 +9,16 @@
 //! Token format (all varints, see [`crate::bitstream`]):
 //! `lit_len, <literals>, match_len, distance` repeated; a trailing token
 //! carries `match_len = 0` after the final literals.
+//!
+//! The match finder runs word-at-a-time: candidates are extended eight
+//! bytes per compare (`u64` XOR + `trailing_zeros`), the `prev` chain array
+//! is bounded to the window instead of the input length, a one-step lazy
+//! evaluation upgrades matches that start one byte later, and an LZ4-style
+//! skip heuristic accelerates through incompressible stretches. All state
+//! lives in [`CodecScratch`] so back-to-back calls do not reallocate.
 
 use crate::bitstream::{read_varint, write_varint};
+use crate::scratch::{with_scratch, CodecScratch, NO_POS};
 use crate::CodecError;
 
 /// Minimum useful match length: shorter matches cost more than literals.
@@ -23,6 +31,14 @@ const WINDOW: usize = 1 << 16;
 const HASH_SIZE: usize = 1 << 15;
 /// Maximum chain positions examined per match attempt.
 const MAX_CHAIN: usize = 32;
+/// Matches at least this long skip the lazy one-byte-later probe.
+const LAZY_THRESHOLD: usize = 64;
+/// After `1 << SKIP_SHIFT` consecutive match misses, the search starts
+/// striding over the data (doubling every further `1 << SKIP_SHIFT`
+/// misses), so incompressible stretches cost ~O(n / stride).
+const SKIP_SHIFT: u32 = 6;
+/// Matches longer than this insert hash entries sparsely.
+const DENSE_INSERT_LIMIT: usize = 256;
 
 #[inline]
 fn hash4(data: &[u8], i: usize) -> usize {
@@ -30,10 +46,38 @@ fn hash4(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(2654435761) as usize >> 17) & (HASH_SIZE - 1)
 }
 
+/// Extends a match at (`cand`, `i`) eight bytes per step.
+#[inline]
+fn match_len(data: &[u8], cand: usize, i: usize, max_len: usize) -> usize {
+    debug_assert!(cand < i);
+    let mut l = 0usize;
+    while l + 8 <= max_len {
+        let a = u64::from_le_bytes(data[cand + l..cand + l + 8].try_into().expect("8 bytes"));
+        let b = u64::from_le_bytes(data[i + l..i + l + 8].try_into().expect("8 bytes"));
+        let x = a ^ b;
+        if x != 0 {
+            return l + (x.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    while l < max_len && data[cand + l] == data[i + l] {
+        l += 1;
+    }
+    l
+}
+
 /// Compresses `data`. The output always begins with the decompressed length
 /// as a varint, so [`decompress`] needs no out-of-band metadata.
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let out = compress_unmetered(data);
+    with_scratch(|scratch| compress_with(scratch, data))
+}
+
+/// [`compress`] against caller-provided scratch: the hash-chain tables are
+/// reused across calls (they are reset cheaply per call, so output is a
+/// pure function of `data` regardless of scratch history).
+pub fn compress_with(scratch: &mut CodecScratch, data: &[u8]) -> Vec<u8> {
+    scratch.note_use();
+    let out = compress_unmetered(scratch, data);
     let registry = fxrz_telemetry::global();
     registry.incr("codec.lz77.compress.calls");
     registry.add("codec.lz77.compress.bytes_in", data.len() as u64);
@@ -41,71 +85,120 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-fn compress_unmetered(data: &[u8]) -> Vec<u8> {
+/// Finds the best match for position `i`; returns `(len, dist)` with
+/// `len == 0` when nothing reaches [`MIN_MATCH`].
+#[inline]
+fn find_match(data: &[u8], head: &[u32], prev: &[u32], i: usize) -> (usize, usize) {
+    if i + MIN_MATCH > data.len() {
+        return (0, 0);
+    }
+    let max_len = (data.len() - i).min(MAX_MATCH);
+    let mut best_len = 0usize;
+    let mut best_dist = 0usize;
+    let mut cand = head[hash4(data, i)];
+    let mut chain = 0usize;
+    while cand != NO_POS && chain < MAX_CHAIN {
+        let c = cand as usize;
+        if c >= i || i - c > WINDOW {
+            break;
+        }
+        // Cheap reject: a longer match must agree at the current best end.
+        if best_len == 0 || data.get(c + best_len) == data.get(i + best_len) {
+            let l = match_len(data, c, i, max_len);
+            if l > best_len {
+                best_len = l;
+                best_dist = i - c;
+                if l >= max_len {
+                    break;
+                }
+            }
+        }
+        cand = prev[c & (WINDOW - 1)];
+        chain += 1;
+    }
+    if best_len >= MIN_MATCH {
+        (best_len, best_dist)
+    } else {
+        (0, 0)
+    }
+}
+
+#[inline]
+fn insert(data: &[u8], head: &mut [u32], prev: &mut [u32], i: usize) {
+    if i + MIN_MATCH <= data.len() {
+        let h = hash4(data, i);
+        prev[i & (WINDOW - 1)] = head[h];
+        head[h] = i as u32;
+    }
+}
+
+fn compress_unmetered(scratch: &mut CodecScratch, data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     write_varint(&mut out, data.len() as u64);
     if data.is_empty() {
         return out;
     }
+    // The windowed chain tables only index 32-bit positions; inputs beyond
+    // that (unreachable for this pipeline's payloads) go out as literals.
+    if data.len() >= NO_POS as usize {
+        write_varint(&mut out, data.len() as u64);
+        out.extend_from_slice(data);
+        write_varint(&mut out, 0);
+        return out;
+    }
 
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; data.len()];
+    // Reset (not reallocate) the chain state: determinism requires that
+    // output never depends on what a previous call left behind.
+    scratch.lz_head.clear();
+    scratch.lz_head.resize(HASH_SIZE, NO_POS);
+    scratch.lz_prev.clear();
+    scratch.lz_prev.resize(WINDOW, NO_POS);
+    let head = &mut scratch.lz_head[..];
+    let prev = &mut scratch.lz_prev[..];
 
     let mut lit_start = 0usize;
     let mut i = 0usize;
+    let mut misses = 0usize;
     while i < data.len() {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-        if i + MIN_MATCH <= data.len() {
-            let h = hash4(data, i);
-            let mut cand = head[h];
-            let mut chain = 0usize;
-            while cand != usize::MAX && chain < MAX_CHAIN && i - cand <= WINDOW {
-                // Extend the candidate match.
-                let max_len = (data.len() - i).min(MAX_MATCH);
-                let mut l = 0usize;
-                while l < max_len && data[cand + l] == data[i + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_dist = i - cand;
-                    if l >= max_len {
-                        break;
-                    }
-                }
-                cand = prev[cand];
-                chain += 1;
+        let (len0, dist0) = find_match(data, head, prev, i);
+        if len0 == 0 {
+            insert(data, head, prev, i);
+            // Skip heuristic: accelerate through incompressible stretches.
+            misses += 1;
+            i += 1 + (misses >> SKIP_SHIFT);
+            continue;
+        }
+        misses = 0;
+
+        // Lazy evaluation: a match starting one byte later may be longer;
+        // if so, emit this byte as a literal and take the later match.
+        let (mut mlen, mut mdist, mut mstart) = (len0, dist0, i);
+        if len0 < LAZY_THRESHOLD && i + 1 < data.len() {
+            insert(data, head, prev, i);
+            let (len1, dist1) = find_match(data, head, prev, i + 1);
+            if len1 > len0 {
+                (mlen, mdist, mstart) = (len1, dist1, i + 1);
             }
         }
 
-        if best_len >= MIN_MATCH {
-            // Flush pending literals, then the match token.
-            write_varint(&mut out, (i - lit_start) as u64);
-            out.extend_from_slice(&data[lit_start..i]);
-            write_varint(&mut out, best_len as u64);
-            write_varint(&mut out, best_dist as u64);
+        // Flush pending literals, then the match token.
+        write_varint(&mut out, (mstart - lit_start) as u64);
+        out.extend_from_slice(&data[lit_start..mstart]);
+        write_varint(&mut out, mlen as u64);
+        write_varint(&mut out, mdist as u64);
 
-            // Insert hash entries across the matched region (sparsely for
-            // speed: every position keeps compression strong on runs).
-            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
-            let mut j = i;
-            while j < end {
-                let h = hash4(data, j);
-                prev[j] = head[h];
-                head[h] = j;
-                j += 1;
-            }
-            i += best_len;
-            lit_start = i;
-        } else {
-            if i + MIN_MATCH <= data.len() {
-                let h = hash4(data, i);
-                prev[i] = head[h];
-                head[h] = i;
-            }
-            i += 1;
+        // Insert hash entries across the matched region — densely for
+        // short matches (keeps compression strong), sparsely for long runs
+        // (keeps throughput linear).
+        let end = (mstart + mlen).min(data.len().saturating_sub(MIN_MATCH - 1));
+        let step = if mlen > DENSE_INSERT_LIMIT { 8 } else { 1 };
+        let mut j = if mstart == i { i } else { i + 1 };
+        while j < end {
+            insert(data, head, prev, j);
+            j += step;
         }
+        i = mstart + mlen;
+        lit_start = i;
     }
 
     // Final literals + terminator token.
@@ -172,11 +265,20 @@ fn decompress_unmetered(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
         if out.len() + match_len > total {
             return Err(CodecError::Corrupt("match overruns output"));
         }
-        // Overlapping copy (byte-by-byte to honour RLE-style self-overlap).
         let start = out.len() - dist;
-        for k in 0..match_len {
-            let b = out[start + k];
-            out.push(b);
+        if dist >= match_len {
+            // Non-overlapping: one bulk copy.
+            out.extend_from_within(start..start + match_len);
+        } else {
+            // Overlapping (RLE-style): replicate the period, doubling the
+            // copied chunk each round instead of copying byte by byte.
+            let mut copied = 0usize;
+            while copied < match_len {
+                let chunk = (out.len() - start - copied).min(match_len - copied);
+                let at = start + copied;
+                out.extend_from_within(at..at + chunk);
+                copied += chunk;
+            }
         }
     }
 }
@@ -244,6 +346,36 @@ mod tests {
     }
 
     #[test]
+    fn every_small_period_roundtrips() {
+        // The doubling overlap copy must be exact for all period/len combos.
+        for period in 1..=17usize {
+            for reps in [1usize, 2, 3, 7, 50] {
+                let mut data: Vec<u8> = (0..40).map(|i| (i * 31 % 251) as u8).collect();
+                for r in 0..reps * period {
+                    data.push(data[data.len() - period].wrapping_add((r == 0) as u8 * 0));
+                }
+                roundtrip(&data);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_beyond_the_window_are_not_used() {
+        // A repeated block separated by > WINDOW unique bytes: the encoder
+        // must not emit a distance past the window (decoder would reject a
+        // valid one, so a roundtrip proves it stayed in bounds).
+        let mut data = Vec::new();
+        data.extend_from_slice(b"needle-needle-needle-needle!");
+        let mut x = 9u32;
+        for _ in 0..(WINDOW + 1000) {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            data.push((x >> 24) as u8);
+        }
+        data.extend_from_slice(b"needle-needle-needle-needle!");
+        roundtrip(&data);
+    }
+
+    #[test]
     fn mixed_content() {
         let mut data = Vec::new();
         for i in 0..256 {
@@ -253,6 +385,20 @@ mod tests {
         data.extend_from_slice(b"the quick brown fox jumps over the lazy dog");
         data.extend(vec![7u8; 5000]);
         roundtrip(&data);
+    }
+
+    #[test]
+    fn output_is_independent_of_scratch_history() {
+        // Determinism contract: warm scratch must produce the same bytes
+        // as a cold one.
+        let a: Vec<u8> = (0..20_000).map(|i| (i % 13) as u8).collect();
+        let b: Vec<u8> = (0..30_000).map(|i| (i * 7 % 251) as u8).collect();
+        let cold_b = with_scratch(|s| compress_with(s, &b));
+        let warm_b = with_scratch(|s| {
+            let _ = compress_with(s, &a);
+            compress_with(s, &b)
+        });
+        assert_eq!(cold_b, warm_b);
     }
 
     #[test]

@@ -62,12 +62,20 @@ impl Default for RangeEncoder {
 impl RangeEncoder {
     /// A fresh encoder.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// A fresh encoder whose output buffer is pre-sized to `capacity`
+    /// bytes. Callers that can bound the compressed size (e.g. from the
+    /// uncompressed input length) avoid the incremental `Vec` regrowth of
+    /// starting empty.
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
             low: 0,
             range: u32::MAX,
             cache: 0,
             cache_size: 1,
-            out: Vec::new(),
+            out: Vec::with_capacity(capacity),
         }
     }
 

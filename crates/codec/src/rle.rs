@@ -16,17 +16,23 @@ use crate::CodecError;
 pub fn encode(symbols: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(symbols.len() / 4 + 16);
     write_varint(&mut out, symbols.len() as u64);
-    let mut run = 0u64;
-    for &s in symbols {
-        if s == 0 {
-            run += 1;
-        } else {
-            write_varint(&mut out, run);
-            write_varint(&mut out, s as u64);
-            run = 0;
+    // Scan run-at-a-time rather than symbol-at-a-time: `position` over the
+    // remaining slice lets the compiler vectorize the zero scan, which is
+    // where sparse streams spend nearly all their time.
+    let mut rest = symbols;
+    loop {
+        match rest.iter().position(|&s| s != 0) {
+            Some(i) => {
+                write_varint(&mut out, i as u64);
+                write_varint(&mut out, rest[i] as u64);
+                rest = &rest[i + 1..];
+            }
+            None => {
+                write_varint(&mut out, rest.len() as u64);
+                break;
+            }
         }
     }
-    write_varint(&mut out, run);
     let registry = fxrz_telemetry::global();
     registry.incr("codec.rle.encode.calls");
     registry.add("codec.rle.encode.symbols_in", symbols.len() as u64);
@@ -64,9 +70,16 @@ fn decode_limited_unmetered(buf: &[u8], max_total: usize) -> Result<Vec<u32>, Co
     if total > max_total {
         return Err(CodecError::Corrupt("symbol count exceeds caller limit"));
     }
-    // untrusted length: cap the pre-allocation (the Vec still grows as
-    // needed; truncated streams error out before reaching absurd sizes)
-    let mut out = Vec::with_capacity(total.min(1 << 20));
+    // A caller-supplied bound vouches for `total`, so pre-size exactly and
+    // skip all regrowth; otherwise cap the speculative allocation (the Vec
+    // still grows as needed; truncated streams error out before reaching
+    // absurd sizes).
+    let cap = if max_total == usize::MAX {
+        total.min(1 << 20)
+    } else {
+        total
+    };
+    let mut out = Vec::with_capacity(cap);
     while out.len() < total {
         let run = read_varint(buf, &mut pos).ok_or(CodecError::Truncated)? as usize;
         if out.len() + run > total {

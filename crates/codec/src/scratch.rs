@@ -1,0 +1,119 @@
+//! Reusable working memory for the encode-side codec hot paths.
+//!
+//! A single SZ-style `compress()` call allocates several large transient
+//! tables: the LZ77 hash-chain arrays, the Huffman dense-index map and the
+//! frequency/dictionary vectors. Rate-curve probing and FRaZ search invoke
+//! the compressors dozens of times back to back, so [`CodecScratch`] keeps
+//! those tables alive between calls and [`with_scratch`] hands each thread
+//! its own instance (the worker pool reuses threads, so steady-state probe
+//! loops stop hitting the allocator entirely for codec state).
+//!
+//! Reuse is observable through telemetry:
+//! * `codec.scratch.reuse` — calls served by an already-warm scratch,
+//! * `codec.scratch.create` — fresh scratch instantiations (one per
+//!   thread in the steady state).
+//!
+//! **Determinism contract:** scratch contents never influence encoder
+//! output. Every table is reset (cheaply, by memset or `clear()`) at the
+//! start of the pass that uses it, so compressing a buffer produces
+//! byte-identical output whether the scratch is cold or warm — the
+//! determinism suite relies on this.
+
+use std::cell::RefCell;
+
+/// Sentinel for "no entry" in the LZ77 hash-chain tables.
+pub(crate) const NO_POS: u32 = u32::MAX;
+
+/// Reusable buffers shared by the encode paths of [`crate::huffman`] and
+/// [`crate::lz77`].
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    /// LZ77: most recent position for each hash bucket.
+    pub(crate) lz_head: Vec<u32>,
+    /// LZ77: previous position with the same hash, indexed by
+    /// `pos & (WINDOW - 1)`.
+    pub(crate) lz_prev: Vec<u32>,
+    /// Huffman: sorted unique symbols (the binary-searchable dictionary).
+    pub(crate) huff_sorted: Vec<u32>,
+    /// Huffman: dense slot for each sorted symbol (`usize::MAX` = unseen).
+    pub(crate) huff_slot: Vec<usize>,
+    /// Huffman: dense slot per input symbol.
+    pub(crate) huff_dense: Vec<u32>,
+    /// Huffman: per-slot frequency counts.
+    pub(crate) huff_freqs: Vec<u64>,
+    /// Huffman: dictionary in first-appearance order.
+    pub(crate) huff_dict: Vec<u32>,
+    /// Huffman: per-slot `(reversed code, length)` encode table.
+    pub(crate) huff_codes: Vec<(u64, u32)>,
+    /// Number of codec calls served by this scratch.
+    uses: u64,
+}
+
+impl CodecScratch {
+    /// A fresh scratch; tables are grown lazily by the codecs.
+    pub fn new() -> Self {
+        fxrz_telemetry::global().incr("codec.scratch.create");
+        Self::default()
+    }
+
+    /// Marks one codec call served by this scratch, counting reuse.
+    pub(crate) fn note_use(&mut self) {
+        self.uses += 1;
+        if self.uses > 1 {
+            fxrz_telemetry::global().incr("codec.scratch.reuse");
+        }
+    }
+
+    /// How many codec calls this scratch has served.
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Option<CodecScratch>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's persistent [`CodecScratch`].
+///
+/// Nested calls get a temporary scratch (the outer borrow holds the
+/// thread-local one), so re-entrancy is safe if never fast.
+pub fn with_scratch<R>(f: impl FnOnce(&mut CodecScratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut slot) => {
+            let scratch = slot.get_or_insert_with(CodecScratch::new);
+            f(scratch)
+        }
+        Err(_) => f(&mut CodecScratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_reused_within_a_thread() {
+        let first = with_scratch(|s| {
+            s.note_use();
+            s.uses()
+        });
+        let second = with_scratch(|s| {
+            s.note_use();
+            s.uses()
+        });
+        assert!(second > first, "{second} vs {first}");
+    }
+
+    #[test]
+    fn nested_with_scratch_does_not_panic() {
+        with_scratch(|outer| {
+            outer.note_use();
+            let inner_uses = with_scratch(|inner| {
+                inner.note_use();
+                inner.uses()
+            });
+            assert_eq!(inner_uses, 1, "nested call must get a fresh scratch");
+        });
+    }
+}

@@ -178,7 +178,10 @@ impl Compressor for Fpzip {
                 .map(|&v| truncate(f32_to_monotone(v), prec) as i64)
                 .collect();
 
-            let mut enc = RangeEncoder::new();
+            // Residual coding lands well under the raw size; a quarter of
+            // the input is a comfortable over-estimate that avoids every
+            // regrowth of the output buffer on typical fields.
+            let mut enc = RangeEncoder::with_capacity(field.nbytes() / 4 + 64);
             let mut coder = ResidualCoder::new();
             for (idx, c) in dims.iter_coords().enumerate() {
                 let pred = lorenzo_predict_int(&trunc, dims, idx, &c[..dims.ndim()]);

@@ -228,17 +228,21 @@ impl Compressor for SzInterp {
                 }
             }
 
-            let huff = huffman::encode(&codes);
-            let mut payload = Vec::with_capacity(huff.len() + unpred.len() + 16);
-            payload.extend_from_slice(&eb.to_le_bytes());
-            write_varint(&mut payload, huff.len() as u64);
-            payload.extend_from_slice(&huff);
-            payload.extend_from_slice(&unpred);
+            // One scratch borrow covers both codec stages, so rate-curve
+            // probe loops reuse the same tables call after call.
+            fxrz_codec::with_scratch(|scratch| {
+                let huff = huffman::encode_with(scratch, &codes);
+                let mut payload = Vec::with_capacity(huff.len() + unpred.len() + 16);
+                payload.extend_from_slice(&eb.to_le_bytes());
+                write_varint(&mut payload, huff.len() as u64);
+                payload.extend_from_slice(&huff);
+                payload.extend_from_slice(&unpred);
 
-            let mut out = Vec::new();
-            header::write(&mut out, magic::SZI, field.name(), dims);
-            out.extend_from_slice(&lz77::compress(&payload));
-            Ok(out)
+                let mut out = Vec::new();
+                header::write(&mut out, magic::SZI, field.name(), dims);
+                out.extend_from_slice(&lz77::compress_with(scratch, &payload));
+                Ok(out)
+            })
         })
     }
 

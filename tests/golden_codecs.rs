@@ -1,0 +1,207 @@
+//! Golden-vector format-compatibility tests for the codec layer.
+//!
+//! The fixtures under `tests/fixtures/` were encoded by the codec as it
+//! existed **before** the word-at-a-time fast paths landed, so these tests
+//! pin the on-wire format: any change to the accumulator layout, decode
+//! tables or canonical code assignment that alters the format breaks here
+//! first, not in a user's archive.
+//!
+//! Regenerate (only when the format is *intentionally* revised) with:
+//! `FXRZ_BLESS=1 cargo test --test golden_codecs`
+//!
+//! Two guarantee levels:
+//! * **Byte-exact encode** (huffman, rle, range): these encoders are fully
+//!   deterministic functions of their input, so the bytes they emit must
+//!   never drift.
+//! * **Decode compatibility** (all four, including lz77): fixtures encoded
+//!   by the old implementation must decode exactly. lz77's tokenization is
+//!   allowed to improve (lazy matching), so only its decoder is pinned.
+
+use fxrz::codec::range::{BitModel, BitTree, RangeDecoder, RangeEncoder};
+use fxrz::codec::{huffman, lz77, rle};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn load_or_bless(name: &str, encoded: &[u8]) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var("FXRZ_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+        std::fs::write(&path, encoded).expect("write fixture");
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {name} ({e}); run with FXRZ_BLESS=1 to generate")
+    })
+}
+
+/// SplitMix64: deterministic stimulus without external dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The SZ-like regime: a heavily skewed quantization-code alphabet.
+fn huffman_input_skewed() -> Vec<u32> {
+    let mut rng = Rng(0xF00D);
+    (0..20_000)
+        .map(|_| {
+            let r = rng.next() % 100;
+            match r {
+                0..=69 => 32_768, // the "zero residual" code
+                70..=89 => 32_767 + (rng.next() % 5) as u32,
+                90..=98 => 32_700 + (rng.next() % 130) as u32,
+                _ => (rng.next() % 65_536) as u32,
+            }
+        })
+        .collect()
+}
+
+/// A wide, nearly uniform alphabet (worst case for the decode table).
+fn huffman_input_uniform() -> Vec<u32> {
+    let mut rng = Rng(0xBEEF);
+    (0..8_192).map(|_| (rng.next() % 1_024) as u32).collect()
+}
+
+fn lz77_input() -> Vec<u8> {
+    let mut rng = Rng(0xCAFE);
+    let mut data = Vec::new();
+    for _ in 0..64 {
+        data.extend_from_slice(b"quantized residual run ");
+    }
+    data.extend(std::iter::repeat_n(7u8, 4_096));
+    for _ in 0..4_096 {
+        data.push(rng.next() as u8);
+    }
+    for i in 0..2_048u32 {
+        data.push((i % 7) as u8);
+    }
+    data
+}
+
+fn rle_input() -> Vec<u32> {
+    let mut rng = Rng(0xD1CE);
+    let mut syms = vec![0u32; 30_000];
+    for i in (0..30_000).step_by(97) {
+        syms[i] = 1 + (rng.next() % 500) as u32;
+    }
+    syms
+}
+
+/// (model-coded bit, 5 raw bits, bit-tree byte) triplets.
+fn range_input() -> Vec<(bool, u64, u32)> {
+    let mut rng = Rng(0xACE5);
+    (0..4_000)
+        .map(|_| {
+            (
+                rng.next().is_multiple_of(10),
+                rng.next() % 32,
+                (rng.next() % 256) as u32,
+            )
+        })
+        .collect()
+}
+
+fn range_encode(input: &[(bool, u64, u32)]) -> Vec<u8> {
+    let mut enc = RangeEncoder::new();
+    let mut model = BitModel::new();
+    let mut tree = BitTree::new(8);
+    for &(bit, raw, byte) in input {
+        enc.encode_bit(&mut model, bit);
+        enc.encode_direct(raw, 5);
+        tree.encode(&mut enc, byte);
+    }
+    enc.finish()
+}
+
+#[test]
+fn huffman_skewed_golden() {
+    let input = huffman_input_skewed();
+    let encoded = huffman::encode(&input);
+    let fixture = load_or_bless("huffman_skewed.bin", &encoded);
+    assert_eq!(encoded, fixture, "huffman encoder output drifted");
+    assert_eq!(huffman::decode(&fixture).expect("decode"), input);
+}
+
+#[test]
+fn huffman_uniform_golden() {
+    let input = huffman_input_uniform();
+    let encoded = huffman::encode(&input);
+    let fixture = load_or_bless("huffman_uniform.bin", &encoded);
+    assert_eq!(encoded, fixture, "huffman encoder output drifted");
+    assert_eq!(huffman::decode(&fixture).expect("decode"), input);
+}
+
+#[test]
+fn lz77_golden_decodes() {
+    let input = lz77_input();
+    // Encoder tokenization may legitimately improve; the decoder must keep
+    // reading streams emitted by every prior encoder.
+    let fixture = load_or_bless("lz77_mixed.bin", &lz77::compress(&input));
+    assert_eq!(lz77::decompress(&fixture).expect("decompress"), input);
+    // And the current encoder must stay self-consistent.
+    let now = lz77::compress(&input);
+    assert_eq!(lz77::decompress(&now).expect("decompress"), input);
+}
+
+#[test]
+fn rle_golden() {
+    let input = rle_input();
+    let encoded = rle::encode(&input);
+    let fixture = load_or_bless("rle_sparse.bin", &encoded);
+    assert_eq!(encoded, fixture, "rle encoder output drifted");
+    assert_eq!(rle::decode(&fixture).expect("decode"), input);
+}
+
+#[test]
+fn range_golden() {
+    let input = range_input();
+    let encoded = range_encode(&input);
+    let fixture = load_or_bless("range_mixed.bin", &encoded);
+    assert_eq!(encoded, fixture, "range encoder output drifted");
+    let mut dec = RangeDecoder::new(&fixture).expect("init");
+    let mut model = BitModel::new();
+    let mut tree = BitTree::new(8);
+    for &(bit, raw, byte) in &input {
+        assert_eq!(dec.decode_bit(&mut model), bit);
+        assert_eq!(dec.decode_direct(5), raw);
+        assert_eq!(tree.decode(&mut dec), byte);
+    }
+}
+
+/// Whole-pipeline golden: an SZ archive written by the pre-fast-path
+/// pipeline must still decompress to the identical field.
+#[test]
+fn sz_archive_golden_decodes() {
+    use fxrz::prelude::*;
+    let field = nyx::baryon_density(Dims::d3(16, 16, 16), NyxConfig::default().with_seed(4242));
+    let eb = field.stats().range * 1e-3;
+    let archive = Sz
+        .compress(&field, &ErrorConfig::Abs(eb))
+        .expect("compress");
+    let fixture = load_or_bless("sz_nyx12.fxrz", &archive);
+    let back = Sz.decompress(&fixture).expect("decompress");
+    assert_eq!(back.dims(), field.dims());
+    assert!(field.max_abs_diff(&back) <= eb);
+    // The decoded field is pinned too: reconstruction must be bit-stable.
+    let expected = load_or_bless(
+        "sz_nyx12_decoded.f32",
+        &back
+            .data()
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>(),
+    );
+    let got: Vec<u8> = back.data().iter().flat_map(|v| v.to_le_bytes()).collect();
+    assert_eq!(got, expected, "sz reconstruction drifted");
+}

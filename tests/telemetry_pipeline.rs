@@ -147,6 +147,27 @@ fn telemetry_overhead_is_under_two_percent_without_sink() {
 }
 
 #[test]
+fn rate_curve_probing_reuses_codec_scratch() {
+    // Acceptance check for the codec scratch-buffer reuse: a 25-point
+    // rate-curve probe invokes the SZ pipeline dozens of times on the same
+    // worker threads, so warm CodecScratch hits must show up in telemetry.
+    let before = fxrz::telemetry::global()
+        .snapshot()
+        .counter("codec.scratch.reuse")
+        .unwrap_or(0);
+    let field = nyx::baryon_density(Dims::d3(16, 16, 16), NyxConfig::default().with_seed(31));
+    RateCurve::build(&Sz, &field, 25).expect("curve");
+    let after = fxrz::telemetry::global()
+        .snapshot()
+        .counter("codec.scratch.reuse")
+        .unwrap_or(0);
+    assert!(
+        after > before,
+        "25-point rate curve produced no scratch reuse ({before} -> {after})"
+    );
+}
+
+#[test]
 fn events_are_disabled_by_default() {
     // `--metrics` never turns the event layer on; with no sink attached the
     // macros must reduce to one relaxed atomic load and skip formatting.
