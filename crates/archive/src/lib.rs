@@ -165,6 +165,28 @@ impl ArchiveWriter {
     }
 }
 
+/// Caps applied while parsing an untrusted archive index. Every length
+/// in the index is attacker-controlled; [`Archive::open_with_limits`]
+/// rejects values over these caps *before* allocating or iterating on
+/// them, so a forged header cannot force a huge allocation or a long
+/// parse loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ArchiveLimits {
+    /// Maximum number of index entries accepted.
+    pub max_entries: usize,
+    /// Maximum field-name length in bytes.
+    pub max_name_len: usize,
+}
+
+impl Default for ArchiveLimits {
+    fn default() -> Self {
+        Self {
+            max_entries: 1 << 16,
+            max_name_len: 4096,
+        }
+    }
+}
+
 /// One index entry of an opened archive.
 #[derive(Clone, Debug)]
 pub struct Entry {
@@ -183,11 +205,22 @@ pub struct Archive<'a> {
 }
 
 impl<'a> Archive<'a> {
-    /// Parses the index (no decompression happens here).
+    /// Parses the index with default [`ArchiveLimits`] (no decompression
+    /// happens here).
     ///
     /// # Errors
     /// Fails on bad magic or a malformed index.
     pub fn open(buf: &'a [u8]) -> Result<Self, ArchiveError> {
+        Self::open_with_limits(buf, ArchiveLimits::default())
+    }
+
+    /// Parses the index, rejecting any attacker-controlled length over
+    /// `limits` before allocating from it.
+    ///
+    /// # Errors
+    /// Fails on bad magic, a malformed index, or an index exceeding the
+    /// limits.
+    pub fn open_with_limits(buf: &'a [u8], limits: ArchiveLimits) -> Result<Self, ArchiveError> {
         if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
             return Err(ArchiveError::NotAnArchive);
         }
@@ -196,11 +229,17 @@ impl<'a> Archive<'a> {
         if n > buf.len() {
             return Err(ArchiveError::Corrupt("entry count exceeds buffer"));
         }
+        if n > limits.max_entries {
+            return Err(ArchiveError::Corrupt("entry count exceeds limit"));
+        }
         let mut meta = Vec::with_capacity(n);
         for _ in 0..n {
             let name_len = read_varint(buf, &mut pos)
                 .ok_or(ArchiveError::Corrupt("missing name len"))?
                 as usize;
+            if name_len > limits.max_name_len {
+                return Err(ArchiveError::Corrupt("name length exceeds limit"));
+            }
             if pos + name_len > buf.len() {
                 return Err(ArchiveError::Corrupt("name overruns buffer"));
             }
@@ -216,7 +255,9 @@ impl<'a> Archive<'a> {
         let mut entries = Vec::with_capacity(n);
         let mut offset = pos;
         for (name, blob_len) in meta {
-            if offset + blob_len > buf.len() {
+            // overflow-proof form of `offset + blob_len > buf.len()`:
+            // blob_len comes straight off the wire and may be near u64::MAX
+            if blob_len > buf.len() - offset {
                 return Err(ArchiveError::Corrupt("blob overruns buffer"));
             }
             entries.push(Entry {
@@ -374,6 +415,73 @@ mod tests {
                 let _ = a.get("x");
             }
         }
+    }
+
+    #[test]
+    fn forged_entry_count_rejected_before_allocation() {
+        // header claiming an absurd entry count backed by a big buffer:
+        // must fail on the limit check, not allocate index entries for it
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        write_varint(&mut bytes, (1u64 << 17) + 1);
+        bytes.resize(1 << 18, 0);
+        assert!(matches!(
+            Archive::open(&bytes),
+            Err(ArchiveError::Corrupt("entry count exceeds limit"))
+        ));
+        // a raised cap accepts the same count (then fails later on content)
+        let relaxed = ArchiveLimits {
+            max_entries: 1 << 20,
+            ..ArchiveLimits::default()
+        };
+        assert!(matches!(
+            Archive::open_with_limits(&bytes, relaxed),
+            Err(ArchiveError::Corrupt(m)) if m != "entry count exceeds limit"
+        ));
+    }
+
+    #[test]
+    fn forged_name_length_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        write_varint(&mut bytes, 1); // one entry
+        write_varint(&mut bytes, 1 << 20); // 1 MiB name
+        bytes.resize(1 << 21, b'x');
+        assert!(matches!(
+            Archive::open(&bytes),
+            Err(ArchiveError::Corrupt("name length exceeds limit"))
+        ));
+    }
+
+    #[test]
+    fn huge_blob_length_rejected_without_overflow() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        write_varint(&mut bytes, 1);
+        write_varint(&mut bytes, 1);
+        bytes.push(b'x');
+        write_varint(&mut bytes, u64::MAX); // blob "length"
+        assert!(matches!(
+            Archive::open(&bytes),
+            Err(ArchiveError::Corrupt("blob overruns buffer"))
+        ));
+    }
+
+    #[test]
+    fn limits_do_not_reject_ordinary_archives() {
+        let mut w = ArchiveWriter::new();
+        w.add_field(&Sz, &field("density", 0), &ErrorConfig::Abs(1e-2))
+            .expect("density");
+        let bytes = w.finish();
+        let tight = ArchiveLimits {
+            max_entries: 1,
+            max_name_len: 3, // "density" is 7 bytes
+        };
+        assert!(matches!(
+            Archive::open_with_limits(&bytes, tight),
+            Err(ArchiveError::Corrupt("name length exceeds limit"))
+        ));
+        assert!(Archive::open(&bytes).is_ok());
     }
 
     #[test]

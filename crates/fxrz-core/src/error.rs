@@ -18,6 +18,13 @@ pub enum FxrzError {
         /// Compressor it was applied to.
         applied_to: String,
     },
+    /// A serialized model declares a format newer than this build supports.
+    UnsupportedModelFormat {
+        /// Format version recorded in the model file.
+        found: u32,
+        /// Newest format version this build can read.
+        supported: u32,
+    },
 }
 
 impl std::fmt::Display for FxrzError {
@@ -32,6 +39,10 @@ impl std::fmt::Display for FxrzError {
             } => write!(
                 f,
                 "model trained for `{trained_for}` applied to `{applied_to}`"
+            ),
+            FxrzError::UnsupportedModelFormat { found, supported } => write!(
+                f,
+                "model format version {found} is newer than supported ({supported})"
             ),
         }
     }

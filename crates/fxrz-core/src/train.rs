@@ -106,9 +106,22 @@ impl TrainedRegressor {
     }
 }
 
+/// Newest serialized-model format version this build writes and reads.
+///
+/// Version history:
+/// - `0` — implicit: files written before the field existed carry no
+///   `format_version` key and deserialize as 0 via `#[serde(default)]`.
+/// - `1` — the explicit field was introduced; layout is otherwise
+///   identical to 0, so both load through the same path.
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
 /// A trained FXRZ model for one (application, compressor) pair.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainedModel {
+    /// Serialized-format version (see [`MODEL_FORMAT_VERSION`]). Absent in
+    /// legacy files, which decode as version 0.
+    #[serde(default)]
+    pub format_version: u32,
     regressor: TrainedRegressor,
     /// Name of the compressor the model was trained against.
     pub compressor: String,
@@ -138,6 +151,35 @@ pub struct TrainedModel {
 }
 
 impl TrainedModel {
+    /// Checks that this model's serialized format is one this build can
+    /// interpret. Call after deserializing a model from an untrusted or
+    /// out-of-tree source (the serve registry does).
+    ///
+    /// # Errors
+    /// Fails when the file declares a format newer than
+    /// [`MODEL_FORMAT_VERSION`].
+    pub fn check_format(&self) -> Result<(), FxrzError> {
+        if self.format_version > MODEL_FORMAT_VERSION {
+            return Err(FxrzError::UnsupportedModelFormat {
+                found: self.format_version,
+                supported: MODEL_FORMAT_VERSION,
+            });
+        }
+        Ok(())
+    }
+
+    /// One-line human description of the fitted regressor (family + size),
+    /// for registry listings and `Stats` replies.
+    pub fn regressor_summary(&self) -> String {
+        match &self.regressor {
+            TrainedRegressor::Rfr(m) => {
+                format!("rfr({} trees, {} nodes)", m.n_trees(), m.n_nodes())
+            }
+            TrainedRegressor::AdaBoost(m) => format!("adaboost({} estimators)", m.n_estimators()),
+            TrainedRegressor::Svr(m) => format!("svr({} support vectors)", m.n_support()),
+        }
+    }
+
     /// Predicts the config coordinate for a feature vector and an
     /// (already CA-adjusted) target compression ratio.
     pub fn predict_coordinate(&self, fv: &FeatureVector, acr: f64) -> f64 {
@@ -247,6 +289,7 @@ impl Trainer {
         fxrz_telemetry::global().add("fxrz.train.rows", data.len() as u64);
 
         Ok(TrainedModel {
+            format_version: MODEL_FORMAT_VERSION,
             regressor,
             compressor: compressor.name().to_owned(),
             config_space: compressor.config_space(),
@@ -345,6 +388,28 @@ mod tests {
         let a = model.predict_coordinate(&fv, 42.0);
         let b = back.predict_coordinate(&fv, 42.0);
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_models_carry_current_format_version() {
+        let sz = Sz;
+        let model = tiny_trainer().train(&sz, &corpus()).expect("train");
+        assert_eq!(model.format_version, MODEL_FORMAT_VERSION);
+        model.check_format().expect("current format is supported");
+        let json = serde_json::to_string(&model).expect("serialize");
+        assert!(json.contains("\"format_version\""));
+        assert!(!model.regressor_summary().is_empty());
+    }
+
+    #[test]
+    fn future_format_version_is_rejected() {
+        let sz = Sz;
+        let mut model = tiny_trainer().train(&sz, &corpus()).expect("train");
+        model.format_version = MODEL_FORMAT_VERSION + 1;
+        assert!(matches!(
+            model.check_format(),
+            Err(FxrzError::UnsupportedModelFormat { .. })
+        ));
     }
 
     #[test]

@@ -85,6 +85,11 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Total node count across all trees (model-size statistic).
+    pub fn n_nodes(&self) -> usize {
+        self.trees.iter().map(RegressionTree::n_nodes).sum()
+    }
 }
 
 #[cfg(test)]

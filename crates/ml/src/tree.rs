@@ -217,6 +217,11 @@ impl RegressionTree {
         tree
     }
 
+    /// Number of nodes (splits + leaves) in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Reorders so the root is node 0 (single swap + pointer fix-up).
     fn set_root(&mut self, root: usize) {
         if root == 0 {

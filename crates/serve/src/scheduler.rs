@@ -1,0 +1,217 @@
+//! The request scheduler: bounded admission, per-request deadlines, and
+//! execution on the shared `fxrz-parallel` worker pool.
+//!
+//! Admission is a single atomic counter against a configurable bound —
+//! past it the caller gets an immediate [`Busy`](Status::Busy) frame
+//! instead of unbounded buffering, so an overloaded server sheds load in
+//! O(1) rather than OOMing. Admitted work executes *on pool workers*:
+//! every `par_map` a request issues internally then runs inline (the
+//! pool's nested-region rule), which keeps served results bit-identical
+//! to direct library calls at any thread count. With a single-threaded
+//! pool the job runs inline on the connection thread — the same inline
+//! path, the same bytes.
+
+use crate::protocol::{code, ResponseFrame, Status};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Maximum requests admitted at once (queued + executing). Further
+    /// requests are shed with `Busy`.
+    pub queue_bound: usize,
+    /// Deadline applied when a request frame carries `deadline_ms == 0`.
+    pub default_deadline: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            queue_bound: 64,
+            default_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Bounded scheduler; one instance per server, shared by all connections.
+pub struct Scheduler {
+    config: SchedulerConfig,
+    inflight: AtomicUsize,
+}
+
+impl Scheduler {
+    /// A scheduler with the given bounds.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Self {
+            config,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Requests currently admitted (queued or executing).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Admits, executes and awaits one request. Returns the job's
+    /// response, or `Busy` when the bound is hit, or a
+    /// `DEADLINE_EXCEEDED` / `INTERNAL` error frame when the job expired
+    /// in the queue or panicked.
+    pub fn submit<F>(&self, op: u8, req_id: u64, deadline_ms: u32, job: F) -> ResponseFrame
+    where
+        F: FnOnce() -> ResponseFrame + Send + 'static,
+    {
+        self.submit_from(Instant::now(), op, req_id, deadline_ms, job)
+    }
+
+    /// [`Self::submit`] with an explicit enqueue instant — the deadline
+    /// check compares against this, which lets tests inject an
+    /// already-expired request deterministically.
+    pub fn submit_from<F>(
+        &self,
+        enqueued: Instant,
+        op: u8,
+        req_id: u64,
+        deadline_ms: u32,
+        job: F,
+    ) -> ResponseFrame
+    where
+        F: FnOnce() -> ResponseFrame + Send + 'static,
+    {
+        let telemetry = fxrz_telemetry::global();
+        // Admission: one fetch_add decides; losers are shed immediately.
+        let admitted = self.inflight.fetch_add(1, Ordering::SeqCst);
+        if admitted >= self.config.queue_bound {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            telemetry.incr("serve.sched.shed");
+            return ResponseFrame::busy(op, req_id);
+        }
+        telemetry.set_gauge("serve.queue.depth", (admitted + 1) as i64);
+        telemetry.incr("serve.sched.admitted");
+
+        let deadline = if deadline_ms == 0 {
+            self.config.default_deadline
+        } else {
+            Duration::from_millis(u64::from(deadline_ms))
+        };
+        let (tx, rx) = mpsc::sync_channel::<ResponseFrame>(1);
+        let wrapped = move || {
+            // Deadline is checked when the job reaches the front: work
+            // that sat in the queue past its budget is dropped *with an
+            // explicit error reply*, never silently.
+            let response = if enqueued.elapsed() > deadline {
+                fxrz_telemetry::global().incr("serve.sched.deadline_exceeded");
+                ResponseFrame::error(
+                    op,
+                    req_id,
+                    code::DEADLINE_EXCEEDED,
+                    "request expired in queue",
+                )
+            } else {
+                // Pool workers do not catch panics from standalone jobs;
+                // without this a panicking request would kill a worker
+                // and leave the client waiting forever.
+                match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        fxrz_telemetry::global().incr("serve.sched.panics");
+                        ResponseFrame::error(
+                            op,
+                            req_id,
+                            code::INTERNAL,
+                            "request executor panicked",
+                        )
+                    }
+                }
+            };
+            let _ = tx.send(response);
+        };
+        // On a pool worker, nested par_maps run inline — bit-identical to
+        // a direct call. Without workers (threads == 1) the job is handed
+        // back and runs inline right here: the same inline path.
+        if let Err(job) = fxrz_parallel::try_spawn(wrapped) {
+            job();
+        }
+        let response = rx.recv().unwrap_or_else(|_| {
+            ResponseFrame::error(op, req_id, code::INTERNAL, "request executor vanished")
+        });
+        let now = self.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        telemetry.set_gauge("serve.queue.depth", now as i64);
+        debug_assert_ne!(response.status, Status::Busy);
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Op;
+    use std::sync::{Arc, Barrier};
+
+    fn ok_frame() -> ResponseFrame {
+        ResponseFrame::ok(Op::Ping, 1, Vec::new())
+    }
+
+    #[test]
+    fn executes_and_returns_the_job_response() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let resp = s.submit(Op::Ping as u8, 1, 0, ok_frame);
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(s.inflight(), 0);
+    }
+
+    #[test]
+    fn sheds_past_the_bound() {
+        let s = Arc::new(Scheduler::new(SchedulerConfig {
+            queue_bound: 1,
+            ..SchedulerConfig::default()
+        }));
+        // Hold the single slot with a job parked on a barrier, then
+        // submit a second request: it must get Busy, not block.
+        let gate = Arc::new(Barrier::new(2));
+        let s2 = Arc::clone(&s);
+        let g2 = Arc::clone(&gate);
+        let holder = std::thread::spawn(move || {
+            s2.submit(Op::Compress as u8, 1, 0, move || {
+                g2.wait(); // filled
+                g2.wait(); // released
+                ok_frame()
+            })
+        });
+        gate.wait(); // slot is now occupied
+        let shed = s.submit(Op::Compress as u8, 2, 0, ok_frame);
+        assert_eq!(shed.status, Status::Busy);
+        assert_eq!(shed.req_id, 2);
+        gate.wait(); // release the holder
+        assert_eq!(holder.join().expect("join").status, Status::Ok);
+        assert_eq!(s.inflight(), 0);
+    }
+
+    #[test]
+    fn expired_requests_get_deadline_errors() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let past = Instant::now() - Duration::from_secs(2);
+        let resp = s.submit_from(past, Op::Compress as u8, 9, 1, || {
+            panic!("an expired job must never run")
+        });
+        assert_eq!(resp.status, Status::Error);
+        let (code, _) = resp.error_parts().expect("parts");
+        assert_eq!(code, code::DEADLINE_EXCEEDED);
+    }
+
+    #[test]
+    fn panicking_jobs_reply_internal_error() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        let resp = s.submit(Op::Features as u8, 5, 0, || panic!("boom"));
+        assert_eq!(resp.status, Status::Error);
+        let (code, msg) = resp.error_parts().expect("parts");
+        assert_eq!(code, code::INTERNAL);
+        assert!(msg.contains("panicked"));
+        assert_eq!(s.inflight(), 0);
+        // the pool must still be alive for the next request
+        assert_eq!(s.submit(Op::Ping as u8, 6, 0, ok_frame).status, Status::Ok);
+    }
+}

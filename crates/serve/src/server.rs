@@ -1,0 +1,650 @@
+//! The serve daemon: socket accept loops, per-connection framing, request
+//! dispatch, and the graceful-shutdown drain.
+//!
+//! One thread per connection reads frames sequentially (the protocol is
+//! strict request/response), dispatches each through the shared
+//! [`Scheduler`], and writes the reply back. Sockets run with short read
+//! timeouts so every blocking point also polls the stop flag: a SIGTERM
+//! (or [`Server::stop`]) makes the accept loop close, idle connections
+//! drop out at the next poll, and in-flight requests finish and get their
+//! responses before the drain completes.
+
+use crate::protocol::{
+    self, code, FrameError, Op, Reply, Request, RequestFrame, ResponseFrame, Status,
+};
+use crate::registry::{ModelRegistry, RegistryError, ServedModel};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use fxrz_core::infer::Estimate;
+use fxrz_core::sampling::StridedSampler;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Process-level stop plumbing: SIGTERM / SIGINT → one atomic flag every
+/// server loop polls. The handler does nothing but an atomic store (the
+/// only thing that is async-signal-safe here).
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    /// True once a termination signal was delivered (or [`trigger`] ran).
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+
+    /// Sets the stop flag programmatically (tests and embedders).
+    pub fn trigger() {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs SIGTERM and SIGINT handlers that set the flag. Call once
+    /// from the daemon entry point before serving.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" fn handle(_signum: i32) {
+            TRIGGERED.store(true, Ordering::SeqCst);
+        }
+        // std already links libc on unix; declaring the symbol avoids a
+        // crate dependency. Typing the handler as a fn pointer keeps the
+        // call free of integer/pointer casts.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is the libc function of that name; the handler
+        // only performs an atomic store, which is async-signal-safe.
+        unsafe {
+            let _ = signal(SIGINT, handle);
+            let _ = signal(SIGTERM, handle);
+        }
+    }
+
+    /// No-op off unix: only programmatic [`trigger`] stops the server.
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+/// How often blocking points poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How long a partially-received frame may stall before the connection is
+/// dropped (guards the drain against peers that died mid-frame).
+const MID_FRAME_GRACE: Duration = Duration::from_secs(2);
+
+/// Server tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Cap on request payloads; larger frames are rejected before any
+    /// allocation happens.
+    pub max_frame: u32,
+    /// Scheduler bounds (queue size, default deadline).
+    pub scheduler: SchedulerConfig,
+    /// How long shutdown waits for in-flight connections to finish.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame: protocol::DEFAULT_MAX_FRAME,
+            scheduler: SchedulerConfig::default(),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A bidirectional client connection (TCP or Unix socket).
+trait Connection: Read + Write + Send {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl Connection for TcpStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+}
+
+#[cfg(unix)]
+impl Connection for std::os::unix::net::UnixStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, dur)
+    }
+}
+
+/// A nonblocking listener: `poll_accept` returns `Ok(None)` when no peer
+/// is waiting, so the accept loop can interleave stop-flag checks.
+trait Acceptor: Send {
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn Connection>>>;
+}
+
+struct TcpAcceptor(TcpListener);
+
+impl Acceptor for TcpAcceptor {
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn Connection>>> {
+        match self.0.accept() {
+            Ok((stream, _)) => Ok(Some(Box::new(stream))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(unix)]
+struct UnixAcceptor(std::os::unix::net::UnixListener);
+
+#[cfg(unix)]
+impl Acceptor for UnixAcceptor {
+    fn poll_accept(&self) -> io::Result<Option<Box<dyn Connection>>> {
+        match self.0.accept() {
+            Ok((stream, _)) => Ok(Some(Box::new(stream))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection thread.
+struct Shared {
+    registry: ModelRegistry,
+    scheduler: Scheduler,
+    config: ServerConfig,
+    stop: AtomicBool,
+    active_conns: AtomicUsize,
+}
+
+impl Shared {
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::triggered()
+    }
+}
+
+/// Outcome of a graceful shutdown.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainReport {
+    /// Connections still open when the stop was observed.
+    pub connections_at_stop: usize,
+    /// True when every connection finished inside the drain timeout.
+    pub drained: bool,
+    /// Wall-clock time the drain took.
+    pub drain_time: Duration,
+}
+
+/// A running listener; dropping the handle does NOT stop the server —
+/// call [`ServerHandle::shutdown`] (or deliver SIGTERM).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: std::thread::JoinHandle<DrainReport>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (None for Unix-socket listeners) — this is
+    /// how callers discover an ephemeral port after binding `:0`.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Requests a stop without waiting (idempotent).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops accepting, waits for the drain, and returns its report.
+    pub fn shutdown(self) -> DrainReport {
+        self.stop();
+        self.join()
+    }
+
+    /// Waits for the accept loop to end (a prior [`Self::stop`], a
+    /// signal, or a fatal listener error) and returns the drain report.
+    pub fn join(self) -> DrainReport {
+        self.accept.join().unwrap_or(DrainReport {
+            connections_at_stop: 0,
+            drained: false,
+            drain_time: Duration::ZERO,
+        })
+    }
+}
+
+/// The fxrz compression service: registry + scheduler + listeners.
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new(ServerConfig::default())
+    }
+}
+
+impl Server {
+    /// A server with an empty model registry.
+    pub fn new(config: ServerConfig) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                registry: ModelRegistry::new(),
+                scheduler: Scheduler::new(config.scheduler),
+                config,
+                stop: AtomicBool::new(false),
+                active_conns: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The model registry (preload models here before serving).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
+    /// Requests a stop of every listener started from this server.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Binds a TCP listener (use port 0 for an ephemeral port, then read
+    /// it back from [`ServerHandle::local_addr`]) and starts serving on a
+    /// background thread.
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    pub fn serve_tcp(&self, addr: &str) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr().ok();
+        self.spawn_accept(Box::new(TcpAcceptor(listener)), local_addr)
+    }
+
+    /// Binds a Unix-domain socket listener and starts serving. An
+    /// existing socket file at `path` is removed first (the daemon
+    /// convention for stale sockets).
+    ///
+    /// # Errors
+    /// Propagates bind errors.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &std::path::Path) -> io::Result<ServerHandle> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        self.spawn_accept(Box::new(UnixAcceptor(listener)), None)
+    }
+
+    fn spawn_accept(
+        &self,
+        acceptor: Box<dyn Acceptor>,
+        local_addr: Option<SocketAddr>,
+    ) -> io::Result<ServerHandle> {
+        let shared = Arc::clone(&self.shared);
+        let accept = std::thread::Builder::new()
+            .name("fxrz-serve-accept".into())
+            .spawn(move || accept_loop(&shared, acceptor.as_ref()))?;
+        Ok(ServerHandle {
+            shared: Arc::clone(&self.shared),
+            accept,
+            local_addr,
+        })
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, acceptor: &dyn Acceptor) -> DrainReport {
+    let telemetry = fxrz_telemetry::global();
+    while !shared.should_stop() {
+        match acceptor.poll_accept() {
+            Ok(Some(conn)) => {
+                telemetry.incr("serve.conn.accepted");
+                // Count the connection before its thread exists so a stop
+                // arriving right now still waits for it in the drain.
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("fxrz-serve-conn".into())
+                    .spawn(move || handle_connection(&conn_shared, conn));
+                if spawned.is_err() {
+                    // The thread never existed, so its slot must be given
+                    // back here or the drain would wait the full timeout.
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    telemetry.incr("serve.conn.spawn_errors");
+                }
+            }
+            Ok(None) => std::thread::sleep(POLL_INTERVAL),
+            Err(_) => {
+                telemetry.incr("serve.conn.accept_errors");
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+
+    // Drain: no new connections are accepted; wait for the in-flight
+    // ones (each holds a slot in `active_conns` until its last response
+    // is written) to finish, bounded by the configured timeout.
+    let connections_at_stop = shared.active_conns.load(Ordering::SeqCst);
+    telemetry.set_gauge(
+        "serve.drain.connections_at_stop",
+        connections_at_stop as i64,
+    );
+    let t0 = Instant::now();
+    while shared.active_conns.load(Ordering::SeqCst) > 0
+        && t0.elapsed() < shared.config.drain_timeout
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let drained = shared.active_conns.load(Ordering::SeqCst) == 0;
+    let drain_time = t0.elapsed();
+    telemetry.incr(if drained {
+        "serve.drain.clean"
+    } else {
+        "serve.drain.timed_out"
+    });
+    telemetry.observe("serve.drain.ns", drain_time.as_nanos() as u64);
+    DrainReport {
+        connections_at_stop,
+        drained,
+        drain_time,
+    }
+}
+
+/// Decrements the active-connection count when the handler exits, on any
+/// path (clean EOF, protocol violation, panic).
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A `Read` adapter over a timeout socket that turns short timeouts into
+/// stop-flag polls: before a frame starts, a stop reads as clean EOF; in
+/// the middle of a frame the peer gets [`MID_FRAME_GRACE`] to finish.
+struct PatientReader<'a> {
+    inner: &'a mut dyn Connection,
+    shared: &'a Shared,
+    started: bool,
+}
+
+impl Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut stalled_since: Option<Instant> = None;
+        loop {
+            match self.inner.read(buf) {
+                Ok(0) => return Ok(0),
+                Ok(n) => {
+                    self.started = true;
+                    return Ok(n);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !self.started {
+                        if self.shared.should_stop() {
+                            // No frame in progress: report EOF so the
+                            // frame reader sees a clean close.
+                            return Ok(0);
+                        }
+                        continue; // idle between frames: keep waiting
+                    }
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > MID_FRAME_GRACE {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
+    let _guard = ConnGuard(shared);
+    let _span = fxrz_telemetry::span!("serve.conn");
+    if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        let read_result = {
+            let mut patient = PatientReader {
+                inner: conn.as_mut(),
+                shared,
+                started: false,
+            };
+            protocol::read_request(&mut patient, shared.config.max_frame)
+        };
+        match read_result {
+            Ok(None) => break, // clean close (peer EOF, or stop while idle)
+            Ok(Some(frame)) => {
+                let response = dispatch(shared, frame);
+                if protocol::write_response(&mut conn, &response).is_err() {
+                    fxrz_telemetry::global().incr("serve.conn.write_errors");
+                    break;
+                }
+                if shared.should_stop() {
+                    break; // responded to the in-flight request; now drain
+                }
+            }
+            Err(FrameError::Io(_)) => break, // peer vanished / stalled out
+            Err(e) => {
+                // Protocol violation: reply once with a frame error, then
+                // close — the stream position is no longer trustworthy.
+                fxrz_telemetry::global().incr("serve.conn.frame_errors");
+                let response = ResponseFrame::error(0, 0, code::BAD_FRAME, &e.to_string());
+                let _ = protocol::write_response(&mut conn, &response);
+                break;
+            }
+        }
+    }
+}
+
+/// Executes one request frame and produces its response, recording
+/// per-op telemetry.
+fn dispatch(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
+    let telemetry = fxrz_telemetry::global();
+    let op = frame.op;
+    let t0 = Instant::now();
+    let response = dispatch_inner(shared, frame);
+    telemetry
+        .histogram(&format!("serve.op.{}.ns", op.name()))
+        .record_duration(t0.elapsed());
+    telemetry.incr(&format!("serve.op.{}.count", op.name()));
+    if response.status == Status::Error {
+        telemetry.incr("serve.op.errors");
+    }
+    response
+}
+
+fn registry_error_code(e: &RegistryError) -> u16 {
+    match e {
+        RegistryError::NoSuchModel(_) => code::NO_SUCH_MODEL,
+        RegistryError::Parse(_) | RegistryError::Rejected(_) => code::MODEL_REJECTED,
+    }
+}
+
+fn predict_json(served: &ServedModel, est: &Estimate) -> String {
+    let features = serde_json::to_string(&est.features).unwrap_or_else(|_| "null".to_owned());
+    format!(
+        "{{\"model\":\"{}\",\"config\":\"{}\",\"acr\":{},\"non_constant_ratio\":{},\"analysis_ms\":{},\"features\":{}}}",
+        served.reference(),
+        est.config,
+        est.acr,
+        est.non_constant_ratio,
+        est.analysis_time.as_secs_f64() * 1e3,
+        features,
+    )
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let models = serde_json::to_string(&shared.registry.list()).unwrap_or_else(|_| "[]".to_owned());
+    let snapshot = fxrz_telemetry::global().snapshot();
+    format!(
+        "{{\"models\":{models},\"inflight\":{},\"queue_bound\":{},\"metrics\":{}}}",
+        shared.scheduler.inflight(),
+        shared.config.scheduler.queue_bound,
+        snapshot.to_json(),
+    )
+}
+
+fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
+    let op = frame.op;
+    let op_byte = op as u8;
+    let req_id = frame.req_id;
+    let request = match Request::decode(op, &frame.payload) {
+        Ok(r) => r,
+        Err(e) => return ResponseFrame::error(op_byte, req_id, code::BAD_REQUEST, &e.to_string()),
+    };
+    // Control-plane ops answer even while draining; data-plane work that
+    // arrives after the stop flag is refused explicitly rather than
+    // silently dropped.
+    let draining = shared.should_stop();
+    match request {
+        Request::Ping => ResponseFrame::ok(Op::Ping, req_id, Reply::Pong.encode()),
+        Request::Stats => {
+            ResponseFrame::ok(Op::Stats, req_id, Reply::Json(stats_json(shared)).encode())
+        }
+        Request::LoadModel { id, version, json } => {
+            if draining {
+                return ResponseFrame::error(
+                    op_byte,
+                    req_id,
+                    code::SHUTTING_DOWN,
+                    "server is draining",
+                );
+            }
+            match shared.registry.load_json(&id, version, &json) {
+                Ok(v) => ResponseFrame::ok(
+                    Op::LoadModel,
+                    req_id,
+                    Reply::Json(format!("{{\"id\":\"{id}\",\"version\":{v}}}")).encode(),
+                ),
+                Err(e) => {
+                    ResponseFrame::error(op_byte, req_id, registry_error_code(&e), &e.to_string())
+                }
+            }
+        }
+        _ if draining => {
+            ResponseFrame::error(op_byte, req_id, code::SHUTTING_DOWN, "server is draining")
+        }
+        Request::Features { field } => {
+            shared
+                .scheduler
+                .submit(op_byte, req_id, frame.deadline_ms, move || {
+                    let fv = fxrz_core::features::extract(&field, StridedSampler::default());
+                    match serde_json::to_string(&fv) {
+                        Ok(json) => {
+                            ResponseFrame::ok(Op::Features, req_id, Reply::Json(json).encode())
+                        }
+                        Err(e) => {
+                            ResponseFrame::error(op_byte, req_id, code::INTERNAL, &e.to_string())
+                        }
+                    }
+                })
+        }
+        Request::Predict {
+            model,
+            ratio,
+            field,
+        } => {
+            // Resolve before queueing: a bad reference fails fast and an
+            // in-flight request keeps its Arc across hot swaps.
+            let served = match shared.registry.resolve(&model) {
+                Ok(m) => m,
+                Err(e) => {
+                    return ResponseFrame::error(
+                        op_byte,
+                        req_id,
+                        registry_error_code(&e),
+                        &e.to_string(),
+                    )
+                }
+            };
+            shared
+                .scheduler
+                .submit(op_byte, req_id, frame.deadline_ms, move || {
+                    match served.engine.estimate(&field, ratio) {
+                        Ok(est) => ResponseFrame::ok(
+                            Op::Predict,
+                            req_id,
+                            Reply::Json(predict_json(&served, &est)).encode(),
+                        ),
+                        Err(e) => {
+                            ResponseFrame::error(op_byte, req_id, code::ENGINE, &e.to_string())
+                        }
+                    }
+                })
+        }
+        Request::Compress {
+            model,
+            ratio,
+            field,
+        } => {
+            let served = match shared.registry.resolve(&model) {
+                Ok(m) => m,
+                Err(e) => {
+                    return ResponseFrame::error(
+                        op_byte,
+                        req_id,
+                        registry_error_code(&e),
+                        &e.to_string(),
+                    )
+                }
+            };
+            shared
+                .scheduler
+                .submit(op_byte, req_id, frame.deadline_ms, move || {
+                    match served.engine.compress(&field, ratio) {
+                        Ok(out) => {
+                            let info = format!(
+                                "{{\"model\":\"{}\",\"measured_ratio\":{},\"config\":\"{}\",\"analysis_ms\":{},\"compress_ms\":{}}}",
+                                served.reference(),
+                                out.measured_ratio,
+                                out.estimate.config,
+                                out.estimate.analysis_time.as_secs_f64() * 1e3,
+                                out.compression_time.as_secs_f64() * 1e3,
+                            );
+                            ResponseFrame::ok(
+                                Op::Compress,
+                                req_id,
+                                Reply::Compress {
+                                    info,
+                                    stream: out.bytes,
+                                }
+                                .encode(),
+                            )
+                        }
+                        Err(e) => {
+                            ResponseFrame::error(op_byte, req_id, code::ENGINE, &e.to_string())
+                        }
+                    }
+                })
+        }
+        Request::Decompress { stream } => {
+            shared
+                .scheduler
+                .submit(op_byte, req_id, frame.deadline_ms, move || {
+                    let Some(comp) = fxrz_compressors::detect(&stream) else {
+                        return ResponseFrame::error(
+                            op_byte,
+                            req_id,
+                            code::ENGINE,
+                            "unrecognized compressor stream magic",
+                        );
+                    };
+                    match comp.decompress(&stream) {
+                        Ok(field) => {
+                            ResponseFrame::ok(Op::Decompress, req_id, Reply::Field(field).encode())
+                        }
+                        Err(e) => {
+                            ResponseFrame::error(op_byte, req_id, code::ENGINE, &e.to_string())
+                        }
+                    }
+                })
+        }
+    }
+}

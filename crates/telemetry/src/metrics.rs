@@ -405,6 +405,16 @@ impl MetricsSnapshot {
             .map(|c| c.value)
     }
 
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
     /// Looks up a span by path.
     pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
         self.spans.iter().find(|s| s.path == path)

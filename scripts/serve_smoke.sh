@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the serve daemon, as run by CI:
+#   train a tiny model, start `fxrz serve` on an ephemeral port, run a
+#   client compress -> decompress round trip, SIGTERM the daemon, and
+#   require exit 0 with a clean drain report.
+set -euo pipefail
+
+FXRZ="${FXRZ:-target/release/fxrz}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -KILL "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== generating training data =="
+"$FXRZ" gen --app nyx --dims 16x16x16 --seed 1 --out "$WORK/a.f32"
+"$FXRZ" gen --app nyx --dims 16x16x16 --seed 2 --out "$WORK/b.f32"
+"$FXRZ" gen --app nyx --dims 16x16x16 --seed 9 --out "$WORK/probe.f32"
+
+echo "== training model =="
+"$FXRZ" train --compressor sz --dims 16x16x16 --model "$WORK/model.json" \
+    "$WORK/a.f32" "$WORK/b.f32"
+
+echo "== starting daemon on an ephemeral port =="
+"$FXRZ" serve --listen 127.0.0.1:0 --drain-ms 5000 "m=$WORK/model.json" \
+    >"$WORK/serve.out" 2>"$WORK/serve.err" &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 200); do
+    ADDR="$(sed -n 's/^listening on //p' "$WORK/serve.out" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "daemon died during startup:" >&2
+        cat "$WORK/serve.out" "$WORK/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+[[ -n "$ADDR" ]] || { echo "daemon never announced its address" >&2; exit 1; }
+echo "daemon is listening on $ADDR (pid $SERVER_PID)"
+
+echo "== client round trip =="
+"$FXRZ" client --connect "$ADDR" ping
+"$FXRZ" client --connect "$ADDR" compress --model m --ratio 10 \
+    --dims 16x16x16 --input "$WORK/probe.f32" --output "$WORK/probe.sz"
+"$FXRZ" client --connect "$ADDR" decompress \
+    --input "$WORK/probe.sz" --output "$WORK/probe.back.f32"
+"$FXRZ" client --connect "$ADDR" stats >/dev/null
+[[ -s "$WORK/probe.back.f32" ]] || { echo "round trip produced no output" >&2; exit 1; }
+BYTES_IN=$(wc -c <"$WORK/probe.f32")
+BYTES_BACK=$(wc -c <"$WORK/probe.back.f32")
+[[ "$BYTES_IN" == "$BYTES_BACK" ]] || {
+    echo "round trip size mismatch: $BYTES_IN vs $BYTES_BACK" >&2; exit 1;
+}
+
+echo "== SIGTERM -> clean drain =="
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+if [[ "$STATUS" -ne 0 ]]; then
+    echo "daemon exited with status $STATUS:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+fi
+grep -q "shutdown: drained=true" "$WORK/serve.err" || {
+    echo "no clean drain report in daemon stderr:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+}
+grep -q "serve.op.compress.count" "$WORK/serve.err" || {
+    echo "final telemetry snapshot missing from daemon stderr:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+}
+
+echo "serve smoke: OK"

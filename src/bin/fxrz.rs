@@ -11,6 +11,8 @@
 //! fxrz search     --compressor sz --ratio 30 --dims 64x64x64 --input x.f32   (FRaZ baseline)
 //! fxrz info       --input x.fxrz
 //! fxrz stats      --input snap.fxrza
+//! fxrz serve      --listen 127.0.0.1:7557 nyx=model.json
+//! fxrz client     --connect 127.0.0.1:7557 ping
 //! ```
 //!
 //! Every subcommand accepts `--metrics <text|json>` to dump the process
@@ -31,7 +33,7 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [id=]model.json …\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
     );
     ExitCode::FAILURE
 }
@@ -360,6 +362,171 @@ fn run() -> Result<(), String> {
                     total_compressed,
                     total_raw as f64 / total_compressed.max(1) as f64
                 );
+                Ok(())
+            }
+            "serve" => {
+                fxrz::serve::signal::install();
+                let mut config = fxrz::serve::ServerConfig::default();
+                if let Some(q) = flags.get("queue") {
+                    config.scheduler.queue_bound = q.parse().map_err(|_| "bad --queue")?;
+                }
+                if let Some(d) = flags.get("deadline-ms") {
+                    let ms: u64 = d.parse().map_err(|_| "bad --deadline-ms")?;
+                    config.scheduler.default_deadline = std::time::Duration::from_millis(ms);
+                }
+                if let Some(d) = flags.get("drain-ms") {
+                    let ms: u64 = d.parse().map_err(|_| "bad --drain-ms")?;
+                    config.drain_timeout = std::time::Duration::from_millis(ms);
+                }
+                if let Some(m) = flags.get("max-frame") {
+                    config.max_frame = m.parse().map_err(|_| "bad --max-frame")?;
+                }
+                let server = fxrz::serve::Server::new(config);
+                // Positional args preload the registry: `id=model.json`, or
+                // a bare path whose file stem becomes the id.
+                for spec in &pos {
+                    let (id, path) = match spec.split_once('=') {
+                        Some((id, path)) if !id.is_empty() => (id.to_owned(), path),
+                        _ => {
+                            let stem = std::path::Path::new(spec)
+                                .file_stem()
+                                .and_then(|s| s.to_str())
+                                .unwrap_or("model")
+                                .to_owned();
+                            (stem, spec.as_str())
+                        }
+                    };
+                    let v = server
+                        .registry()
+                        .load_file(&id, 0, std::path::Path::new(path))
+                        .map_err(|e| e.to_string())?;
+                    println!("loaded {path} as {id}@{v}");
+                }
+                let mut handles = Vec::new();
+                if let Some(path) = flags.get("socket") {
+                    #[cfg(unix)]
+                    {
+                        let h = server
+                            .serve_unix(std::path::Path::new(path))
+                            .map_err(|e| e.to_string())?;
+                        println!("listening on unix:{path}");
+                        handles.push(h);
+                    }
+                    #[cfg(not(unix))]
+                    {
+                        let _ = path;
+                        return Err("--socket needs a unix platform".into());
+                    }
+                }
+                if flags.contains_key("listen") || handles.is_empty() {
+                    let addr = flags
+                        .get("listen")
+                        .cloned()
+                        .unwrap_or_else(|| "127.0.0.1:7557".to_owned());
+                    let h = server.serve_tcp(&addr).map_err(|e| e.to_string())?;
+                    let bound = h.local_addr().ok_or("listener has no local address")?;
+                    // Scripts parse this line to discover an ephemeral port.
+                    println!("listening on {bound}");
+                    handles.push(h);
+                }
+                use std::io::Write as _;
+                std::io::stdout().flush().ok();
+                for h in handles {
+                    let report = h.join();
+                    eprintln!(
+                        "shutdown: drained={} connections_at_stop={} drain_ms={:.1}",
+                        report.drained,
+                        report.connections_at_stop,
+                        report.drain_time.as_secs_f64() * 1e3
+                    );
+                }
+                // The final telemetry snapshot always lands on stderr so a
+                // SIGTERM'd daemon leaves its request counters behind even
+                // without `--metrics`.
+                let rendered = fxrz::telemetry::global().snapshot().to_string();
+                eprint!("{rendered}");
+                if !rendered.ends_with('\n') {
+                    eprintln!();
+                }
+                Ok(())
+            }
+            "client" => {
+                let mut client = match flags.get("socket") {
+                    Some(path) => {
+                        #[cfg(unix)]
+                        {
+                            fxrz::serve::Client::connect_unix(std::path::Path::new(path))
+                                .map_err(|e| e.to_string())?
+                        }
+                        #[cfg(not(unix))]
+                        {
+                            let _ = path;
+                            return Err("--socket needs a unix platform".into());
+                        }
+                    }
+                    None => fxrz::serve::Client::connect_tcp(&flag("connect")?)
+                        .map_err(|e| e.to_string())?,
+                };
+                if let Some(d) = flags.get("deadline-ms") {
+                    client.deadline_ms = d.parse().map_err(|_| "bad --deadline-ms")?;
+                }
+                let action = pos.first().cloned().ok_or(
+                    "missing client action (ping|features|predict|compress|decompress|load-model|stats)",
+                )?;
+                match action.as_str() {
+                    "ping" => {
+                        let rtt = client.ping().map_err(|e| e.to_string())?;
+                        println!("pong in {:.2} ms", rtt.as_secs_f64() * 1e3);
+                    }
+                    "features" => {
+                        let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+                        let field = read_field(&flag("input")?, dims)?;
+                        println!("{}", client.features(&field).map_err(|e| e.to_string())?);
+                    }
+                    "predict" => {
+                        let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+                        let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+                        let field = read_field(&flag("input")?, dims)?;
+                        println!(
+                            "{}",
+                            client
+                                .predict(&flag("model")?, ratio, &field)
+                                .map_err(|e| e.to_string())?
+                        );
+                    }
+                    "compress" => {
+                        let dims = parse_dims(&flag("dims")?).ok_or("bad --dims")?;
+                        let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+                        let field = read_field(&flag("input")?, dims)?;
+                        let (info, stream) = client
+                            .compress(&flag("model")?, ratio, &field)
+                            .map_err(|e| e.to_string())?;
+                        std::fs::write(flag("output")?, &stream).map_err(|e| e.to_string())?;
+                        println!("{info}");
+                    }
+                    "decompress" => {
+                        let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                        let field = client.decompress(&bytes).map_err(|e| e.to_string())?;
+                        write_field(&flag("output")?, &field)?;
+                        println!("decompressed {} ({})", field.name(), field.dims());
+                    }
+                    "load-model" => {
+                        let json =
+                            std::fs::read_to_string(flag("model")?).map_err(|e| e.to_string())?;
+                        let version: u32 = flags
+                            .get("version")
+                            .map_or(Ok(0), |s| s.parse())
+                            .map_err(|_| "bad --version")?;
+                        println!(
+                            "{}",
+                            client
+                                .load_model(&flag("id")?, version, &json)
+                                .map_err(|e| e.to_string())?
+                        );
+                    }
+                    "stats" => println!("{}", client.stats().map_err(|e| e.to_string())?),
+                    other => return Err(format!("unknown client action {other}")),
+                }
                 Ok(())
             }
             other => Err(format!("unknown subcommand {other}")),

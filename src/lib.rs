@@ -25,6 +25,7 @@ pub use fxrz_fraz as fraz;
 pub use fxrz_ml as ml;
 pub use fxrz_parallel as parallel;
 pub use fxrz_parallel_io as parallel_io;
+pub use fxrz_serve as serve;
 pub use fxrz_telemetry as telemetry;
 
 /// Convenient glob-import surface covering the common API.
@@ -49,5 +50,6 @@ pub mod prelude {
     pub use fxrz_fraz::FrazSearcher;
     pub use fxrz_ml::{adaboost::AdaBoostR2, forest::RandomForest, svr::Svr, tree::RegressionTree};
     pub use fxrz_parallel_io::{Cluster, DumpReport};
+    pub use fxrz_serve::{Client, ModelRegistry, Server, ServerConfig};
     pub use fxrz_telemetry::{MetricsRegistry, MetricsSnapshot};
 }

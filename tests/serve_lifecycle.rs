@@ -1,0 +1,131 @@
+//! Integration: the `fxrz serve` daemon's lifecycle, end to end against
+//! the real binary — ephemeral-port startup, a compress→decompress
+//! round trip over the wire, and a SIGTERM that drains cleanly, exits 0,
+//! and leaves a final telemetry snapshot on stderr.
+
+#![cfg(unix)]
+
+use fxrz::prelude::*;
+use fxrz_core::sampling::StridedSampler;
+use fxrz_core::train::TrainerConfig;
+use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn write_model(path: &std::path::Path) {
+    let fields: Vec<Field> = (0..2)
+        .map(|i| {
+            gaussian_random_field(
+                Dims::d3(16, 16, 16),
+                GrfConfig::default().with_seed(3100 + i),
+            )
+        })
+        .collect();
+    let trainer = Trainer {
+        config: TrainerConfig {
+            model: fxrz_ml::ModelKind::Svr,
+            stationary_points: 8,
+            augment_per_field: 12,
+            sampler: StridedSampler::new(2),
+            ..TrainerConfig::default()
+        },
+    };
+    let model = trainer.train(&Sz, &fields).expect("train");
+    std::fs::write(path, serde_json::to_string(&model).expect("json")).expect("write model");
+}
+
+/// Reads the daemon's stdout until the `listening on ADDR` line appears.
+fn wait_for_addr(child: &mut Child) -> String {
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("listening on ") {
+                    return addr.trim().to_owned();
+                }
+            }
+            Some(Err(e)) => panic!("reading daemon stdout: {e}"),
+            None => panic!("daemon closed stdout before announcing its address"),
+        }
+    }
+    panic!("daemon never announced its address");
+}
+
+#[test]
+fn daemon_serves_then_drains_on_sigterm() {
+    let dir = std::env::temp_dir().join(format!("fxrz-serve-lifecycle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let model_path = dir.join("model.json");
+    write_model(&model_path);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fxrz"))
+        .arg("serve")
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--drain-ms")
+        .arg("5000")
+        .arg(format!("m={}", model_path.display()))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let addr = wait_for_addr(&mut child);
+
+    // A real round trip over the wire while the daemon is up.
+    let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(5));
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.ping().expect("ping");
+    let (_info, stream) = client.compress("m", 10.0, &field).expect("compress");
+    let roundtrip = client.decompress(&stream).expect("decompress");
+    assert_eq!(roundtrip.dims(), field.dims());
+
+    // SIGTERM with the client connection still open: the daemon must
+    // stop accepting, drain, and exit 0 on its own.
+    let status = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill -TERM");
+    assert!(status.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("daemon did not exit within 30s of SIGTERM");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    assert!(exit.success(), "daemon exited nonzero: {exit:?}");
+
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr)
+        .expect("read stderr");
+    assert!(
+        stderr.contains("shutdown: drained=true"),
+        "no clean drain report on stderr:\n{stderr}"
+    );
+    // The final telemetry snapshot must mention the ops we actually ran.
+    for marker in [
+        "serve.op.ping.count",
+        "serve.op.compress.count",
+        "serve.conn",
+    ] {
+        assert!(
+            stderr.contains(marker),
+            "final snapshot missing {marker}:\n{stderr}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -164,6 +164,18 @@ pub fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
     }
 }
 
+/// Derive-macro helper: deserializes a named field, falling back to
+/// `Default::default()` when the key is absent (`#[serde(default)]`).
+///
+/// # Errors
+/// Fails when the field is present but does not deserialize.
+pub fn field_or_default<T: Deserialize + Default>(obj: &Value, name: &str) -> Result<T, DeError> {
+    match obj.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| DeError(format!("{name}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 /// Derive-macro helper: deserializes tuple-variant element `idx`.
 ///
 /// # Errors

@@ -8,8 +8,13 @@
 //! the input item is token-walked into a small [`Shape`] model and the
 //! impl is emitted as formatted source text.
 //!
-//! Supported attribute: `#[serde(skip)]` on a named field (not serialized;
-//! rebuilt with `Default::default()`).
+//! Supported attributes on a named field:
+//!
+//! * `#[serde(skip)]` — not serialized; rebuilt with `Default::default()`.
+//! * `#[serde(default)]` — serialized normally, but an *absent* key
+//!   deserializes to `Default::default()` instead of erroring. This is
+//!   what keeps old on-disk documents (written before a field existed)
+//!   loadable by newer code.
 //!
 //! Unsupported (panics with a clear message): generics, lifetimes, tuple
 //! structs, unions, and other `#[serde(...)]` options.
@@ -20,6 +25,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 /// Enum variant payload shape.
@@ -46,31 +52,46 @@ enum Shape {
     },
 }
 
-/// True when an attribute group (the `[...]` contents) is `serde(skip)`.
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// Field-level serde options recognized by this stand-in.
+#[derive(Clone, Copy, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+/// Parses an attribute group (the `[...]` contents) for serde options.
+fn attr_serde_options(group: &proc_macro::Group) -> FieldAttrs {
+    let mut out = FieldAttrs::default();
     let mut tokens = group.stream().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
-        _ => return false,
+        _ => return out,
     }
-    match tokens.next() {
-        Some(TokenTree::Group(inner)) => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
-        _ => false,
+    if let Some(TokenTree::Group(inner)) = tokens.next() {
+        for t in inner.stream() {
+            if let TokenTree::Ident(i) = &t {
+                match i.to_string().as_str() {
+                    "skip" => out.skip = true,
+                    "default" => out.default = true,
+                    _ => {}
+                }
+            }
+        }
     }
+    out
 }
 
-/// Consumes a leading attribute (`#` + bracket group) if present.
-/// Returns whether it was `#[serde(skip)]`.
-fn eat_attr(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Option<bool> {
+/// Consumes a leading attribute (`#` + bracket group) if present,
+/// returning any serde options it carried.
+fn eat_attr(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Option<FieldAttrs> {
     match iter.peek() {
         Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
             iter.next();
             match iter.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    Some(attr_is_serde_skip(&g))
+                    Some(attr_serde_options(&g))
                 }
                 other => panic!("serde_derive: malformed attribute, found {other:?}"),
             }
@@ -97,9 +118,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
-        let mut skip = false;
-        while let Some(s) = eat_attr(&mut iter) {
-            skip |= s;
+        let mut attrs = FieldAttrs::default();
+        while let Some(a) = eat_attr(&mut iter) {
+            attrs.skip |= a.skip;
+            attrs.default |= a.default;
         }
         eat_visibility(&mut iter);
         let name = match iter.next() {
@@ -133,7 +155,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 }
             }
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -339,6 +365,11 @@ fn render_deserialize(shape: &Shape) -> String {
                         "{}: ::core::default::Default::default(),\n",
                         f.name
                     ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::field_or_default(v, \"{0}\")?,\n",
+                        f.name
+                    ));
                 } else {
                     inits.push_str(&format!("{0}: ::serde::field(v, \"{0}\")?,\n", f.name));
                 }
@@ -385,6 +416,11 @@ fn render_deserialize(shape: &Shape) -> String {
                             if f.skip {
                                 inits.push_str(&format!(
                                     "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::field_or_default(inner, \"{0}\")?,\n",
                                     f.name
                                 ));
                             } else {
