@@ -1,0 +1,412 @@
+//! A small Rust lexer: just enough tokenization for line-accurate,
+//! comment-aware lint passes.
+//!
+//! The lexer splits source text into identifier / literal / punctuation
+//! tokens and a parallel list of comments. It understands the parts of
+//! Rust's lexical grammar that would otherwise corrupt a naive scan —
+//! nested block comments, string escapes, raw strings (`r#"…"#`), byte
+//! strings, char literals vs. lifetimes — so lint rules never fire on
+//! text inside a string or comment. It deliberately does **not** build an
+//! AST: every lint in this crate is expressed over the token stream plus
+//! brace/paren matching, which keeps the whole analyzer dependency-free
+//! and fast enough to run on every `cargo test`.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Numeric literal.
+    Num,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character (`.`, `(`, `[`, `<`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text. For [`TokKind::Str`] this is the *unquoted*
+    /// string content (escapes left as written), so lints can match
+    /// values without re-parsing delimiters.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is this exact identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is this exact punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on and
+/// the 1-based line it ends on (equal for `//` comments).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Line of the `//` or `/*`.
+    pub line: u32,
+    /// Line the comment ends on (inclusive).
+    pub end_line: u32,
+    /// Full comment text including delimiters.
+    pub text: String,
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Treat every byte of a multi-byte UTF-8 char as opaque "other"
+    // punctuation; Rust source keywords/idents/structure are all ASCII.
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_owned(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..i].to_owned(),
+                });
+            }
+            b'"' => {
+                let (text, next, lines) = lex_string(src, i);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += lines;
+                i = next;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (kind, text, next, lines) = lex_prefixed_string(src, i);
+                tokens.push(Token { kind, text, line });
+                line += lines;
+                i = next;
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\x'`-style escapes and
+                // `'c'` are chars; `'ident` not closed by a quote is a
+                // lifetime (including `'static`).
+                if is_char_literal(b, i) {
+                    let (text, next) = lex_char(src, i);
+                    tokens.push(Token {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    });
+                    i = next;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_owned(),
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // A fractional part only when `.` is followed by a digit —
+                // leaves `0..n` as three tokens.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ => {
+                // Multi-byte UTF-8: emit one opaque punct for the whole
+                // char so we never split a code point.
+                let ch_len = utf8_len(c);
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: src[i..i + ch_len].to_owned(),
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// True when `b[i..]` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`), raw byte string (`br#"`), or byte char (`b'`).
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+        return j < b.len() && b[j] == b'"' && (b[i] != b'b' || b[i + 1] == b'r');
+    }
+    // b"…" or b'…'
+    b[i] == b'b' && j < b.len() && (b[j] == b'"' || b[j] == b'\'')
+}
+
+/// Lexes a plain `"…"` string starting at the opening quote. Returns
+/// (content, index-after-closing-quote, newline count).
+fn lex_string(src: &str, start: usize) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut i = start + 1;
+    let mut lines = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (src[start + 1..i].to_owned(), i + 1, lines),
+            b'\n' => {
+                lines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start + 1..].to_owned(), b.len(), lines)
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` starting at the
+/// prefix. Returns (kind, content, index-after, newline count).
+fn lex_prefixed_string(src: &str, start: usize) -> (TokKind, String, usize, u32) {
+    let b = src.as_bytes();
+    let mut i = start;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        let (text, next) = lex_char(src, i);
+        return (TokKind::Char, text, next, 0);
+    }
+    let mut hashes = 0;
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        // raw string: no escapes; closes on `"` followed by `hashes` #s
+        let content_start = i + 1;
+        let mut j = content_start;
+        let mut lines = 0;
+        while j < b.len() {
+            if b[j] == b'\n' {
+                lines += 1;
+            }
+            if b[j] == b'"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == b'#')
+                    .count()
+                    == hashes
+            {
+                return (
+                    TokKind::Str,
+                    src[content_start..j].to_owned(),
+                    j + 1 + hashes,
+                    lines,
+                );
+            }
+            j += 1;
+        }
+        return (
+            TokKind::Str,
+            src[content_start..].to_owned(),
+            b.len(),
+            lines,
+        );
+    }
+    // b"…": same as a plain string
+    let (text, next, lines) = lex_string(src, i);
+    (TokKind::Str, text, next, lines)
+}
+
+/// Distinguishes `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // `'c'` with exactly one symbol between quotes
+    i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\''
+}
+
+/// Lexes a char/byte literal starting at the `'`. Returns (text, next).
+fn lex_char(src: &str, start: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return (src[start..=i].to_owned(), i + 1),
+            _ => i += 1,
+        }
+    }
+    (src[start..].to_owned(), b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* unsafe in /* a nested */ block */
+            let s = "unwrap() inside a string";
+            let r = r#"panic!("raw")"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_owned()));
+        assert!(!ids.contains(&"unsafe".to_owned()));
+        assert!(!ids.contains(&"unwrap".to_owned()));
+        assert!(!ids.contains(&"panic".to_owned()));
+        assert!(ids.contains(&"let".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1;";
+        let (toks, _) = lex(src);
+        let b_tok = toks.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn comments_carry_lines_and_text() {
+        let (_, comments) = lex("let a = 1; // trailing note\n// next line\n");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].text.contains("trailing note"));
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let (toks, _) = lex("0..n");
+        assert_eq!(toks.len(), 4); // 0, '.', '.', n
+        assert_eq!(toks[0].kind, TokKind::Num);
+        assert!(toks[3].is_ident("n"));
+    }
+
+    #[test]
+    fn string_token_text_is_unquoted() {
+        let (toks, _) = lex(r#"incr("codec.huffman.calls")"#);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+        assert_eq!(s.text, "codec.huffman.calls");
+    }
+}

@@ -1,0 +1,388 @@
+//! **alloc_bounds** — never size an allocation from a wire-read length
+//! without capping it first.
+//!
+//! Scope: the untrusted-input crates (`crates/serve/src/*`,
+//! `crates/archive/src/*`). Within each function the lint runs a small
+//! taint pass: wire-read expressions (`.u8()`, `.u16()`, `.u32()`,
+//! `.take(…)`, `from_le_bytes`, …) and integer-typed parameters are
+//! *tainted*; `let` bindings propagate taint. An allocation sink
+//! (`with_capacity`, `vec![v; n]`, `.resize`, `.reserve`) whose size
+//! argument mentions a tainted variable is a finding unless a cap
+//! appears first — a comparison against the variable earlier in the
+//! function, or `.min(…)`/`.clamp(…)` applied to it. A four-byte length
+//! prefix must not let a client make us allocate 4 GiB.
+
+use crate::lexer::{TokKind, Token};
+use crate::source::{matching, SourceFile};
+use crate::{Finding, Lint, Workspace};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Cursor/reader methods whose results are attacker-controlled.
+const SRC_METHODS: &[&str] = &[
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "f64",
+    "str16",
+    "take",
+    "rest",
+    "read_varint",
+];
+/// Free/associated fns that materialize wire bytes as integers.
+const SRC_FNS: &[&str] = &[
+    "from_le_bytes",
+    "from_be_bytes",
+    "read_exact",
+    "read_varint",
+];
+/// Parameter types treated as tainted lengths in scoped files.
+const NUM_TYPES: &[&str] = &["usize", "u16", "u32", "u64"];
+
+/// See module docs.
+pub struct AllocBounds;
+
+fn in_scope(f: &SourceFile) -> bool {
+    f.rel.starts_with("crates/serve/src/") || f.rel.starts_with("crates/archive/src/")
+}
+
+impl Lint for AllocBounds {
+    fn name(&self) -> &'static str {
+        "alloc_bounds"
+    }
+
+    fn description(&self) -> &'static str {
+        "allocation sizes derived from wire-read lengths need a cap check first"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in ws.files.iter().filter(|f| in_scope(f)) {
+            let t = &f.tokens;
+            let mut i = 0usize;
+            while i < t.len() {
+                if !(t[i].is_ident("fn")
+                    && t.get(i + 1)
+                        .map(|x| x.kind == TokKind::Ident)
+                        .unwrap_or(false))
+                {
+                    i += 1;
+                    continue;
+                }
+                // Locate the parameter list and body braces.
+                let mut j = i + 2;
+                while j < t.len()
+                    && !t[j].is_punct('(')
+                    && !t[j].is_punct('{')
+                    && !t[j].is_punct(';')
+                {
+                    j += 1;
+                }
+                if j >= t.len() || !t[j].is_punct('(') {
+                    i = j + 1;
+                    continue;
+                }
+                let pclose = matching(t, j);
+                let mut k = pclose + 1;
+                while k < t.len() && !t[k].is_punct('{') && !t[k].is_punct(';') {
+                    k += 1;
+                }
+                if k >= t.len() || !t[k].is_punct('{') {
+                    i = k + 1;
+                    continue;
+                }
+                let bclose = matching(t, k);
+                check_fn(self.name(), f, j + 1..pclose, k + 1..bclose, out);
+                i = bclose.max(k) + 1;
+            }
+        }
+    }
+}
+
+fn check_fn(
+    lint: &'static str,
+    f: &SourceFile,
+    params: Range<usize>,
+    body: Range<usize>,
+    out: &mut Vec<Finding>,
+) {
+    let t = &f.tokens;
+    let mut tainted = tainted_params(&t[params]);
+
+    // `let` bindings propagate taint; two passes reach chains like
+    // `let n = cur.u32()?; let bytes = n as usize;`.
+    for _ in 0..2 {
+        let mut j = body.start;
+        while j < body.end {
+            if t[j].is_ident("let") {
+                let mut m = j + 1;
+                if t.get(m).map(|x| x.is_ident("mut")).unwrap_or(false) {
+                    m += 1;
+                }
+                if let Some(name) = t.get(m).filter(|x| x.kind == TokKind::Ident) {
+                    if let Some((eq, semi)) = binding_rhs(t, m + 1, body.end) {
+                        let rhs = &t[eq + 1..semi];
+                        if !sanitized(rhs) && mentions_source(rhs, &tainted) {
+                            tainted.insert(name.text.clone());
+                        }
+                        j = semi;
+                        continue;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    if tainted.is_empty() {
+        return;
+    }
+
+    // Guard positions: token indices where a tainted variable is
+    // compared or capped.
+    let mut guards: Vec<(usize, String)> = Vec::new();
+    for j in body.clone() {
+        if t[j].kind != TokKind::Ident || !tainted.contains(&t[j].text) {
+            continue;
+        }
+        let prev_cmp = j > 0 && (t[j - 1].is_punct('<') || t[j - 1].is_punct('>'));
+        let next_cmp = t
+            .get(j + 1)
+            .map(|x| x.is_punct('<') || x.is_punct('>'))
+            .unwrap_or(false);
+        let capped = t.get(j + 1).map(|x| x.is_punct('.')).unwrap_or(false)
+            && t.get(j + 2)
+                .map(|x| x.is_ident("min") || x.is_ident("clamp"))
+                .unwrap_or(false);
+        if prev_cmp || next_cmp || capped {
+            guards.push((j, t[j].text.clone()));
+        }
+    }
+
+    // Allocation sinks.
+    let mut j = body.start;
+    while j < body.end {
+        let arg_range = sink_args(t, j, body.end);
+        if let Some((args, sink)) = arg_range {
+            let offender = t[args.clone()].iter().find(|x| {
+                x.kind == TokKind::Ident
+                    && tainted.contains(&x.text)
+                    && !guards.iter().any(|(g, name)| *g < j && *name == x.text)
+            });
+            if let Some(x) = offender {
+                if !f.in_test_code(x.line) {
+                    out.push(Finding {
+                        lint,
+                        file: f.rel.clone(),
+                        line: x.line,
+                        message: format!(
+                            "`{sink}` sized by wire-derived `{}` with no preceding cap \
+                             check; validate against a limit before allocating",
+                            x.text
+                        ),
+                    });
+                }
+            }
+            j = args.end;
+            continue;
+        }
+        j += 1;
+    }
+}
+
+/// If `t[j]` opens an allocation sink, returns the token range of its
+/// size argument plus a display name.
+fn sink_args(t: &[Token], j: usize, end: usize) -> Option<(Range<usize>, &'static str)> {
+    // `with_capacity(n)` (Vec/String/HashMap-free codebases still use it)
+    if t[j].is_ident("with_capacity") && t.get(j + 1).map(|x| x.is_punct('(')).unwrap_or(false) {
+        let close = matching(t, j + 1);
+        return Some((j + 2..close.min(end), "with_capacity"));
+    }
+    // `vec![v; n]` — the size is everything after the `;`
+    if t[j].is_ident("vec")
+        && t.get(j + 1).map(|x| x.is_punct('!')).unwrap_or(false)
+        && t.get(j + 2).map(|x| x.is_punct('[')).unwrap_or(false)
+    {
+        let close = matching(t, j + 2);
+        let semi = (j + 3..close.min(end)).find(|&m| t[m].is_punct(';'))?;
+        return Some((semi + 1..close.min(end), "vec![v; n]"));
+    }
+    // `.resize(n, v)` / `.reserve(n)` — first argument only
+    if j > 0
+        && t[j - 1].is_punct('.')
+        && (t[j].is_ident("resize") || t[j].is_ident("reserve") || t[j].is_ident("reserve_exact"))
+        && t.get(j + 1).map(|x| x.is_punct('(')).unwrap_or(false)
+    {
+        let close = matching(t, j + 1);
+        let mut depth = 0i32;
+        let mut stop = close;
+        for (m, tok) in t.iter().enumerate().take(close.min(end)).skip(j + 2) {
+            if tok.is_punct('(') || tok.is_punct('[') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') {
+                depth -= 1;
+            } else if tok.is_punct(',') && depth == 0 {
+                stop = m;
+                break;
+            }
+        }
+        let sink = match t[j].text.as_str() {
+            "resize" => ".resize",
+            "reserve" => ".reserve",
+            _ => ".reserve_exact",
+        };
+        return Some((j + 2..stop.min(end), sink));
+    }
+    None
+}
+
+/// Integer-typed parameter names (wire lengths passed between helpers).
+fn tainted_params(params: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut depth = 0i32;
+    let mut seg_start = 0usize;
+    let mut segs: Vec<&[Token]> = Vec::new();
+    for (i, t) in params.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            segs.push(&params[seg_start..i]);
+            seg_start = i + 1;
+        }
+    }
+    segs.push(&params[seg_start..]);
+    for seg in segs {
+        let Some(colon) = seg.iter().position(|t| t.is_punct(':')) else {
+            continue;
+        };
+        let name = seg[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"));
+        let numeric = seg[colon + 1..]
+            .iter()
+            .any(|t| NUM_TYPES.iter().any(|n| t.is_ident(n)));
+        if let (Some(name), true) = (name, numeric) {
+            out.insert(name.text.clone());
+        }
+    }
+    out
+}
+
+/// Finds `= …;` after a `let name` at depth 0. Returns (eq, semi).
+fn binding_rhs(t: &[Token], from: usize, end: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut eq = None;
+    for j in from..end {
+        let tok = &t[j];
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            depth -= 1;
+        } else if tok.is_punct('=') && depth == 0 && eq.is_none() {
+            let prev_rel = j > from && ['<', '>', '=', '!'].iter().any(|&c| t[j - 1].is_punct(c));
+            let next_eq = t.get(j + 1).map(|x| x.is_punct('=')).unwrap_or(false);
+            let arrow = t.get(j + 1).map(|x| x.is_punct('>')).unwrap_or(false);
+            if !prev_rel && !next_eq && !arrow {
+                eq = Some(j);
+            }
+        } else if tok.is_punct(';') && depth == 0 {
+            return eq.map(|e| (e, j));
+        }
+    }
+    None
+}
+
+/// True when the rhs caps its value (`.min(…)` / `.clamp(…)`), which
+/// sanitizes the binding.
+fn sanitized(rhs: &[Token]) -> bool {
+    rhs.windows(2)
+        .any(|w| w[0].is_punct('.') && (w[1].is_ident("min") || w[1].is_ident("clamp")))
+}
+
+/// True when the rhs reads from the wire or mentions a tainted variable.
+fn mentions_source(rhs: &[Token], tainted: &BTreeSet<String>) -> bool {
+    for (i, t) in rhs.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if tainted.contains(&t.text) {
+            return true;
+        }
+        if SRC_FNS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if i > 0
+            && rhs[i - 1].is_punct('.')
+            && SRC_METHODS.contains(&t.text.as_str())
+            && rhs.get(i + 1).map(|x| x.is_punct('(')).unwrap_or(false)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_lint, workspace};
+
+    #[test]
+    fn fires_on_uncapped_wire_length() {
+        let ws = workspace(
+            "crates/serve/src/protocol.rs",
+            "fn f(cur: &mut Cursor) -> Vec<u8> {\n    let n = cur.u32() as usize;\n    Vec::with_capacity(n)\n}\n",
+        );
+        let (active, _) = run_lint(&AllocBounds, &ws);
+        assert_eq!(active.len(), 1);
+        assert!(active[0].message.contains("with_capacity"));
+        assert!(active[0].message.contains("`n`"));
+    }
+
+    #[test]
+    fn fires_on_vec_macro_with_tainted_param() {
+        let ws = workspace(
+            "crates/archive/src/lib.rs",
+            "fn read(n: usize) -> Vec<u8> {\n    vec![0u8; n]\n}\n",
+        );
+        let (active, _) = run_lint(&AllocBounds, &ws);
+        assert_eq!(active.len(), 1);
+        assert!(active[0].message.contains("vec![v; n]"));
+    }
+
+    #[test]
+    fn clean_when_cap_check_precedes() {
+        let ws = workspace(
+            "crates/serve/src/protocol.rs",
+            "fn f(cur: &mut Cursor) -> Result<Vec<u8>, E> {\n    let n = cur.u32() as usize;\n    if n > MAX {\n        return Err(E::TooBig);\n    }\n    Ok(Vec::with_capacity(n))\n}\n",
+        );
+        assert!(run_lint(&AllocBounds, &ws).0.is_empty());
+    }
+
+    #[test]
+    fn clean_on_min_cap_and_untainted_sizes() {
+        let ws = workspace(
+            "crates/serve/src/protocol.rs",
+            "fn f(cur: &mut Cursor) -> Vec<u8> {\n    let n = (cur.u32() as usize).min(MAX);\n    Vec::with_capacity(n)\n}\nfn g() -> Vec<u8> {\n    Vec::with_capacity(64)\n}\n",
+        );
+        assert!(run_lint(&AllocBounds, &ws).0.is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored_and_allow_suppresses() {
+        let ws = workspace(
+            "crates/codec/src/huffman.rs",
+            "fn f(n: usize) -> Vec<u8> { vec![0u8; n] }\n",
+        );
+        assert!(run_lint(&AllocBounds, &ws).0.is_empty());
+        let ws = workspace(
+            "crates/serve/src/protocol.rs",
+            "fn f(n: usize) -> Vec<u8> {\n    // fxrz-lint: allow(alloc_bounds): callers cap n at max_frame\n    vec![0u8; n]\n}\n",
+        );
+        let (active, suppressed) = run_lint(&AllocBounds, &ws);
+        assert!(active.is_empty());
+        assert_eq!(suppressed.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! **determinism** — output-affecting crates must be reproducible
+//! functions of their inputs.
+//!
+//! PR 2's contract is bit-identical compressed output at any thread
+//! count; FRaZ/SZ3-style fixed-ratio search is only trustworthy under
+//! that property. This lint bans the ambient-nondeterminism constructs
+//! that silently break it inside the crates whose code can influence
+//! bytes on the wire: hash-map iteration order, wall/monotonic clocks,
+//! and process-seeded randomness. Telemetry-only timing is fine — that's
+//! what `// fxrz-lint: allow(determinism): …` is for.
+
+use crate::lexer::TokKind;
+use crate::{Finding, Lint, Workspace};
+
+/// Crates whose output bytes must be a pure function of their inputs.
+const SCOPED_CRATES: &[&str] = &[
+    "fxrz-codec",
+    "fxrz-compressors",
+    "fxrz-core",
+    "fxrz-ml",
+    "fxrz-parallel",
+    "fxrz-fraz",
+];
+
+/// Banned identifier → why it is banned.
+const BANNED: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is seeded per process; use BTreeMap or a Vec of pairs",
+    ),
+    (
+        "HashSet",
+        "iteration order is seeded per process; use BTreeSet or a sorted Vec",
+    ),
+    ("RandomState", "hasher state is seeded per process"),
+    ("SystemTime", "wall-clock values must not influence output"),
+    (
+        "Instant",
+        "monotonic-clock deltas must not influence output",
+    ),
+    (
+        "thread_rng",
+        "ambient randomness is unseeded; thread a seeded generator through instead",
+    ),
+    (
+        "from_entropy",
+        "OS-entropy seeding is unreproducible; derive seeds from configuration",
+    ),
+];
+
+/// See module docs.
+pub struct Determinism;
+
+impl Lint for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no hash-order, clock, or ambient-randomness constructs in output-affecting crates"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            if !SCOPED_CRATES.contains(&f.crate_name.as_str()) {
+                continue;
+            }
+            for t in &f.tokens {
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let Some((_, why)) = BANNED.iter().find(|(name, _)| t.text == *name) else {
+                    continue;
+                };
+                if f.in_test_code(t.line) {
+                    continue;
+                }
+                out.push(Finding {
+                    lint: self.name(),
+                    file: f.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` in output-affecting crate `{}`: {why}",
+                        t.text, f.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_lint, workspace};
+
+    #[test]
+    fn fires_on_hashmap_in_scoped_crate() {
+        let ws = workspace(
+            "crates/codec/src/lib.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        let (active, _) = run_lint(&Determinism, &ws);
+        assert_eq!(active.len(), 3); // use + type + ctor
+        assert_eq!(active[0].line, 1);
+        assert!(active[0].message.contains("HashMap"));
+    }
+
+    #[test]
+    fn clean_on_btreemap_and_unscoped_crate() {
+        let ws = workspace(
+            "crates/codec/src/lib.rs",
+            "use std::collections::BTreeMap;\nfn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n",
+        );
+        assert!(run_lint(&Determinism, &ws).0.is_empty());
+        // Same banned code, but in a crate outside the determinism scope.
+        let ws = workspace(
+            "crates/serve/src/lib.rs",
+            "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n",
+        );
+        assert!(run_lint(&Determinism, &ws).0.is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let ws = workspace(
+            "crates/fraz/src/lib.rs",
+            "use std::time::Instant;\n// fxrz-lint: allow(determinism): telemetry timing only\nlet t = Instant::now();\n",
+        );
+        let (active, suppressed) = run_lint(&Determinism, &ws);
+        assert_eq!(active.len(), 1); // the `use` on line 1 is not covered
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].line, 3);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let ws = workspace(
+            "crates/codec/src/lib.rs",
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    #[test]\n    fn t() { let _ = Instant::now(); }\n}\n",
+        );
+        assert!(run_lint(&Determinism, &ws).0.is_empty());
+    }
+}

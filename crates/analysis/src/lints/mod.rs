@@ -1,0 +1,9 @@
+//! The lint catalog. Each lint is a token-stream pass implementing
+//! [`crate::Lint`]; see DESIGN.md § "Static analysis" for the contracts
+//! they enforce and how to add a new one.
+
+pub mod alloc_bounds;
+pub mod determinism;
+pub mod panic_path;
+pub mod telemetry_names;
+pub mod unsafe_audit;

@@ -1,0 +1,175 @@
+//! **panic_path** — hostile bytes must surface as typed errors, never
+//! panics.
+//!
+//! Scope: the serve wire-protocol codec (`crates/serve/src/protocol.rs`)
+//! and the archive container decode paths (`crates/archive/src/*.rs`) —
+//! the two places that parse attacker-controlled input. Inside them this
+//! lint bans `.unwrap()` / `.expect(…)`, the panicking macros
+//! (`panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert*!`),
+//! and slice/array indexing whose index expression involves a variable
+//! (`buf[pos..pos + n]`); constant-index reads of already-length-checked
+//! headers are tolerated. Use `.get(…)`, `?`, and dedicated `le_array`
+//! helpers instead. Test code is exempt.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Lint, Workspace};
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// See module docs.
+pub struct PanicPath;
+
+fn in_scope(f: &SourceFile) -> bool {
+    f.rel == "crates/serve/src/protocol.rs" || f.rel.starts_with("crates/archive/src/")
+}
+
+impl Lint for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic_path"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/variable slice-indexing in wire-protocol and archive decode paths"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in ws.files.iter().filter(|f| in_scope(f)) {
+            let t = &f.tokens;
+            for i in 0..t.len() {
+                if f.in_test_code(t[i].line) {
+                    continue;
+                }
+                let mut push = |line: u32, message: String| {
+                    out.push(Finding {
+                        lint: self.name(),
+                        file: f.rel.clone(),
+                        line,
+                        message,
+                    })
+                };
+                // `.unwrap()` / `.expect(…)`
+                if (t[i].is_ident("unwrap") || t[i].is_ident("expect"))
+                    && i > 0
+                    && t[i - 1].is_punct('.')
+                {
+                    push(
+                        t[i].line,
+                        format!(
+                            "`.{}()` on untrusted-input path; return a typed error instead",
+                            t[i].text
+                        ),
+                    );
+                }
+                // panicking macros
+                if t[i].kind == TokKind::Ident
+                    && PANIC_MACROS.contains(&t[i].text.as_str())
+                    && t.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+                {
+                    push(
+                        t[i].line,
+                        format!(
+                            "`{}!` on untrusted-input path; return a typed error instead",
+                            t[i].text
+                        ),
+                    );
+                }
+                // indexing with a variable index: expression token
+                // directly followed by `[ … ident … ]`
+                if t[i].is_punct('[') && i > 0 {
+                    let prev = &t[i - 1];
+                    let is_expr_end = prev.kind == TokKind::Ident
+                        || prev.is_punct(')')
+                        || prev.is_punct(']')
+                        || prev.is_punct('?');
+                    // `vec![…]` / `#[…]` have `!` / `#` before the bracket
+                    if is_expr_end && !prev.is_ident("mut") {
+                        let close = f.matching(i);
+                        let has_var = t[i + 1..close.min(t.len())]
+                            .iter()
+                            .any(|x| x.kind == TokKind::Ident);
+                        if has_var {
+                            push(
+                                t[i].line,
+                                "slice/array indexing with a variable index may panic; \
+                                 use `.get(…)` and return a typed error"
+                                    .to_owned(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_lint, workspace};
+
+    #[test]
+    fn fires_on_unwrap_and_indexing() {
+        let ws = workspace(
+            "crates/serve/src/protocol.rs",
+            "fn f(buf: &[u8], n: usize) -> u8 {\n    let x = buf.first().unwrap();\n    buf[n]\n}\n",
+        );
+        let (active, _) = run_lint(&PanicPath, &ws);
+        assert_eq!(active.len(), 2);
+        assert!(active[0].message.contains("unwrap"));
+        assert!(active[1].message.contains("indexing"));
+    }
+
+    #[test]
+    fn fires_on_panic_macro() {
+        let ws = workspace(
+            "crates/archive/src/lib.rs",
+            "fn f(x: u8) {\n    if x > 4 { panic!(\"bad\") }\n}\n",
+        );
+        let (active, _) = run_lint(&PanicPath, &ws);
+        assert_eq!(active.len(), 1);
+        assert!(active[0].message.contains("panic"));
+    }
+
+    #[test]
+    fn clean_on_get_and_literal_index_and_out_of_scope() {
+        let ws = workspace(
+            "crates/serve/src/protocol.rs",
+            "fn f(buf: &[u8; 4]) -> Option<u8> {\n    let a = buf[0];\n    buf.get(1).copied().map(|b| a + b)\n}\n",
+        );
+        assert!(run_lint(&PanicPath, &ws).0.is_empty());
+        // unwrap outside the scoped files is someone else's business
+        let ws = workspace(
+            "crates/serve/src/server.rs",
+            "fn f() { None::<u8>.unwrap(); }\n",
+        );
+        assert!(run_lint(&PanicPath, &ws).0.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_and_allow_suppresses() {
+        let ws = workspace(
+            "crates/archive/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n",
+        );
+        assert!(run_lint(&PanicPath, &ws).0.is_empty());
+        let ws = workspace(
+            "crates/serve/src/protocol.rs",
+            "fn f(v: &[u8], n: usize) -> u8 {\n    // fxrz-lint: allow(panic_path): n checked by caller\n    v[n]\n}\n",
+        );
+        let (active, suppressed) = run_lint(&PanicPath, &ws);
+        assert!(active.is_empty());
+        assert_eq!(suppressed.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! **unsafe_audit** — every `unsafe` site is justified and the per-crate
+//! unsafe inventory stays intact.
+//!
+//! Two checks:
+//!
+//! 1. Every `unsafe` token must have a contiguous comment block ending on
+//!    the line directly above (or a comment on the same line) that
+//!    contains `SAFETY:` explaining why the invariants hold.
+//! 2. Crate-root attribute inventory: the two crates allowed to use
+//!    `unsafe` (`fxrz-parallel` for the scoped-job lifetime transmute,
+//!    `fxrz-serve` for signal FFI) must carry
+//!    `#![deny(unsafe_op_in_unsafe_fn)]`; every other crate root must
+//!    carry `#![forbid(unsafe_code)]`. An `unsafe` token appearing in a
+//!    crate outside that allowlist is itself a finding, so the inventory
+//!    cannot drift even before the compiler sees the code.
+
+use crate::source::SourceFile;
+use crate::{Finding, Lint, Workspace};
+
+/// Crates with audited `unsafe`; everything else must forbid it.
+const UNSAFE_CRATES: &[&str] = &["fxrz-parallel", "fxrz-serve"];
+
+/// See module docs.
+pub struct UnsafeAudit;
+
+impl Lint for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe_audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "unsafe requires an adjacent SAFETY: comment; crate-root forbid/deny inventory must hold"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            for t in &f.tokens {
+                if !t.is_ident("unsafe") {
+                    continue;
+                }
+                if !UNSAFE_CRATES.contains(&f.crate_name.as_str()) {
+                    out.push(Finding {
+                        lint: self.name(),
+                        file: f.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`unsafe` in crate `{}`, which is outside the audited unsafe \
+                             allowlist (fxrz-parallel, fxrz-serve)",
+                            f.crate_name
+                        ),
+                    });
+                }
+                if !has_safety_comment(f, t.line) {
+                    out.push(Finding {
+                        lint: self.name(),
+                        file: f.rel.clone(),
+                        line: t.line,
+                        message: "`unsafe` without an adjacent `// SAFETY:` comment \
+                                  justifying its invariants"
+                            .to_owned(),
+                    });
+                }
+            }
+            if let Some(expected) = required_root_attr(f) {
+                let (a, b, label) = expected;
+                let present = inner_attrs(f)
+                    .iter()
+                    .any(|idents| idents.iter().any(|x| x == a) && idents.iter().any(|x| x == b));
+                if !present {
+                    out.push(Finding {
+                        lint: self.name(),
+                        file: f.rel.clone(),
+                        line: 1,
+                        message: format!("crate root is missing `#![{label}]`"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The root attribute a crate root must declare, as
+/// (`ident`, `ident`, rendered form), or `None` for non-root files.
+fn required_root_attr(f: &SourceFile) -> Option<(&'static str, &'static str, &'static str)> {
+    let is_root =
+        f.rel == "src/lib.rs" || (f.rel.starts_with("crates/") && f.rel.ends_with("/src/lib.rs"));
+    if !is_root {
+        return None;
+    }
+    if UNSAFE_CRATES.contains(&f.crate_name.as_str()) {
+        Some((
+            "deny",
+            "unsafe_op_in_unsafe_fn",
+            "deny(unsafe_op_in_unsafe_fn)",
+        ))
+    } else {
+        Some(("forbid", "unsafe_code", "forbid(unsafe_code)"))
+    }
+}
+
+/// Identifier lists of each `#![…]` inner attribute at the top of the
+/// file.
+fn inner_attrs(f: &SourceFile) -> Vec<Vec<String>> {
+    let t = &f.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < t.len() && t[i].is_punct('#') && t[i + 1].is_punct('!') && t[i + 2].is_punct('[')
+    {
+        let close = f.matching(i + 2);
+        out.push(
+            t[i + 3..close.min(t.len())]
+                .iter()
+                .filter(|x| x.kind == crate::lexer::TokKind::Ident)
+                .map(|x| x.text.clone())
+                .collect(),
+        );
+        i = close + 1;
+    }
+    out
+}
+
+/// True when a comment containing `SAFETY:` sits on the same line as the
+/// `unsafe` token or in the contiguous comment block directly above it.
+fn has_safety_comment(f: &SourceFile, line: u32) -> bool {
+    let hit = |l: u32| {
+        f.comments_on(l)
+            .map(|cs| cs.iter().any(|c| c.contains("SAFETY:")))
+    };
+    if hit(line) == Some(true) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    loop {
+        match hit(l) {
+            Some(true) => return true,
+            Some(false) if l > 1 => l -= 1,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_lint, workspace, workspace_of};
+
+    const ROOT_OK: &str = "#![deny(unsafe_op_in_unsafe_fn)]\n";
+
+    #[test]
+    fn fires_without_safety_comment() {
+        let src =
+            format!("{ROOT_OK}fn f() {{ unsafe {{ core::hint::unreachable_unchecked() }} }}\n");
+        let ws = workspace("crates/serve/src/lib.rs", &src);
+        let (active, _) = run_lint(&UnsafeAudit, &ws);
+        assert_eq!(active.len(), 1);
+        assert!(active[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn clean_with_safety_block_above() {
+        let src = format!(
+            "{ROOT_OK}fn f() {{\n    // The pointer is valid for the whole call.\n    // SAFETY: see above.\n    unsafe {{ g() }}\n}}\n"
+        );
+        let ws = workspace("crates/serve/src/lib.rs", &src);
+        assert!(run_lint(&UnsafeAudit, &ws).0.is_empty());
+    }
+
+    #[test]
+    fn fires_on_unsafe_outside_allowlist() {
+        let ws = workspace(
+            "crates/codec/src/lib.rs",
+            "#![forbid(unsafe_code)]\n// SAFETY: irrelevant\nfn f() { unsafe { g() } }\n",
+        );
+        let (active, _) = run_lint(&UnsafeAudit, &ws);
+        assert_eq!(active.len(), 1);
+        assert!(active[0].message.contains("allowlist"));
+    }
+
+    #[test]
+    fn fires_on_missing_root_attr() {
+        let ws = workspace_of(&[
+            ("crates/codec/src/lib.rs", "pub fn f() {}\n"),
+            (
+                "crates/serve/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn g() {}\n",
+            ),
+        ]);
+        let (active, _) = run_lint(&UnsafeAudit, &ws);
+        assert_eq!(active.len(), 2);
+        assert!(active[0].message.contains("forbid(unsafe_code)"));
+        assert!(active[1].message.contains("deny(unsafe_op_in_unsafe_fn)"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = format!(
+            "{ROOT_OK}// fxrz-lint: allow(unsafe_audit): grandfathered\nunsafe fn f() {{}}\n"
+        );
+        let ws = workspace("crates/parallel/src/lib.rs", &src);
+        let (active, suppressed) = run_lint(&UnsafeAudit, &ws);
+        assert!(active.is_empty());
+        assert_eq!(suppressed.len(), 1);
+    }
+}

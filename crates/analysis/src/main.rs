@@ -1,0 +1,11 @@
+//! `fxrz-lint` CLI: run the workspace static-analysis pass.
+//!
+//! A thin shim over [`fxrz_analysis::cli`], which the `fxrz lint`
+//! subcommand shares. See that module for flags and exit codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(fxrz_analysis::cli::run("fxrz-lint", &args))
+}

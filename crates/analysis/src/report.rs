@@ -1,0 +1,124 @@
+//! Finding renderers: a human summary for terminals and a stable JSON
+//! document for CI artifacts. JSON is emitted by hand (this crate is
+//! dependency-free); the schema is
+//! `{schema, files_scanned, counts{active, suppressed, baselined},
+//!   findings[], suppressed[], baselined[]}` with each finding as
+//! `{lint, file, line, message}`.
+
+use crate::{AnalysisResult, Finding};
+
+/// Renders the human-readable report.
+pub fn human(res: &AnalysisResult) -> String {
+    let mut out = String::new();
+    for f in &res.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.lint, f.message
+        ));
+    }
+    if !res.findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "fxrz-lint: {} finding{} ({} suppressed, {} baselined) across {} files\n",
+        res.findings.len(),
+        if res.findings.len() == 1 { "" } else { "s" },
+        res.suppressed.len(),
+        res.baselined.len(),
+        res.files_scanned,
+    ));
+    out
+}
+
+/// Renders the JSON report.
+pub fn json(res: &AnalysisResult) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fxrz-lint/1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", res.files_scanned));
+    out.push_str(&format!(
+        "  \"counts\": {{\"active\": {}, \"suppressed\": {}, \"baselined\": {}}},\n",
+        res.findings.len(),
+        res.suppressed.len(),
+        res.baselined.len()
+    ));
+    for (key, list, last) in [
+        ("findings", &res.findings, false),
+        ("suppressed", &res.suppressed, false),
+        ("baselined", &res.baselined, true),
+    ] {
+        out.push_str(&format!("  \"{key}\": ["));
+        for (i, f) in list.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&finding_json(f));
+        }
+        if !list.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(if last { "]\n" } else { "],\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+        esc(f.lint),
+        esc(&f.file),
+        f.line,
+        esc(&f.message)
+    )
+}
+
+/// Minimal JSON string escaping.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res() -> AnalysisResult {
+        AnalysisResult {
+            findings: vec![Finding {
+                lint: "panic_path",
+                file: "crates/serve/src/protocol.rs".into(),
+                line: 7,
+                message: "`.unwrap()` on \"hot\" path".into(),
+            }],
+            suppressed: vec![],
+            baselined: vec![],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn human_report_lists_findings_and_totals() {
+        let text = human(&res());
+        assert!(text.contains("crates/serve/src/protocol.rs:7: [panic_path]"));
+        assert!(text.contains("1 finding (0 suppressed, 0 baselined) across 3 files"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_counts() {
+        let text = json(&res());
+        assert!(text.contains("\"schema\": \"fxrz-lint/1\""));
+        assert!(text.contains("\\\"hot\\\""));
+        assert!(text.contains("\"counts\": {\"active\": 1, \"suppressed\": 0, \"baselined\": 0}"));
+    }
+}

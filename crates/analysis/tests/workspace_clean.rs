@@ -1,0 +1,52 @@
+//! The repository must lint clean: zero active findings against its own
+//! checked-in baseline. This is the same gate CI runs; a failure here
+//! means a contract regression (or a new finding that needs a justified
+//! `// fxrz-lint: allow(...)` or baseline entry).
+
+use std::path::Path;
+
+use fxrz_analysis::{analyze, Baseline};
+
+fn repo_root() -> &'static Path {
+    // crates/analysis -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+#[test]
+fn repository_lints_clean() {
+    let root = repo_root();
+    let baseline = Baseline::load(&root.join("fxrz-lint.baseline"));
+    let res = analyze(root, &baseline).expect("workspace scan");
+    assert!(
+        res.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        res.files_scanned
+    );
+    assert!(
+        res.findings.is_empty(),
+        "active lint findings:\n{}",
+        res.findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.lint, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn suppressions_stay_justified() {
+    // Every in-tree suppression carries a `:` justification tail; the
+    // count is pinned so new allows are a conscious, reviewed choice.
+    let root = repo_root();
+    let baseline = Baseline::load(&root.join("fxrz-lint.baseline"));
+    let res = analyze(root, &baseline).expect("workspace scan");
+    assert!(
+        res.suppressed.len() <= 16,
+        "suppression budget exceeded ({} allows) — fix findings instead of \
+         accumulating allows, or raise the budget in a reviewed change",
+        res.suppressed.len()
+    );
+}

@@ -221,7 +221,7 @@ impl<'a> Archive<'a> {
     /// Fails on bad magic, a malformed index, or an index exceeding the
     /// limits.
     pub fn open_with_limits(buf: &'a [u8], limits: ArchiveLimits) -> Result<Self, ArchiveError> {
-        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        if buf.get(..MAGIC.len()) != Some(MAGIC.as_slice()) {
             return Err(ArchiveError::NotAnArchive);
         }
         let mut pos = MAGIC.len();
@@ -240,10 +240,10 @@ impl<'a> Archive<'a> {
             if name_len > limits.max_name_len {
                 return Err(ArchiveError::Corrupt("name length exceeds limit"));
             }
-            if pos + name_len > buf.len() {
-                return Err(ArchiveError::Corrupt("name overruns buffer"));
-            }
-            let name = std::str::from_utf8(&buf[pos..pos + name_len])
+            let name_bytes = buf
+                .get(pos..pos.saturating_add(name_len))
+                .ok_or(ArchiveError::Corrupt("name overruns buffer"))?;
+            let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| ArchiveError::Corrupt("name not utf-8"))?
                 .to_owned();
             pos += name_len;
@@ -295,7 +295,9 @@ impl<'a> Archive<'a> {
             .iter()
             .find(|e| e.name == name)
             .ok_or_else(|| ArchiveError::NoSuchField(name.to_owned()))?;
-        Ok(&self.buf[e.offset..e.offset + e.compressed_len])
+        self.buf
+            .get(e.offset..e.offset.saturating_add(e.compressed_len))
+            .ok_or(ArchiveError::Corrupt("entry overruns buffer"))
     }
 
     /// Decompresses one field by name (selective read — other entries are

@@ -22,6 +22,7 @@
 //!   bit-by-bit walk.
 
 use crate::bitstream::{read_varint, write_varint, BitReader, BitWriter};
+use crate::names;
 use crate::scratch::{with_scratch, CodecScratch};
 use crate::CodecError;
 
@@ -274,7 +275,7 @@ pub fn encode_with(scratch: &mut CodecScratch, symbols: &[u32]) -> Vec<u8> {
         };
         codes_tab.push((rev, len));
     }
-    fxrz_telemetry::global().incr("codec.huffman.table_builds");
+    fxrz_telemetry::global().incr(names::HUFFMAN_TABLE_BUILDS);
 
     let mut w = BitWriter::with_capacity(symbols.len() / 4 + 16);
     w.write_bytes(&header);
@@ -284,9 +285,9 @@ pub fn encode_with(scratch: &mut CodecScratch, symbols: &[u32]) -> Vec<u8> {
     }
     let out = w.into_bytes();
     let registry = fxrz_telemetry::global();
-    registry.incr("codec.huffman.encode.calls");
-    registry.add("codec.huffman.encode.symbols_in", symbols.len() as u64);
-    registry.add("codec.huffman.encode.bytes_out", out.len() as u64);
+    registry.incr(names::HUFFMAN_ENCODE_CALLS);
+    registry.add(names::HUFFMAN_ENCODE_SYMBOLS_IN, symbols.len() as u64);
+    registry.add(names::HUFFMAN_ENCODE_BYTES_OUT, out.len() as u64);
     out
 }
 
@@ -294,11 +295,11 @@ pub fn encode_with(scratch: &mut CodecScratch, symbols: &[u32]) -> Vec<u8> {
 pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
     let out = decode_unmetered(buf);
     let registry = fxrz_telemetry::global();
-    registry.incr("codec.huffman.decode.calls");
-    registry.add("codec.huffman.decode.bytes_in", buf.len() as u64);
+    registry.incr(names::HUFFMAN_DECODE_CALLS);
+    registry.add(names::HUFFMAN_DECODE_BYTES_IN, buf.len() as u64);
     match &out {
-        Ok(symbols) => registry.add("codec.huffman.decode.symbols_out", symbols.len() as u64),
-        Err(_) => registry.incr("codec.huffman.decode.errors"),
+        Ok(symbols) => registry.add(names::HUFFMAN_DECODE_SYMBOLS_OUT, symbols.len() as u64),
+        Err(_) => registry.incr(names::HUFFMAN_DECODE_ERRORS),
     }
     out
 }
@@ -418,7 +419,7 @@ fn build_decode_tables(lens: &[u32]) -> Result<DecodeTables, CodecError> {
         }
     }
 
-    fxrz_telemetry::global().incr("codec.huffman.table_builds");
+    fxrz_telemetry::global().incr(names::HUFFMAN_TABLE_BUILDS);
     Ok(DecodeTables {
         primary_bits,
         primary,

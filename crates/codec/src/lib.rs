@@ -20,6 +20,7 @@
 pub mod bitstream;
 pub mod huffman;
 pub mod lz77;
+pub mod names;
 pub mod range;
 pub mod rle;
 pub mod scratch;

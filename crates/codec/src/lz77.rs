@@ -18,6 +18,7 @@
 //! lives in [`CodecScratch`] so back-to-back calls do not reallocate.
 
 use crate::bitstream::{read_varint, write_varint};
+use crate::names;
 use crate::scratch::{with_scratch, CodecScratch, NO_POS};
 use crate::CodecError;
 
@@ -79,9 +80,9 @@ pub fn compress_with(scratch: &mut CodecScratch, data: &[u8]) -> Vec<u8> {
     scratch.note_use();
     let out = compress_unmetered(scratch, data);
     let registry = fxrz_telemetry::global();
-    registry.incr("codec.lz77.compress.calls");
-    registry.add("codec.lz77.compress.bytes_in", data.len() as u64);
-    registry.add("codec.lz77.compress.bytes_out", out.len() as u64);
+    registry.incr(names::LZ77_COMPRESS_CALLS);
+    registry.add(names::LZ77_COMPRESS_BYTES_IN, data.len() as u64);
+    registry.add(names::LZ77_COMPRESS_BYTES_OUT, out.len() as u64);
     out
 }
 
@@ -212,11 +213,11 @@ fn compress_unmetered(scratch: &mut CodecScratch, data: &[u8]) -> Vec<u8> {
 pub fn decompress(buf: &[u8]) -> Result<Vec<u8>, CodecError> {
     let out = decompress_unmetered(buf);
     let registry = fxrz_telemetry::global();
-    registry.incr("codec.lz77.decompress.calls");
-    registry.add("codec.lz77.decompress.bytes_in", buf.len() as u64);
+    registry.incr(names::LZ77_DECOMPRESS_CALLS);
+    registry.add(names::LZ77_DECOMPRESS_BYTES_IN, buf.len() as u64);
     match &out {
-        Ok(data) => registry.add("codec.lz77.decompress.bytes_out", data.len() as u64),
-        Err(_) => registry.incr("codec.lz77.decompress.errors"),
+        Ok(data) => registry.add(names::LZ77_DECOMPRESS_BYTES_OUT, data.len() as u64),
+        Err(_) => registry.incr(names::LZ77_DECOMPRESS_ERRORS),
     }
     out
 }

@@ -4,6 +4,7 @@
 //! an 11-bit adaptive probability per binary context, a carry-propagating
 //! 32-bit range encoder, and a bit-tree helper for small n-bit values.
 
+use crate::names;
 use crate::CodecError;
 
 /// Probability precision: probabilities live in `0..(1 << PROB_BITS)`.
@@ -133,8 +134,8 @@ impl RangeEncoder {
             self.shift_low();
         }
         let registry = fxrz_telemetry::global();
-        registry.incr("codec.range.encode.calls");
-        registry.add("codec.range.encode.bytes_out", self.out.len() as u64);
+        registry.incr(names::RANGE_ENCODE_CALLS);
+        registry.add(names::RANGE_ENCODE_BYTES_OUT, self.out.len() as u64);
         self.out
     }
 }
@@ -151,8 +152,8 @@ impl<'a> RangeDecoder<'a> {
     /// Initializes from a buffer produced by [`RangeEncoder::finish`].
     pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
         let registry = fxrz_telemetry::global();
-        registry.incr("codec.range.decode.calls");
-        registry.add("codec.range.decode.bytes_in", buf.len() as u64);
+        registry.incr(names::RANGE_DECODE_CALLS);
+        registry.add(names::RANGE_DECODE_BYTES_IN, buf.len() as u64);
         if buf.len() < 5 {
             return Err(CodecError::Truncated);
         }

@@ -10,6 +10,7 @@
 //! The stream ends with a final `run_len` covering trailing zeros.
 
 use crate::bitstream::{read_varint, write_varint};
+use crate::names;
 use crate::CodecError;
 
 /// Encodes a `u32` symbol stream with zero-run tokens.
@@ -34,9 +35,9 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
         }
     }
     let registry = fxrz_telemetry::global();
-    registry.incr("codec.rle.encode.calls");
-    registry.add("codec.rle.encode.symbols_in", symbols.len() as u64);
-    registry.add("codec.rle.encode.bytes_out", out.len() as u64);
+    registry.incr(names::RLE_ENCODE_CALLS);
+    registry.add(names::RLE_ENCODE_SYMBOLS_IN, symbols.len() as u64);
+    registry.add(names::RLE_ENCODE_BYTES_OUT, out.len() as u64);
     out
 }
 
@@ -55,11 +56,11 @@ pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
 pub fn decode_limited(buf: &[u8], max_total: usize) -> Result<Vec<u32>, CodecError> {
     let out = decode_limited_unmetered(buf, max_total);
     let registry = fxrz_telemetry::global();
-    registry.incr("codec.rle.decode.calls");
-    registry.add("codec.rle.decode.bytes_in", buf.len() as u64);
+    registry.incr(names::RLE_DECODE_CALLS);
+    registry.add(names::RLE_DECODE_BYTES_IN, buf.len() as u64);
     match &out {
-        Ok(symbols) => registry.add("codec.rle.decode.symbols_out", symbols.len() as u64),
-        Err(_) => registry.incr("codec.rle.decode.errors"),
+        Ok(symbols) => registry.add(names::RLE_DECODE_SYMBOLS_OUT, symbols.len() as u64),
+        Err(_) => registry.incr(names::RLE_DECODE_ERRORS),
     }
     out
 }

@@ -52,7 +52,7 @@ pub struct CodecScratch {
 impl CodecScratch {
     /// A fresh scratch; tables are grown lazily by the codecs.
     pub fn new() -> Self {
-        fxrz_telemetry::global().incr("codec.scratch.create");
+        fxrz_telemetry::global().incr(crate::names::SCRATCH_CREATE);
         Self::default()
     }
 
@@ -60,7 +60,7 @@ impl CodecScratch {
     pub(crate) fn note_use(&mut self) {
         self.uses += 1;
         if self.uses > 1 {
-            fxrz_telemetry::global().incr("codec.scratch.reuse");
+            fxrz_telemetry::global().incr(crate::names::SCRATCH_REUSE);
         }
     }
 

@@ -25,6 +25,7 @@ pub mod fpzip;
 pub mod header;
 pub mod instrument;
 pub mod mgard;
+pub mod names;
 pub mod sz;
 pub mod sz2;
 pub mod szinterp;

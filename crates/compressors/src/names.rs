@@ -1,0 +1,21 @@
+//! Telemetry name inventory for the compressors crate.
+//!
+//! Every per-codec series is a `{name}`/`{direction}` placeholder
+//! template: `format!` requires a literal format string, so the
+//! instrumented call sites in `instrument.rs` keep inline literals which
+//! the `telemetry_names` lint verifies are byte-identical to the
+//! template consts here. `{name}` is the codec (`sz`, `zfp`, …);
+//! `{direction}` is `compress` or `decompress`.
+
+/// Bytes entering the codec.
+pub const PER_CODEC_BYTES_IN: &str = "compressor.{name}.{direction}.bytes_in";
+/// Bytes leaving the codec.
+pub const PER_CODEC_BYTES_OUT: &str = "compressor.{name}.{direction}.bytes_out";
+/// Codec invocations.
+pub const PER_CODEC_CALLS: &str = "compressor.{name}.{direction}.calls";
+/// Codec wall-time histogram, nanoseconds.
+pub const PER_CODEC_NS: &str = "compressor.{name}.{direction}.ns";
+/// Codec throughput, bytes per second.
+pub const PER_CODEC_THROUGHPUT_BPS: &str = "compressor.{name}.{direction}.throughput_bps";
+/// Codec failures.
+pub const PER_CODEC_ERRORS: &str = "compressor.{name}.{direction}.errors";

@@ -14,7 +14,20 @@
 
 use fxrz_compressors::{CompressError, Compressor, ErrorConfig};
 use fxrz_datagen::Field;
+// fxrz-lint: allow(determinism): Instant is telemetry-only in this crate
 use std::time::{Duration, Instant};
+
+/// Telemetry metric and span name inventory (checked by `fxrz lint`).
+pub mod names {
+    /// Wall time of one search round, nanoseconds.
+    pub const ROUND_NS: &str = "fraz.round_ns";
+    /// Completed searches.
+    pub const SEARCHES: &str = "fraz.searches";
+    /// Compressor invocations across all rounds.
+    pub const COMPRESSOR_RUNS: &str = "fraz.compressor_runs";
+    /// Span around one fixed-ratio search.
+    pub const SPAN_SEARCH: &str = "fraz_search";
+}
 
 /// The FRaZ iterative searcher.
 #[derive(Clone, Copy, Debug)]
@@ -88,7 +101,8 @@ impl FrazSearcher {
                 "target ratio must be finite and > 1, got {tcr}"
             )));
         }
-        let _search_span = fxrz_telemetry::span!("fraz_search");
+        let _search_span = fxrz_telemetry::span!(names::SPAN_SEARCH);
+        // fxrz-lint: allow(determinism): feeds the search_time report only
         let t0 = Instant::now();
         let space = compressor.config_space();
         let range = field.stats().range;
@@ -97,9 +111,10 @@ impl FrazSearcher {
 
         let mut probe = |t: f64, runs: &mut usize| -> Result<f64, CompressError> {
             let cfg = space.at(t, range);
+            // fxrz-lint: allow(determinism): timing feeds fraz.round_ns only
             let round_start = Instant::now();
             let cr = compressor.ratio(field, &cfg)?;
-            fxrz_telemetry::global().observe_duration("fraz.round_ns", round_start.elapsed());
+            fxrz_telemetry::global().observe_duration(names::ROUND_NS, round_start.elapsed());
             *runs += 1;
             let err = (cr - tcr).abs();
             if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
@@ -133,8 +148,8 @@ impl FrazSearcher {
         }
 
         let registry = fxrz_telemetry::global();
-        registry.incr("fraz.searches");
-        registry.add("fraz.compressor_runs", runs as u64);
+        registry.incr(names::SEARCHES);
+        registry.add(names::COMPRESSOR_RUNS, runs as u64);
         let (_, config, measured_ratio) = best.expect("at least one probe ran");
         Ok(FrazResult {
             config,

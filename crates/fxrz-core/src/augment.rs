@@ -53,8 +53,8 @@ impl RateCurve {
         .into_iter()
         .collect::<Result<_, CompressError>>()?;
         let registry = fxrz_telemetry::global();
-        registry.incr("fxrz.augment.curves");
-        registry.add("fxrz.augment.stationary_probes", n_points as u64);
+        registry.incr(crate::names::AUGMENT_CURVES);
+        registry.add(crate::names::AUGMENT_STATIONARY_PROBES, n_points as u64);
         Ok(Self::from_points(points))
     }
 
@@ -187,7 +187,7 @@ impl RateCurve {
             (lo, raw_hi.max(lo * 1.0001))
         };
         let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
-        fxrz_telemetry::global().add("fxrz.augment.rows", n as u64);
+        fxrz_telemetry::global().add(crate::names::AUGMENT_ROWS, n as u64);
         (0..n)
             .map(|i| {
                 let cr = (ln_lo + (ln_hi - ln_lo) * i as f64 / (n - 1) as f64).exp();

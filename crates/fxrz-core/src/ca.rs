@@ -78,8 +78,8 @@ impl CompressibilityAdjuster {
         );
 
         let registry = fxrz_telemetry::global();
-        registry.add("fxrz.ca.blocks", total_blocks as u64);
-        registry.add("fxrz.ca.non_constant_blocks", non_constant as u64);
+        registry.add(crate::names::CA_BLOCKS, total_blocks as u64);
+        registry.add(crate::names::CA_NON_CONSTANT_BLOCKS, non_constant as u64);
         non_constant as f64 / total_blocks as f64
     }
 

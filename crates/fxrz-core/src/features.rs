@@ -304,8 +304,11 @@ pub fn extract(field: &Field, sampler: StridedSampler) -> FeatureVector {
     let sample_coords = sampler.coords(field);
     {
         let registry = fxrz_telemetry::global();
-        registry.incr("fxrz.features.extractions");
-        registry.add("fxrz.features.sampled_points", sample_coords.len() as u64);
+        registry.incr(crate::names::FEATURES_EXTRACTIONS);
+        registry.add(
+            crate::names::FEATURES_SAMPLED_POINTS,
+            sample_coords.len() as u64,
+        );
     }
     let acc = fxrz_parallel::par_reduce(
         sample_coords.len(),

@@ -95,18 +95,18 @@ impl FixedRatioCompressor {
                 "target compression ratio must be finite and > 1, got {tcr}"
             )));
         }
-        let (fv, t_features) = spanned("features", || {
+        let (fv, t_features) = spanned(crate::names::SPAN_FEATURES, || {
             let sampler = StridedSampler::new(self.model.stride);
             features::extract(field, sampler)
         });
-        let (r, t_ca) = spanned("ca", || {
+        let (r, t_ca) = spanned(crate::names::SPAN_CA, || {
             self.model
                 .ca
                 .map(|ca: CompressibilityAdjuster| ca.non_constant_ratio(field))
                 .unwrap_or(1.0)
         });
         let acr = (tcr * r).max(1.0);
-        let (config, t_predict) = spanned("predict", || {
+        let (config, t_predict) = spanned(crate::names::SPAN_PREDICT, || {
             let coord = self.model.predict_coordinate(&fv, acr);
             self.model
                 .config_space
@@ -129,15 +129,15 @@ impl FixedRatioCompressor {
     /// # Errors
     /// Propagates estimation and compression failures.
     pub fn compress(&self, field: &Field, tcr: f64) -> Result<FixedRatioOutcome, FxrzError> {
-        let _compress_span = span!("compress");
+        let _compress_span = span!(crate::names::SPAN_COMPRESS);
         let estimate = self.estimate(field, tcr)?;
-        let (bytes, compression_time) = spanned("codec", || {
+        let (bytes, compression_time) = spanned(crate::names::SPAN_CODEC, || {
             self.compressor.compress(field, &estimate.config)
         });
         let bytes = bytes?;
         let registry = fxrz_telemetry::global();
-        registry.add("fxrz.compress.bytes_in", field.nbytes() as u64);
-        registry.add("fxrz.compress.bytes_out", bytes.len() as u64);
+        registry.add(crate::names::COMPRESS_BYTES_IN, field.nbytes() as u64);
+        registry.add(crate::names::COMPRESS_BYTES_OUT, bytes.len() as u64);
         let measured_ratio = field.nbytes() as f64 / bytes.len() as f64;
         Ok(FixedRatioOutcome {
             bytes,

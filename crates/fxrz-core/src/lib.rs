@@ -50,6 +50,7 @@ pub mod ca;
 pub mod error;
 pub mod features;
 pub mod infer;
+pub mod names;
 pub mod sampling;
 pub mod train;
 

@@ -1,0 +1,46 @@
+//! Telemetry metric and span name inventory for the core pipeline.
+//!
+//! Single source of truth checked by the `telemetry_names` lint
+//! (`fxrz lint`); see `crates/codec/src/names.rs` for the convention.
+
+/// Feature-extraction invocations.
+pub const FEATURES_EXTRACTIONS: &str = "fxrz.features.extractions";
+/// Points visited by the feature sampler.
+pub const FEATURES_SAMPLED_POINTS: &str = "fxrz.features.sampled_points";
+/// Blocks examined by the constant-area detector.
+pub const CA_BLOCKS: &str = "fxrz.ca.blocks";
+/// Blocks the constant-area detector classified as non-constant.
+pub const CA_NON_CONSTANT_BLOCKS: &str = "fxrz.ca.non_constant_blocks";
+/// Training rows assembled for the regressor.
+pub const TRAIN_ROWS: &str = "fxrz.train.rows";
+/// Rate-distortion curves traced during augmentation.
+pub const AUGMENT_CURVES: &str = "fxrz.augment.curves";
+/// Stationary-probe evaluations during augmentation.
+pub const AUGMENT_STATIONARY_PROBES: &str = "fxrz.augment.stationary_probes";
+/// Augmented training rows emitted.
+pub const AUGMENT_ROWS: &str = "fxrz.augment.rows";
+/// Uncompressed bytes entering the fixed-ratio pipeline.
+pub const COMPRESS_BYTES_IN: &str = "fxrz.compress.bytes_in";
+/// Compressed bytes leaving the fixed-ratio pipeline.
+pub const COMPRESS_BYTES_OUT: &str = "fxrz.compress.bytes_out";
+/// Points drawn by the sampling strategy.
+pub const SAMPLING_POINTS: &str = "fxrz.sampling.points";
+
+/// Span around model training.
+pub const SPAN_TRAIN: &str = "train";
+/// Span around the stationary-curve probe (nested under train).
+pub const SPAN_STATIONARY: &str = "stationary";
+/// Span around training-set augmentation (nested under train).
+pub const SPAN_AUGMENT: &str = "augment";
+/// Span around regressor fitting (nested under train).
+pub const SPAN_FIT: &str = "fit";
+/// Span around one fixed-ratio compression call.
+pub const SPAN_COMPRESS: &str = "compress";
+/// Span around feature extraction (nested under compress).
+pub const SPAN_FEATURES: &str = "features";
+/// Span around constant-area analysis (nested under compress).
+pub const SPAN_CA: &str = "ca";
+/// Span around the ratio→config prediction (nested under compress).
+pub const SPAN_PREDICT: &str = "predict";
+/// Span around the backend codec run (nested under compress).
+pub const SPAN_CODEC: &str = "codec";

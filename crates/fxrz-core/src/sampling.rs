@@ -49,7 +49,7 @@ impl StridedSampler {
         // per-axis sampled counts
         let counts: Vec<usize> = (0..ndim).map(|a| dims.axis(a).div_ceil(stride)).collect();
         let total: usize = counts.iter().product();
-        fxrz_telemetry::global().observe("fxrz.sampling.points", total as u64);
+        fxrz_telemetry::global().observe(crate::names::SAMPLING_POINTS, total as u64);
         let mut out = Vec::with_capacity(total);
         let mut it = vec![0usize; ndim];
         let strides = dims.strides();

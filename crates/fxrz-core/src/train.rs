@@ -229,7 +229,7 @@ impl Trainer {
         if fields.is_empty() {
             return Err(FxrzError::EmptyCorpus);
         }
-        let _train_span = span!("train");
+        let _train_span = span!(crate::names::SPAN_TRAIN);
         let cfg = &self.config;
         let n_features = cfg.feature_set.len() + 1; // + target-ratio column
         let mut data = Dataset::new(n_features);
@@ -243,7 +243,7 @@ impl Trainer {
 
         for field in fields {
             // stationary points (the only compressor runs in training)
-            let (curve, t_stationary) = spanned("stationary", || {
+            let (curve, t_stationary) = spanned(crate::names::SPAN_STATIONARY, || {
                 RateCurve::build(compressor, field, cfg.stationary_points)
             });
             let curve = curve?;
@@ -253,7 +253,7 @@ impl Trainer {
             range_hi = range_hi.max(hi);
 
             // features + CA + augmentation
-            let ((), t_augment) = spanned("augment", || {
+            let ((), t_augment) = spanned(crate::names::SPAN_AUGMENT, || {
                 let fv = features::extract(field, cfg.sampler);
                 let r = cfg.ca.map(|ca| ca.non_constant_ratio(field)).unwrap_or(1.0);
                 let base_row = cfg.feature_set.project(&fv);
@@ -272,7 +272,7 @@ impl Trainer {
             timings.augment += t_augment;
         }
 
-        let (regressor, t_fit) = spanned("fit", || match cfg.model {
+        let (regressor, t_fit) = spanned(crate::names::SPAN_FIT, || match cfg.model {
             ModelKind::Rfr => TrainedRegressor::Rfr(RandomForest::fit(
                 &data,
                 ForestParams {
@@ -286,7 +286,7 @@ impl Trainer {
             ModelKind::Svr => TrainedRegressor::Svr(Svr::fit(&data, SvrParams::default())),
         });
         timings.fit += t_fit;
-        fxrz_telemetry::global().add("fxrz.train.rows", data.len() as u64);
+        fxrz_telemetry::global().add(crate::names::TRAIN_ROWS, data.len() as u64);
 
         Ok(TrainedModel {
             format_version: MODEL_FORMAT_VERSION,

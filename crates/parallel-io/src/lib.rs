@@ -25,6 +25,20 @@ use fxrz_datagen::Field;
 use fxrz_fraz::FrazSearcher;
 use std::time::{Duration, Instant};
 
+/// Telemetry metric and span name inventory (checked by `fxrz lint`).
+pub mod names {
+    /// Ranks simulated in the dump.
+    pub const RANKS: &str = "parallel_io.ranks";
+    /// Per-rank wall time, nanoseconds.
+    pub const RANK_NS: &str = "parallel_io.rank_ns";
+    /// Worker threads driving the dump.
+    pub const WORKERS: &str = "parallel_io.workers";
+    /// Fields queued for compression.
+    pub const FIELDS_QUEUED: &str = "parallel_io.fields_queued";
+    /// Span around one simulated rank.
+    pub const SPAN_RANK: &str = "rank";
+}
+
 /// A cluster description for the dump simulation.
 #[derive(Clone, Copy, Debug)]
 pub struct Cluster {
@@ -172,7 +186,7 @@ pub fn measure_rank(
     field: &Field,
     tcr: f64,
 ) -> Result<RankWork, String> {
-    let _rank_span = fxrz_telemetry::span!("rank");
+    let _rank_span = fxrz_telemetry::span!(names::SPAN_RANK);
     let rank_start = Instant::now();
     let (config, analysis) = strategy.plan(field, tcr)?;
     let t0 = Instant::now();
@@ -182,8 +196,8 @@ pub fn measure_rank(
         .map_err(|e| e.to_string())?;
     let compress = t0.elapsed();
     let registry = fxrz_telemetry::global();
-    registry.incr("parallel_io.ranks");
-    registry.observe_duration("parallel_io.rank_ns", rank_start.elapsed());
+    registry.incr(names::RANKS);
+    registry.observe_duration(names::RANK_NS, rank_start.elapsed());
     Ok(RankWork {
         analysis,
         compress,
@@ -209,11 +223,8 @@ pub fn measure_ranks_parallel(
     tcr: f64,
 ) -> Result<Vec<RankWork>, String> {
     let registry = fxrz_telemetry::global();
-    registry.set_gauge(
-        "parallel_io.workers",
-        fxrz_parallel::current_threads() as i64,
-    );
-    registry.add("parallel_io.fields_queued", fields.len() as u64);
+    registry.set_gauge(names::WORKERS, fxrz_parallel::current_threads() as i64);
+    registry.add(names::FIELDS_QUEUED, fields.len() as u64);
     fxrz_parallel::par_map(fields.len(), 1, |r| {
         measure_rank(strategy, &fields[r.start], tcr)
     })

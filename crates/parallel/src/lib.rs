@@ -46,10 +46,27 @@ use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+// fxrz-lint: allow(determinism): Instant times worker busy-ns telemetry only
 use std::time::Instant;
 
 /// A type-erased unit of pool work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Telemetry metric name inventory (checked by `fxrz lint`). The
+/// per-worker series are `{w}` placeholder templates; the `format!`
+/// call sites keep inline literals the lint matches against these.
+pub mod names {
+    /// Worker threads in the pool.
+    pub const POOL_THREADS: &str = "parallel.pool.threads";
+    /// `par_map` invocations.
+    pub const POOL_PAR_MAPS: &str = "parallel.pool.par_maps";
+    /// Chunks dispatched across all `par_map`s.
+    pub const POOL_CHUNKS: &str = "parallel.pool.chunks";
+    /// Per-worker busy-time template (`{w}` is the worker index).
+    pub const WORKER_BUSY_NS: &str = "parallel.worker.{w}.busy_ns";
+    /// Per-worker completed-task template (`{w}` is the worker index).
+    pub const WORKER_TASKS: &str = "parallel.worker.{w}.tasks";
+}
 
 thread_local! {
     /// True on pool worker threads; nested `par_map`s run inline.
@@ -151,7 +168,7 @@ impl Pool {
         assert!(threads >= 1, "pool needs at least one thread");
         let (injector, queue) = crossbeam::channel::unbounded::<Job>();
         let registry = fxrz_telemetry::global();
-        registry.set_gauge("parallel.pool.threads", threads as i64);
+        registry.set_gauge(names::POOL_THREADS, threads as i64);
         let workers = (0..threads - 1)
             .map(|w| {
                 let queue = queue.clone();
@@ -162,6 +179,7 @@ impl Pool {
                     .spawn(move || {
                         IN_WORKER.with(|f| f.set(true));
                         while let Ok(job) = queue.recv() {
+                            // fxrz-lint: allow(determinism): busy-time metric
                             let t0 = Instant::now();
                             job();
                             busy.record_duration(t0.elapsed());
@@ -242,8 +260,8 @@ impl Pool {
         }
 
         let registry = fxrz_telemetry::global();
-        registry.incr("parallel.pool.par_maps");
-        registry.add("parallel.pool.chunks", n_chunks as u64);
+        registry.incr(names::POOL_PAR_MAPS);
+        registry.add(names::POOL_CHUNKS, n_chunks as u64);
 
         let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);

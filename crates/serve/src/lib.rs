@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod names;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;

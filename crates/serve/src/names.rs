@@ -1,0 +1,51 @@
+//! Telemetry metric and span name inventory for the serve daemon.
+//!
+//! Single source of truth checked by the `telemetry_names` lint
+//! (`fxrz lint`). Per-op series use `{op}` placeholder templates:
+//! `format!` requires a literal format string, so those call sites keep
+//! an inline literal which the lint verifies is byte-identical to the
+//! template const here.
+
+/// Connections accepted by the listener.
+pub const CONN_ACCEPTED: &str = "serve.conn.accepted";
+/// Connection-handler threads that failed to spawn.
+pub const CONN_SPAWN_ERRORS: &str = "serve.conn.spawn_errors";
+/// `accept(2)` failures on the listener.
+pub const CONN_ACCEPT_ERRORS: &str = "serve.conn.accept_errors";
+/// Frame write failures mid-connection.
+pub const CONN_WRITE_ERRORS: &str = "serve.conn.write_errors";
+/// Malformed/oversized frames received.
+pub const CONN_FRAME_ERRORS: &str = "serve.conn.frame_errors";
+
+/// Live connections at the moment drain began.
+pub const DRAIN_CONNECTIONS_AT_STOP: &str = "serve.drain.connections_at_stop";
+/// Drains that completed before the deadline.
+pub const DRAIN_CLEAN: &str = "serve.drain.clean";
+/// Drains cut short by the deadline.
+pub const DRAIN_TIMED_OUT: &str = "serve.drain.timed_out";
+/// Wall time spent draining, in nanoseconds.
+pub const DRAIN_NS: &str = "serve.drain.ns";
+
+/// Requests that ended in an error reply, any op.
+pub const OP_ERRORS: &str = "serve.op.errors";
+/// Per-op handler latency template (`{op}` is the op name).
+pub const OP_NS: &str = "serve.op.{op}.ns";
+/// Per-op request-count template (`{op}` is the op name).
+pub const OP_COUNT: &str = "serve.op.{op}.count";
+
+/// Models loaded into the registry.
+pub const REGISTRY_LOADS: &str = "serve.registry.loads";
+
+/// Requests shed because the queue was full.
+pub const SCHED_SHED: &str = "serve.sched.shed";
+/// Requests admitted to the queue.
+pub const SCHED_ADMITTED: &str = "serve.sched.admitted";
+/// Requests dropped after exceeding their deadline in queue.
+pub const SCHED_DEADLINE_EXCEEDED: &str = "serve.sched.deadline_exceeded";
+/// Worker panics caught by the scheduler.
+pub const SCHED_PANICS: &str = "serve.sched.panics";
+/// Current scheduler queue depth.
+pub const QUEUE_DEPTH: &str = "serve.queue.depth";
+
+/// Span around one client connection.
+pub const SPAN_CONN: &str = "serve.conn";

@@ -229,7 +229,8 @@ impl ResponseFrame {
 
     /// An `Error` response with a code and message.
     pub fn error(op: u8, req_id: u64, code: u16, message: &str) -> Self {
-        let msg = &message.as_bytes()[..message.len().min(MAX_STRING)];
+        let bytes = message.as_bytes();
+        let msg = bytes.get(..MAX_STRING).unwrap_or(bytes);
         let mut payload = Vec::with_capacity(2 + msg.len());
         payload.extend_from_slice(&code.to_le_bytes());
         payload.extend_from_slice(msg);
@@ -252,11 +253,20 @@ impl ResponseFrame {
     }
 }
 
-/// Reads exactly `n` bytes, or fails.
+/// Reads exactly `n` bytes, or fails. Callers must cap `n` (both frame
+/// readers check the length prefix against `max_frame` first).
 fn read_exact_vec(r: &mut impl Read, n: usize) -> Result<Vec<u8>, FrameError> {
+    // fxrz-lint: allow(alloc_bounds): both callers cap n at max_frame first
     let mut buf = vec![0u8; n];
     r.read_exact(&mut buf)?;
     Ok(buf)
+}
+
+/// Copies an `N`-byte little-endian slice into an array, surfacing a
+/// length mismatch as a malformed frame instead of a panic.
+fn le_array<const N: usize>(b: &[u8]) -> Result<[u8; N], FrameError> {
+    b.try_into()
+        .map_err(|_| FrameError::Malformed("length-checked slice mismatch"))
 }
 
 /// Reads one request frame. Returns `Ok(None)` on clean EOF at a frame
@@ -283,9 +293,9 @@ pub fn read_request(r: &mut impl Read, max_frame: u32) -> Result<Option<RequestF
         return Err(FrameError::BadVersion(header[4]));
     }
     let op = Op::from_u8(header[5]).ok_or(FrameError::UnknownOp(header[5]))?;
-    let req_id = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
-    let deadline_ms = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes"));
-    let len = u32::from_le_bytes(header[18..22].try_into().expect("4 bytes"));
+    let req_id = u64::from_le_bytes(le_array(&header[6..14])?);
+    let deadline_ms = u32::from_le_bytes(le_array(&header[14..18])?);
+    let len = u32::from_le_bytes(le_array(&header[18..22])?);
     if len > max_frame {
         return Err(FrameError::TooLarge {
             len,
@@ -336,8 +346,8 @@ pub fn read_response(r: &mut impl Read, max_frame: u32) -> Result<ResponseFrame,
     }
     let status = Status::from_u8(header[5]).ok_or(FrameError::UnknownStatus(header[5]))?;
     let op = header[6];
-    let req_id = u64::from_le_bytes(header[7..15].try_into().expect("8 bytes"));
-    let len = u32::from_le_bytes(header[15..19].try_into().expect("4 bytes"));
+    let req_id = u64::from_le_bytes(le_array(&header[7..15])?);
+    let len = u32::from_le_bytes(le_array(&header[15..19])?);
     if len > max_frame {
         return Err(FrameError::TooLarge {
             len,
@@ -392,10 +402,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
-        if self.remaining() < n {
-            return Err(FrameError::Malformed("payload truncated"));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
+        let out = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(FrameError::Malformed("payload truncated"))?;
         self.pos += n;
         Ok(out)
     }
@@ -405,15 +415,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_le_bytes(le_array(self.take(2)?)?))
     }
 
     fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(le_array(self.take(4)?)?))
     }
 
     fn f64(&mut self) -> Result<f64, FrameError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(f64::from_le_bytes(le_array(self.take(8)?)?))
     }
 
     /// `u16` length-prefixed UTF-8 string, capped at [`MAX_STRING`].
@@ -428,14 +438,15 @@ impl<'a> Cursor<'a> {
 
     /// Everything left in the payload.
     fn rest(&mut self) -> &'a [u8] {
-        let out = &self.buf[self.pos..];
+        let out = self.buf.get(self.pos..).unwrap_or(&[]);
         self.pos = self.buf.len();
         out
     }
 }
 
 fn put_str16(out: &mut Vec<u8>, s: &str) {
-    let bytes = &s.as_bytes()[..s.len().min(MAX_STRING)];
+    let all = s.as_bytes();
+    let bytes = all.get(..MAX_STRING).unwrap_or(all);
     out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
     out.extend_from_slice(bytes);
 }
@@ -471,7 +482,10 @@ fn get_field(c: &mut Cursor<'_>) -> Result<Field, FrameError> {
         }
         *slot = n;
     }
-    let total = shape[..ndim]
+    let dims = shape
+        .get(..ndim)
+        .ok_or(FrameError::Malformed("ndim out of range"))?;
+    let total = dims
         .iter()
         .try_fold(1usize, |acc, &n| acc.checked_mul(n))
         .ok_or(FrameError::Malformed("grid size overflows"))?;
@@ -481,12 +495,12 @@ fn get_field(c: &mut Cursor<'_>) -> Result<Field, FrameError> {
     if c.remaining() != need {
         return Err(FrameError::Malformed("data length does not match shape"));
     }
-    let data: Vec<f32> = c
-        .take(need)?
-        .chunks_exact(4)
-        .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
-        .collect();
-    Ok(Field::new(name, Dims::new(&shape[..ndim]), data))
+    // fxrz-lint: allow(alloc_bounds): total*4 == remaining() verified above
+    let mut data = Vec::with_capacity(total);
+    for b in c.take(need)?.chunks_exact(4) {
+        data.push(f32::from_le_bytes(le_array(b)?));
+    }
+    Ok(Field::new(name, Dims::new(dims), data))
 }
 
 /// A decoded request, ready for execution.

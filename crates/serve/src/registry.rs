@@ -128,7 +128,7 @@ impl ModelRegistry {
         // An existing Arc at this version stays alive inside any in-flight
         // request that resolved it; only the registry's reference moves.
         slot.insert(version, served);
-        fxrz_telemetry::global().incr("serve.registry.loads");
+        fxrz_telemetry::global().incr(crate::names::REGISTRY_LOADS);
         Ok(version)
     }
 

@@ -86,11 +86,11 @@ impl Scheduler {
         let admitted = self.inflight.fetch_add(1, Ordering::SeqCst);
         if admitted >= self.config.queue_bound {
             self.inflight.fetch_sub(1, Ordering::SeqCst);
-            telemetry.incr("serve.sched.shed");
+            telemetry.incr(crate::names::SCHED_SHED);
             return ResponseFrame::busy(op, req_id);
         }
-        telemetry.set_gauge("serve.queue.depth", (admitted + 1) as i64);
-        telemetry.incr("serve.sched.admitted");
+        telemetry.set_gauge(crate::names::QUEUE_DEPTH, (admitted + 1) as i64);
+        telemetry.incr(crate::names::SCHED_ADMITTED);
 
         let deadline = if deadline_ms == 0 {
             self.config.default_deadline
@@ -103,7 +103,7 @@ impl Scheduler {
             // that sat in the queue past its budget is dropped *with an
             // explicit error reply*, never silently.
             let response = if enqueued.elapsed() > deadline {
-                fxrz_telemetry::global().incr("serve.sched.deadline_exceeded");
+                fxrz_telemetry::global().incr(crate::names::SCHED_DEADLINE_EXCEEDED);
                 ResponseFrame::error(
                     op,
                     req_id,
@@ -117,7 +117,7 @@ impl Scheduler {
                 match catch_unwind(AssertUnwindSafe(job)) {
                     Ok(resp) => resp,
                     Err(_) => {
-                        fxrz_telemetry::global().incr("serve.sched.panics");
+                        fxrz_telemetry::global().incr(crate::names::SCHED_PANICS);
                         ResponseFrame::error(
                             op,
                             req_id,
@@ -139,7 +139,7 @@ impl Scheduler {
             ResponseFrame::error(op, req_id, code::INTERNAL, "request executor vanished")
         });
         let now = self.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
-        telemetry.set_gauge("serve.queue.depth", now as i64);
+        telemetry.set_gauge(crate::names::QUEUE_DEPTH, now as i64);
         debug_assert_ne!(response.status, Status::Busy);
         response
     }

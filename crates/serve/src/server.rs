@@ -9,6 +9,7 @@
 //! drop out at the next poll, and in-flight requests finish and get their
 //! responses before the drain completes.
 
+use crate::names;
 use crate::protocol::{
     self, code, FrameError, Op, Reply, Request, RequestFrame, ResponseFrame, Status,
 };
@@ -293,7 +294,7 @@ fn accept_loop(shared: &Arc<Shared>, acceptor: &dyn Acceptor) -> DrainReport {
     while !shared.should_stop() {
         match acceptor.poll_accept() {
             Ok(Some(conn)) => {
-                telemetry.incr("serve.conn.accepted");
+                telemetry.incr(names::CONN_ACCEPTED);
                 // Count the connection before its thread exists so a stop
                 // arriving right now still waits for it in the drain.
                 shared.active_conns.fetch_add(1, Ordering::SeqCst);
@@ -305,12 +306,12 @@ fn accept_loop(shared: &Arc<Shared>, acceptor: &dyn Acceptor) -> DrainReport {
                     // The thread never existed, so its slot must be given
                     // back here or the drain would wait the full timeout.
                     shared.active_conns.fetch_sub(1, Ordering::SeqCst);
-                    telemetry.incr("serve.conn.spawn_errors");
+                    telemetry.incr(names::CONN_SPAWN_ERRORS);
                 }
             }
             Ok(None) => std::thread::sleep(POLL_INTERVAL),
             Err(_) => {
-                telemetry.incr("serve.conn.accept_errors");
+                telemetry.incr(names::CONN_ACCEPT_ERRORS);
                 std::thread::sleep(POLL_INTERVAL);
             }
         }
@@ -320,10 +321,7 @@ fn accept_loop(shared: &Arc<Shared>, acceptor: &dyn Acceptor) -> DrainReport {
     // ones (each holds a slot in `active_conns` until its last response
     // is written) to finish, bounded by the configured timeout.
     let connections_at_stop = shared.active_conns.load(Ordering::SeqCst);
-    telemetry.set_gauge(
-        "serve.drain.connections_at_stop",
-        connections_at_stop as i64,
-    );
+    telemetry.set_gauge(names::DRAIN_CONNECTIONS_AT_STOP, connections_at_stop as i64);
     let t0 = Instant::now();
     while shared.active_conns.load(Ordering::SeqCst) > 0
         && t0.elapsed() < shared.config.drain_timeout
@@ -333,11 +331,11 @@ fn accept_loop(shared: &Arc<Shared>, acceptor: &dyn Acceptor) -> DrainReport {
     let drained = shared.active_conns.load(Ordering::SeqCst) == 0;
     let drain_time = t0.elapsed();
     telemetry.incr(if drained {
-        "serve.drain.clean"
+        names::DRAIN_CLEAN
     } else {
-        "serve.drain.timed_out"
+        names::DRAIN_TIMED_OUT
     });
-    telemetry.observe("serve.drain.ns", drain_time.as_nanos() as u64);
+    telemetry.observe(names::DRAIN_NS, drain_time.as_nanos() as u64);
     DrainReport {
         connections_at_stop,
         drained,
@@ -405,7 +403,7 @@ impl Read for PatientReader<'_> {
 
 fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
     let _guard = ConnGuard(shared);
-    let _span = fxrz_telemetry::span!("serve.conn");
+    let _span = fxrz_telemetry::span!(names::SPAN_CONN);
     if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
@@ -423,7 +421,7 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
             Ok(Some(frame)) => {
                 let response = dispatch(shared, frame);
                 if protocol::write_response(&mut conn, &response).is_err() {
-                    fxrz_telemetry::global().incr("serve.conn.write_errors");
+                    fxrz_telemetry::global().incr(names::CONN_WRITE_ERRORS);
                     break;
                 }
                 if shared.should_stop() {
@@ -434,7 +432,7 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
             Err(e) => {
                 // Protocol violation: reply once with a frame error, then
                 // close — the stream position is no longer trustworthy.
-                fxrz_telemetry::global().incr("serve.conn.frame_errors");
+                fxrz_telemetry::global().incr(names::CONN_FRAME_ERRORS);
                 let response = ResponseFrame::error(0, 0, code::BAD_FRAME, &e.to_string());
                 let _ = protocol::write_response(&mut conn, &response);
                 break;
@@ -451,11 +449,11 @@ fn dispatch(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
     let t0 = Instant::now();
     let response = dispatch_inner(shared, frame);
     telemetry
-        .histogram(&format!("serve.op.{}.ns", op.name()))
+        .histogram(&format!("serve.op.{op}.ns", op = op.name()))
         .record_duration(t0.elapsed());
-    telemetry.incr(&format!("serve.op.{}.count", op.name()));
+    telemetry.incr(&format!("serve.op.{op}.count", op = op.name()));
     if response.status == Status::Error {
-        telemetry.incr("serve.op.errors");
+        telemetry.incr(names::OP_ERRORS);
     }
     response
 }

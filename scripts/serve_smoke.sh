@@ -10,10 +10,22 @@ WORK="$(mktemp -d)"
 SERVER_PID=""
 
 cleanup() {
+    # Capture the in-flight exit status first: every command below has
+    # its own status, and without the explicit `exit "$status"` at the
+    # end a failure inside this trap (or a shell that resolves the
+    # ambiguity differently) could mask a red run as green — or a
+    # harmless cleanup hiccup could fail a green one.
+    status=$?
+    if [[ "$status" -ne 0 && -d "$WORK" ]]; then
+        echo "== smoke failed (exit $status); daemon output follows ==" >&2
+        [[ -f "$WORK/serve.out" ]] && sed 's/^/serve.out: /' "$WORK/serve.out" >&2
+        [[ -f "$WORK/serve.err" ]] && sed 's/^/serve.err: /' "$WORK/serve.err" >&2
+    fi
     if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
         kill -KILL "$SERVER_PID" 2>/dev/null || true
     fi
     rm -rf "$WORK"
+    exit "$status"
 }
 trap cleanup EXIT
 

@@ -16,6 +16,9 @@
 //! datasets, [`ml`] for the regression models, [`fraz`] for the baseline
 //! search framework and [`parallel_io`] for the parallel-dump simulator.
 
+#![forbid(unsafe_code)]
+
+pub use fxrz_analysis as analysis;
 pub use fxrz_archive as archive;
 pub use fxrz_codec as codec;
 pub use fxrz_compressors as compressors;

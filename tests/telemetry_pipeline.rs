@@ -129,7 +129,9 @@ fn telemetry_overhead_is_under_two_percent_without_sink() {
     let probes = 10_000u32;
     let t1 = Instant::now();
     for i in 0..probes {
+        // fxrz-lint: allow(telemetry_names): synthetic probe series for overhead measurement
         registry.add("overhead.probe.counter", 1);
+        // fxrz-lint: allow(telemetry_names): synthetic probe series for overhead measurement
         registry.observe("overhead.probe.hist", u64::from(i));
         registry.record_span("overhead.probe/span", Duration::from_nanos(50));
     }
