@@ -276,10 +276,17 @@ impl Pool {
             panic: &panic_slot,
         };
         let latch = Latch::new(helpers);
+        // Helper jobs execute on pool threads whose span stack and trace
+        // context start empty; adopting the issuing thread's scope keeps
+        // spans opened inside `f` nested under the caller's span (and
+        // carrying its trace id) instead of becoming orphaned roots.
+        let scope = fxrz_telemetry::TaskScope::capture();
         for _ in 0..helpers {
             let state = &state;
             let latch = &latch;
+            let scope = scope.clone();
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let _scope = scope.adopt();
                 state.drain();
                 latch.count_down();
             });

@@ -17,7 +17,16 @@
 //!   direct library calls at any thread count;
 //! * [`server`] — accept loops, per-connection framing, and a graceful
 //!   SIGTERM drain (stop accepting → finish in-flight → report);
+//! * [`audit`] — per-request accuracy audit records (trace id, model,
+//!   predicted error bound, achieved vs target ratio) appended to a
+//!   JSONL sink, plus live per-model accuracy aggregates for `Stats`;
 //! * [`client`] — a blocking client used by `fxrz client` and the tests.
+//!
+//! Every request is dispatched under a deterministic request-scoped
+//! [`fxrz_telemetry::TraceContext`] that follows the job across the
+//! scheduler and pool threads, ties flight-recorder spans to the
+//! request, and appears as `trace_id` in compress replies and audit
+//! records.
 //!
 //! ```no_run
 //! use fxrz_serve::{Client, Server, ServerConfig};
@@ -36,6 +45,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod client;
 pub mod names;
 pub mod protocol;
@@ -43,8 +53,9 @@ pub mod registry;
 pub mod scheduler;
 pub mod server;
 
+pub use audit::{AccuracyStats, AuditRecord, AuditSink};
 pub use client::{Client, ClientError};
 pub use protocol::{Op, Reply, Request, Status};
 pub use registry::{ModelInfo, ModelRegistry, RegistryError, ServedModel};
-pub use scheduler::{Scheduler, SchedulerConfig};
+pub use scheduler::{JobCtx, SchedCounters, Scheduler, SchedulerConfig};
 pub use server::{signal, DrainReport, Server, ServerConfig, ServerHandle};

@@ -47,5 +47,19 @@ pub const SCHED_PANICS: &str = "serve.sched.panics";
 /// Current scheduler queue depth.
 pub const QUEUE_DEPTH: &str = "serve.queue.depth";
 
+/// Nanoseconds a request waited in queue before execution began.
+pub const SCHED_QUEUE_NS: &str = "serve.sched.queue_ns";
+
+/// Audit records appended to the JSONL sink.
+pub const AUDIT_RECORDS: &str = "serve.audit.records";
+/// Audit sink write failures (records dropped, not retried).
+pub const AUDIT_WRITE_ERRORS: &str = "serve.audit.write_errors";
+
+/// Per-op HDR latency template (`{op}` is the op name); end-to-end
+/// dispatch latency in nanoseconds with fixed-precision percentiles.
+pub const OP_HDR_NS: &str = "serve.op.{op}.hdr_ns";
+
 /// Span around one client connection.
 pub const SPAN_CONN: &str = "serve.conn";
+/// Span around one scheduled request execution (traced).
+pub const SPAN_REQUEST: &str = "serve.request";

@@ -9,6 +9,7 @@
 //! drop out at the next poll, and in-flight requests finish and get their
 //! responses before the drain completes.
 
+use crate::audit::{AccuracyStats, AuditRecord, AuditSink};
 use crate::names;
 use crate::protocol::{
     self, code, FrameError, Op, Reply, Request, RequestFrame, ResponseFrame, Status,
@@ -17,10 +18,11 @@ use crate::registry::{ModelRegistry, RegistryError, ServedModel};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use fxrz_core::infer::Estimate;
 use fxrz_core::sampling::StridedSampler;
+use fxrz_telemetry::{TraceContext, TraceIdGen};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// Process-level stop plumbing: SIGTERM / SIGINT → one atomic flag every
@@ -85,6 +87,12 @@ pub struct ServerConfig {
     pub scheduler: SchedulerConfig,
     /// How long shutdown waits for in-flight connections to finish.
     pub drain_timeout: Duration,
+    /// Seed for the deterministic trace-id generator: the same seed and
+    /// request order reproduce the same trace ids.
+    pub trace_seed: u64,
+    /// Relative tolerance on `|achieved − target| / target` for a
+    /// compress request to count as in-tolerance in the audit plane.
+    pub cr_tolerance: f64,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +101,8 @@ impl Default for ServerConfig {
             max_frame: protocol::DEFAULT_MAX_FRAME,
             scheduler: SchedulerConfig::default(),
             drain_timeout: Duration::from_secs(10),
+            trace_seed: 0xF0E1_D2C3_B4A5_9687,
+            cr_tolerance: 0.10,
         }
     }
 }
@@ -154,6 +164,10 @@ struct Shared {
     config: ServerConfig,
     stop: AtomicBool,
     active_conns: AtomicUsize,
+    trace_ids: TraceIdGen,
+    audit: RwLock<Option<Arc<AuditSink>>>,
+    accuracy: AccuracyStats,
+    started: Instant,
 }
 
 impl Shared {
@@ -228,9 +242,13 @@ impl Server {
             shared: Arc::new(Shared {
                 registry: ModelRegistry::new(),
                 scheduler: Scheduler::new(config.scheduler),
-                config,
                 stop: AtomicBool::new(false),
                 active_conns: AtomicUsize::new(0),
+                trace_ids: TraceIdGen::new(config.trace_seed),
+                audit: RwLock::new(None),
+                accuracy: AccuracyStats::default(),
+                started: Instant::now(),
+                config,
             }),
         }
     }
@@ -238,6 +256,20 @@ impl Server {
     /// The model registry (preload models here before serving).
     pub fn registry(&self) -> &ModelRegistry {
         &self.shared.registry
+    }
+
+    /// Starts appending audit records to the JSONL file at `path`.
+    ///
+    /// # Errors
+    /// Propagates file-open errors.
+    pub fn set_audit_log(&self, path: &std::path::Path) -> io::Result<()> {
+        self.set_audit_sink(Arc::new(AuditSink::open(path)?));
+        Ok(())
+    }
+
+    /// Installs an audit sink directly (tests use in-memory writers).
+    pub fn set_audit_sink(&self, sink: Arc<AuditSink>) {
+        *self.shared.audit.write().unwrap_or_else(|e| e.into_inner()) = Some(sink);
     }
 
     /// Requests a stop of every listener started from this server.
@@ -442,15 +474,22 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
 }
 
 /// Executes one request frame and produces its response, recording
-/// per-op telemetry.
+/// per-op telemetry. Each request gets a fresh deterministic
+/// [`TraceContext`] attached to the connection thread for its duration;
+/// the scheduler re-attaches it on whichever pool thread executes the
+/// job.
 fn dispatch(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
     let telemetry = fxrz_telemetry::global();
     let op = frame.op;
+    let trace = shared.trace_ids.next();
+    let _trace_guard = fxrz_telemetry::trace::attach(trace);
     let t0 = Instant::now();
-    let response = dispatch_inner(shared, frame);
+    let response = dispatch_inner(shared, frame, trace);
+    let elapsed = t0.elapsed();
     telemetry
         .histogram(&format!("serve.op.{op}.ns", op = op.name()))
-        .record_duration(t0.elapsed());
+        .record_duration(elapsed);
+    telemetry.observe_hdr_duration(&format!("serve.op.{op}.hdr_ns", op = op.name()), elapsed);
     telemetry.incr(&format!("serve.op.{op}.count", op = op.name()));
     if response.status == Status::Error {
         telemetry.incr(names::OP_ERRORS);
@@ -478,18 +517,60 @@ fn predict_json(served: &ServedModel, est: &Estimate) -> String {
     )
 }
 
+/// Every op the per-op `Stats` array reports on.
+const ALL_OPS: [Op; 7] = [
+    Op::Ping,
+    Op::Features,
+    Op::Predict,
+    Op::Compress,
+    Op::Decompress,
+    Op::LoadModel,
+    Op::Stats,
+];
+
 fn stats_json(shared: &Shared) -> String {
     let models = serde_json::to_string(&shared.registry.list()).unwrap_or_else(|_| "[]".to_owned());
     let snapshot = fxrz_telemetry::global().snapshot();
+    let sched = shared.scheduler.counters();
+    // Per-op rows: request count plus fixed-precision latency
+    // percentiles from the HDR histograms recorded in `dispatch`.
+    let ops: Vec<String> = ALL_OPS
+        .iter()
+        .filter_map(|op| {
+            let count = snapshot.counter(&format!("serve.op.{op}.count", op = op.name()))?;
+            let mut row = format!("{{\"op\":\"{}\",\"count\":{count}", op.name());
+            if let Some(h) = snapshot.hdr(&format!("serve.op.{op}.hdr_ns", op = op.name())) {
+                row.push_str(&format!(
+                    ",\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"mean_ns\":{}",
+                    h.p50, h.p90, h.p99, h.p999, h.max, h.mean,
+                ));
+            }
+            row.push('}');
+            Some(row)
+        })
+        .collect();
     format!(
-        "{{\"models\":{models},\"inflight\":{},\"queue_bound\":{},\"metrics\":{}}}",
+        "{{\"models\":{models},\"inflight\":{},\"queue_bound\":{},\"uptime_ms\":{},\
+         \"scheduler\":{{\"inflight\":{},\"queue_bound\":{},\"queue_depth\":{},\
+         \"shed\":{},\"admitted\":{},\"deadline_exceeded\":{},\"panics\":{}}},\
+         \"ops\":[{}],\"accuracy\":{},\"metrics\":{}}}",
         shared.scheduler.inflight(),
         shared.config.scheduler.queue_bound,
+        shared.started.elapsed().as_millis(),
+        shared.scheduler.inflight(),
+        shared.scheduler.queue_bound(),
+        snapshot.gauge(names::QUEUE_DEPTH).unwrap_or(0),
+        sched.shed(),
+        sched.admitted(),
+        sched.deadline_exceeded(),
+        sched.panics(),
+        ops.join(","),
+        shared.accuracy.to_json(),
         snapshot.to_json(),
     )
 }
 
-fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
+fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame, trace: TraceContext) -> ResponseFrame {
     let op = frame.op;
     let op_byte = op as u8;
     let req_id = frame.req_id;
@@ -532,7 +613,7 @@ fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
         Request::Features { field } => {
             shared
                 .scheduler
-                .submit(op_byte, req_id, frame.deadline_ms, move || {
+                .submit(op_byte, req_id, frame.deadline_ms, trace, move |_ctx| {
                     let fv = fxrz_core::features::extract(&field, StridedSampler::default());
                     match serde_json::to_string(&fv) {
                         Ok(json) => {
@@ -564,8 +645,12 @@ fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
             };
             shared
                 .scheduler
-                .submit(op_byte, req_id, frame.deadline_ms, move || {
-                    match served.engine.estimate(&field, ratio) {
+                .submit(
+                    op_byte,
+                    req_id,
+                    frame.deadline_ms,
+                    trace,
+                    move |_ctx| match served.engine.estimate(&field, ratio) {
                         Ok(est) => ResponseFrame::ok(
                             Op::Predict,
                             req_id,
@@ -574,8 +659,8 @@ fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
                         Err(e) => {
                             ResponseFrame::error(op_byte, req_id, code::ENGINE, &e.to_string())
                         }
-                    }
-                })
+                    },
+                )
         }
         Request::Compress {
             model,
@@ -593,18 +678,61 @@ fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
                     )
                 }
             };
+            let audit_shared = Arc::clone(shared);
             shared
                 .scheduler
-                .submit(op_byte, req_id, frame.deadline_ms, move || {
+                .submit(op_byte, req_id, frame.deadline_ms, trace, move |ctx| {
+                    let t0 = Instant::now();
                     match served.engine.compress(&field, ratio) {
                         Ok(out) => {
+                            let exec_ns =
+                                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            let achieved = out.measured_ratio;
+                            let rel_err = if ratio > 0.0 {
+                                (achieved - ratio).abs() / ratio
+                            } else {
+                                0.0
+                            };
+                            let in_tolerance = rel_err <= audit_shared.config.cr_tolerance;
+                            let record = AuditRecord {
+                                trace_id: ctx.trace.trace_id,
+                                req_id,
+                                op: "compress".to_owned(),
+                                model: served.reference(),
+                                target_cr: ratio,
+                                predicted_eb: out.estimate.config.coordinate(),
+                                config: out.estimate.config.to_string(),
+                                achieved_cr: achieved,
+                                rel_err,
+                                in_tolerance,
+                                queue_ns: ctx.queue_ns,
+                                exec_ns,
+                                uncompressed_bytes: field.nbytes() as u64,
+                                compressed_bytes: out.bytes.len() as u64,
+                                features: out.estimate.features,
+                            };
+                            audit_shared.accuracy.record(
+                                &record.model,
+                                rel_err,
+                                in_tolerance,
+                                exec_ns,
+                            );
+                            let sink = audit_shared
+                                .audit
+                                .read()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .clone();
+                            if let Some(sink) = sink {
+                                sink.append(&record);
+                            }
                             let info = format!(
-                                "{{\"model\":\"{}\",\"measured_ratio\":{},\"config\":\"{}\",\"analysis_ms\":{},\"compress_ms\":{}}}",
+                                "{{\"model\":\"{}\",\"measured_ratio\":{},\"config\":\"{}\",\"analysis_ms\":{},\"compress_ms\":{},\"trace_id\":{}}}",
                                 served.reference(),
                                 out.measured_ratio,
                                 out.estimate.config,
                                 out.estimate.analysis_time.as_secs_f64() * 1e3,
                                 out.compression_time.as_secs_f64() * 1e3,
+                                ctx.trace.trace_id,
                             );
                             ResponseFrame::ok(
                                 Op::Compress,
@@ -625,7 +753,7 @@ fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
         Request::Decompress { stream } => {
             shared
                 .scheduler
-                .submit(op_byte, req_id, frame.deadline_ms, move || {
+                .submit(op_byte, req_id, frame.deadline_ms, trace, move |_ctx| {
                     let Some(comp) = fxrz_compressors::detect(&stream) else {
                         return ResponseFrame::error(
                             op_byte,

@@ -156,6 +156,7 @@ pub fn dispatch(level: Level, target: &str, args: fmt::Arguments<'_>) {
         Level::Warn => "events.warn",
         _ => "events.other",
     });
+    crate::recorder::flight_recorder().record_event(target);
     if let Some(sink) = SINK.read().as_ref() {
         let message = args.to_string();
         sink.emit(&Record {

@@ -17,6 +17,19 @@
 //!   everything recorded, with a human-readable `Display` report and a
 //!   JSON form used by `fxrz --metrics json`.
 //!
+//! Layered on top of those, three request-scoped facilities added for the
+//! serving plane:
+//!
+//! * **Traces** ([`trace`]) — a thread-local [`TraceContext`] (trace id +
+//!   span id) attached per request and propagated across pool threads via
+//!   [`TaskScope`], so every span and audit record can be tied back to the
+//!   client request that caused it.
+//! * **Flight recorder** ([`recorder`]) — a fixed-capacity lock-free ring
+//!   of recent span/event records, dumped on drain or panic. Memory is
+//!   bounded by capacity, never by request count.
+//! * **HDR histograms** ([`hdr`]) — fixed-precision latency histograms
+//!   (`< 0.8%` relative quantile error) for per-op p50/p99 reporting.
+//!
 //! ```
 //! use fxrz_telemetry as telemetry;
 //!
@@ -31,19 +44,28 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod hdr;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use event::{
     clear_sink, enabled, set_max_level, set_sink, JsonLinesSink, Level, Record, Sink,
     StderrTextSink,
 };
+pub use hdr::{HdrHistogram, HdrSnapshot};
 pub use metrics::{
     Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, SpanSnapshot,
 };
-pub use span::{spanned, SpanGuard};
+pub use recorder::{
+    configure_recorder, flight_recorder, now_ns, render_records, FlightRecord, FlightRecorder,
+    RecordKind,
+};
+pub use span::{spanned, SpanGuard, TaskScope, TaskScopeGuard};
+pub use trace::{TraceContext, TraceIdGen};
 
 use std::sync::OnceLock;
 

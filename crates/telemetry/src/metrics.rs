@@ -2,6 +2,7 @@
 //! thread-safe [`MetricsRegistry`] and exported as a serializable
 //! [`MetricsSnapshot`].
 
+use crate::hdr::{HdrHistogram, HdrSnapshot};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -190,6 +191,7 @@ pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    hdrs: RwLock<BTreeMap<String, Arc<HdrHistogram>>>,
     spans: RwLock<BTreeMap<String, Arc<SpanStat>>>,
 }
 
@@ -225,6 +227,14 @@ impl MetricsRegistry {
         get_or_create(&self.histograms, name)
     }
 
+    /// Handle to the named fixed-precision (HDR-style) histogram,
+    /// creating it on first use. Use beside [`Self::histogram`] when the
+    /// series needs tight quantiles (latency SLOs) rather than orders of
+    /// magnitude.
+    pub fn hdr(&self, name: &str) -> Arc<HdrHistogram> {
+        get_or_create(&self.hdrs, name)
+    }
+
     /// Adds `delta` to the named counter.
     pub fn add(&self, name: &str, delta: u64) {
         self.counter(name).add(delta);
@@ -248,6 +258,16 @@ impl MetricsRegistry {
     /// Records a duration (as nanoseconds) into the named histogram.
     pub fn observe_duration(&self, name: &str, d: Duration) {
         self.histogram(name).record_duration(d);
+    }
+
+    /// Records one observation into the named HDR histogram.
+    pub fn observe_hdr(&self, name: &str, value: u64) {
+        self.hdr(name).record(value);
+    }
+
+    /// Records a duration (as nanoseconds) into the named HDR histogram.
+    pub fn observe_hdr_duration(&self, name: &str, d: Duration) {
+        self.hdr(name).record_duration(d);
     }
 
     /// Records a completed span occurrence (used by [`crate::span`]).
@@ -283,6 +303,12 @@ impl MetricsRegistry {
             .iter()
             .map(|(name, h)| h.snapshot(name))
             .collect();
+        let hdrs = self
+            .hdrs
+            .read()
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
         let spans = self
             .spans
             .read()
@@ -308,6 +334,7 @@ impl MetricsRegistry {
             counters,
             gauges,
             histograms,
+            hdrs,
             spans,
         }
     }
@@ -317,6 +344,7 @@ impl MetricsRegistry {
         self.counters.write().clear();
         self.gauges.write().clear();
         self.histograms.write().clear();
+        self.hdrs.write().clear();
         self.spans.write().clear();
     }
 }
@@ -387,6 +415,11 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSnapshot>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// All fixed-precision (HDR) histograms, sorted by name. Defaults to
+    /// empty so snapshots serialized before this field existed still
+    /// deserialize.
+    #[serde(default)]
+    pub hdrs: Vec<HdrSnapshot>,
     /// All span paths, sorted by path.
     pub spans: Vec<SpanSnapshot>,
 }
@@ -413,6 +446,11 @@ impl MetricsSnapshot {
     /// Looks up a histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up an HDR histogram by name.
+    pub fn hdr(&self, name: &str) -> Option<&HdrSnapshot> {
+        self.hdrs.iter().find(|h| h.name == name)
     }
 
     /// Looks up a span by path.

@@ -70,10 +70,27 @@ impl fmt::Display for MetricsSnapshot {
                 )?;
             }
         }
+        if !self.hdrs.is_empty() {
+            writeln!(f, "latency (hdr):")?;
+            for h in &self.hdrs {
+                writeln!(
+                    f,
+                    "  {:<40} n={:<7} p50 {:>9} p90 {:>9} p99 {:>9} p999 {:>9} max {}",
+                    h.name,
+                    h.count,
+                    format_ns(h.p50 as f64),
+                    format_ns(h.p90 as f64),
+                    format_ns(h.p99 as f64),
+                    format_ns(h.p999 as f64),
+                    format_ns(h.max as f64),
+                )?;
+            }
+        }
         if self.spans.is_empty()
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
+            && self.hdrs.is_empty()
         {
             writeln!(f, "no metrics recorded")?;
         }

@@ -4,7 +4,18 @@
 //! the parent's path plus `/name`, so the registry ends up holding a flat
 //! map of slash-joined paths (`compress`, `compress/features`, …) — a
 //! serializable encoding of the call tree.
+//!
+//! On drop every span also writes one record into the global flight
+//! recorder, tagged with the thread's current [`TraceContext`] (0 when
+//! untraced) — the per-request view the aggregate registry cannot give.
+//!
+//! Nesting is thread-local, so work handed to another thread (a pool
+//! helper job) would otherwise start a fresh stack and orphan its child
+//! spans. [`TaskScope`] fixes that: capture it on the issuing thread,
+//! [`TaskScope::adopt`] it inside the worker closure, and spans opened
+//! there nest under the captured parent path and trace.
 
+use crate::trace::TraceContext;
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
@@ -18,6 +29,7 @@ thread_local! {
 pub struct SpanGuard {
     path: String,
     start: Instant,
+    start_ns: u64,
 }
 
 impl SpanGuard {
@@ -45,6 +57,11 @@ impl Drop for SpanGuard {
             }
         });
         crate::global().record_span(&self.path, elapsed);
+        crate::recorder::flight_recorder().record_span(
+            &self.path,
+            self.start_ns,
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        );
     }
 }
 
@@ -62,6 +79,7 @@ pub fn enter(name: &str) -> SpanGuard {
     SpanGuard {
         path,
         start: Instant::now(),
+        start_ns: crate::recorder::now_ns(),
     }
 }
 
@@ -80,6 +98,64 @@ pub fn spanned<T, F: FnOnce() -> T>(name: &str, f: F) -> (T, Duration) {
     let elapsed = guard.elapsed();
     drop(guard);
     (out, elapsed)
+}
+
+/// Span nesting + trace context captured on one thread, to be adopted by
+/// work executing on another.
+///
+/// The pool's `par_map` captures a scope before enqueueing helper jobs
+/// and adopts it inside each job, so spans opened by the mapped closure
+/// on a worker thread nest under the issuing thread's current span (and
+/// inherit its trace) instead of becoming orphaned roots.
+#[derive(Clone, Debug, Default)]
+pub struct TaskScope {
+    parent: Option<String>,
+    trace: Option<TraceContext>,
+}
+
+impl TaskScope {
+    /// Captures the calling thread's innermost span path and trace.
+    pub fn capture() -> Self {
+        Self {
+            parent: current_path(),
+            trace: crate::trace::current(),
+        }
+    }
+
+    /// Installs the captured scope on the calling thread until the guard
+    /// drops: the span stack is replaced by the captured parent path and
+    /// the captured trace context is attached. The previous stack and
+    /// trace are restored on drop.
+    pub fn adopt(&self) -> TaskScopeGuard {
+        let saved_stack = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let saved = std::mem::take(&mut *stack);
+            if let Some(parent) = &self.parent {
+                stack.push(parent.clone());
+            }
+            saved
+        });
+        TaskScopeGuard {
+            saved_stack,
+            saved_trace: crate::trace::swap(self.trace),
+        }
+    }
+}
+
+/// Restores the thread's own span stack and trace when dropped.
+#[must_use = "dropping the guard immediately restores the previous scope"]
+pub struct TaskScopeGuard {
+    saved_stack: Vec<String>,
+    saved_trace: Option<TraceContext>,
+}
+
+impl Drop for TaskScopeGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| {
+            *stack.borrow_mut() = std::mem::take(&mut self.saved_stack);
+        });
+        let _ = crate::trace::swap(self.saved_trace);
+    }
 }
 
 /// Opens a [`SpanGuard`](crate::span::SpanGuard) for the named stage:
@@ -116,6 +192,38 @@ mod tests {
         assert!(elapsed.as_nanos() > 0 || elapsed.is_zero());
         let snap = crate::global().snapshot();
         assert!(snap.span("test_spanned").is_some());
+    }
+
+    #[test]
+    fn task_scope_adoption_restores_on_drop() {
+        let ctx = crate::trace::TraceIdGen::new(11).next();
+        let _trace = crate::trace::attach(ctx);
+        let outer = enter("test_scope_cap");
+        let scope = TaskScope::capture();
+        drop(outer);
+
+        // Simulate a worker thread with its own (empty) stack.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert_eq!(current_path(), None);
+                {
+                    let _g = scope.adopt();
+                    assert_eq!(current_path().as_deref(), Some("test_scope_cap"));
+                    assert_eq!(crate::trace::current(), Some(ctx));
+                    let child = enter("kid");
+                    assert_eq!(child.path(), "test_scope_cap/kid");
+                }
+                assert_eq!(current_path(), None);
+                assert_eq!(crate::trace::current(), None);
+            });
+        });
+    }
+
+    #[test]
+    fn span_drop_reaches_the_flight_recorder() {
+        let before = crate::recorder::flight_recorder().recorded();
+        drop(enter("test_flight_hook"));
+        assert!(crate::recorder::flight_recorder().recorded() > before);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! HDR histogram accuracy: quantiles must stay within the advertised
+//! relative-error bound of exact sorted-array percentiles across
+//! distributions shaped like real latency data.
+
+use fxrz_telemetry::HdrHistogram;
+
+/// Exact quantile by nearest-rank on a sorted copy.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Deterministic pseudo-random stream (splitmix-style), so the test
+/// never flakes.
+fn stream(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn assert_within(h: &HdrHistogram, sorted: &[u64], q: f64, tol: f64) {
+    let approx = h.quantile(q) as f64;
+    let exact = exact_quantile(sorted, q) as f64;
+    let err = if exact == 0.0 {
+        approx
+    } else {
+        (approx - exact).abs() / exact
+    };
+    assert!(
+        err <= tol,
+        "q={q}: approx {approx} vs exact {exact} (err {err:.4} > {tol})"
+    );
+}
+
+#[test]
+fn quantiles_track_exact_percentiles_uniform_latency() {
+    // Uniform microsecond-scale latencies: 10µs..10ms in ns.
+    let values: Vec<u64> = stream(42, 50_000)
+        .into_iter()
+        .map(|v| 10_000 + v % 9_990_000)
+        .collect();
+    let h = HdrHistogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values;
+    sorted.sort_unstable();
+    for q in [0.50, 0.90, 0.99, 0.999] {
+        assert_within(&h, &sorted, q, 0.02);
+    }
+}
+
+#[test]
+fn quantiles_track_exact_percentiles_heavy_tail() {
+    // Bimodal: fast path ~1µs, slow tail ~1ms — the shape where a
+    // log-bucketed histogram's p99 error explodes.
+    let values: Vec<u64> = stream(7, 20_000)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if i % 100 < 99 {
+                800 + v % 400
+            } else {
+                900_000 + v % 200_000
+            }
+        })
+        .collect();
+    let h = HdrHistogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values;
+    sorted.sort_unstable();
+    for q in [0.50, 0.90, 0.99, 0.999] {
+        assert_within(&h, &sorted, q, 0.02);
+    }
+}
+
+#[test]
+fn extremes_clamp_to_observed_min_max() {
+    let h = HdrHistogram::new();
+    h.record(123);
+    h.record(1_000_000_007);
+    assert_eq!(h.quantile(0.0), 123);
+    assert_eq!(h.quantile(1.0).clamp(0, h.max()), h.quantile(1.0));
+    assert!(h.quantile(1.0) >= h.quantile(0.0));
+    assert_eq!(h.min(), 123);
+    assert_eq!(h.max(), 1_000_000_007);
+}

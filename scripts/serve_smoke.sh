@@ -39,7 +39,8 @@ echo "== training model =="
     "$WORK/a.f32" "$WORK/b.f32"
 
 echo "== starting daemon on an ephemeral port =="
-"$FXRZ" serve --listen 127.0.0.1:0 --drain-ms 5000 "m=$WORK/model.json" \
+"$FXRZ" serve --listen 127.0.0.1:0 --drain-ms 5000 \
+    --audit-log "$WORK/audit.jsonl" "m=$WORK/model.json" \
     >"$WORK/serve.out" 2>"$WORK/serve.err" &
 SERVER_PID=$!
 
@@ -65,6 +66,33 @@ echo "== client round trip =="
     --input "$WORK/probe.sz" --output "$WORK/probe.back.f32"
 "$FXRZ" client --connect "$ADDR" stats >/dev/null
 [[ -s "$WORK/probe.back.f32" ]] || { echo "round trip produced no output" >&2; exit 1; }
+
+echo "== observability plane =="
+# The audit log must hold one parseable JSONL record for the compress,
+# carrying a nonzero trace id and the achieved ratio.
+[[ -s "$WORK/audit.jsonl" ]] || { echo "audit log is empty" >&2; exit 1; }
+grep -q '"trace_id":' "$WORK/audit.jsonl" || {
+    echo "audit record missing trace_id:" >&2
+    cat "$WORK/audit.jsonl" >&2
+    exit 1
+}
+grep -q '"achieved_cr":' "$WORK/audit.jsonl" || {
+    echo "audit record missing achieved_cr:" >&2
+    cat "$WORK/audit.jsonl" >&2
+    exit 1
+}
+# `fxrz top --once` must render a parseable snapshot with a compress row.
+"$FXRZ" top --connect "$ADDR" --once >"$WORK/top.out"
+grep -q "compress" "$WORK/top.out" || {
+    echo "fxrz top --once has no compress row:" >&2
+    cat "$WORK/top.out" >&2
+    exit 1
+}
+grep -q "shed_rate" "$WORK/top.out" || {
+    echo "fxrz top --once missing scheduler header:" >&2
+    cat "$WORK/top.out" >&2
+    exit 1
+}
 BYTES_IN=$(wc -c <"$WORK/probe.f32")
 BYTES_BACK=$(wc -c <"$WORK/probe.back.f32")
 [[ "$BYTES_IN" == "$BYTES_BACK" ]] || {

@@ -34,7 +34,7 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [id=]model.json …\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [--audit-log FILE]\n             [--trace-seed N] [--cr-tolerance F] [id=]model.json …\n  fxrz top (--connect HOST:PORT | --socket PATH) [--interval-ms N] [--once]\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
     );
     ExitCode::FAILURE
 }
@@ -115,6 +115,177 @@ fn emit_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
             }
             Ok(())
         }
+    }
+}
+
+/// Connects a serve client from `--socket PATH` or `--connect HOST:PORT`.
+fn connect_client(flags: &HashMap<String, String>) -> Result<fxrz::serve::Client, String> {
+    match flags.get("socket") {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                fxrz::serve::Client::connect_unix(std::path::Path::new(path))
+                    .map_err(|e| e.to_string())
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err("--socket needs a unix platform".into())
+            }
+        }
+        None => {
+            let addr = flags
+                .get("connect")
+                .cloned()
+                .ok_or("missing --connect or --socket")?;
+            fxrz::serve::Client::connect_tcp(&addr).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Field lookup in a parsed JSON object (the vendored `Value` keeps
+/// objects as ordered key/value slices).
+fn jget<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    v.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn jf64(v: &serde_json::Value, key: &str) -> f64 {
+    jget(v, key)
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// `fxrz top`: poll a daemon's `Stats` op and render a live per-op
+/// QPS / latency / shed-rate / accuracy table. `--once` prints a single
+/// snapshot (no screen clearing, no rates) and exits — the
+/// machine-checkable mode the smoke test uses.
+fn run_top(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut client = connect_client(flags)?;
+    let interval_ms: u64 = flags
+        .get("interval-ms")
+        .map_or(Ok(1000), |s| s.parse())
+        .map_err(|_| "bad --interval-ms")?;
+    let once = flags.contains_key("once");
+    // (uptime_ms, per-op counts, admitted, shed) from the previous poll;
+    // rates come from server-side deltas so no local clock is involved.
+    let mut prev: Option<(f64, HashMap<String, f64>, f64, f64)> = None;
+    loop {
+        let json = client.stats().map_err(|e| e.to_string())?;
+        let stats = serde_json::parse_value(&json).map_err(|e| e.to_string())?;
+        let uptime_ms = jf64(&stats, "uptime_ms");
+        let sched = jget(&stats, "scheduler");
+        let (admitted, shed, queue_depth, inflight) = sched.map_or((0.0, 0.0, 0.0, 0.0), |s| {
+            (
+                jf64(s, "admitted"),
+                jf64(s, "shed"),
+                jf64(s, "queue_depth"),
+                jf64(s, "inflight"),
+            )
+        });
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        let mut rows = Vec::new();
+        if let Some(ops) = jget(&stats, "ops").and_then(serde_json::Value::as_array) {
+            for op in ops {
+                let name = jget(op, "op")
+                    .and_then(serde_json::Value::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                let count = jf64(op, "count");
+                let qps = prev.as_ref().map_or(f64::NAN, |(t0, c0, _, _)| {
+                    let dt = (uptime_ms - t0) / 1e3;
+                    if dt > 0.0 {
+                        (count - c0.get(&name).copied().unwrap_or(0.0)) / dt
+                    } else {
+                        f64::NAN
+                    }
+                });
+                rows.push(format!(
+                    "  {:<12} {:>10} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+                    name,
+                    count as u64,
+                    if qps.is_nan() {
+                        "-".to_owned()
+                    } else {
+                        format!("{qps:.1}")
+                    },
+                    jf64(op, "p50_ns") / 1e6,
+                    jf64(op, "p99_ns") / 1e6,
+                    jf64(op, "max_ns") / 1e6,
+                ));
+                counts.insert(name, count);
+            }
+        }
+        let shed_rate = prev.as_ref().map_or_else(
+            || {
+                if admitted + shed > 0.0 {
+                    shed / (admitted + shed)
+                } else {
+                    0.0
+                }
+            },
+            |(_, _, a0, s0)| {
+                let offered = (admitted - a0) + (shed - s0);
+                if offered > 0.0 {
+                    (shed - s0) / offered
+                } else {
+                    0.0
+                }
+            },
+        );
+        if !once {
+            // Clear screen + home, terminal-top style.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "fxrz top — uptime {:.1}s  inflight {}  queue_depth {}  shed_rate {:.1}%  (shed {} / admitted {})",
+            uptime_ms / 1e3,
+            inflight as u64,
+            queue_depth as u64,
+            shed_rate * 100.0,
+            shed as u64,
+            admitted as u64,
+        );
+        println!(
+            "  {:<12} {:>10} {:>8} {:>10} {:>10} {:>10}",
+            "op", "count", "qps", "p50_ms", "p99_ms", "max_ms"
+        );
+        for row in &rows {
+            println!("{row}");
+        }
+        if let Some(acc) = jget(&stats, "accuracy").and_then(serde_json::Value::as_array) {
+            if !acc.is_empty() {
+                println!(
+                    "  {:<16} {:>10} {:>14} {:>14} {:>14}",
+                    "model", "requests", "in_tolerance", "mean_rel_err", "mean_exec_ms"
+                );
+                for m in acc {
+                    let requests = jf64(m, "requests");
+                    let in_tol = jf64(m, "in_tolerance");
+                    println!(
+                        "  {:<16} {:>10} {:>13.1}% {:>14.4} {:>14.3}",
+                        jget(m, "model")
+                            .and_then(serde_json::Value::as_str)
+                            .unwrap_or("?"),
+                        requests as u64,
+                        if requests > 0.0 {
+                            in_tol / requests * 100.0
+                        } else {
+                            100.0
+                        },
+                        jf64(m, "mean_rel_err"),
+                        jf64(m, "mean_exec_ns") / 1e6,
+                    );
+                }
+            }
+        }
+        if once {
+            return Ok(());
+        }
+        prev = Some((uptime_ms, counts, admitted, shed));
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
     }
 }
 
@@ -382,7 +553,19 @@ fn run() -> Result<(), String> {
                 if let Some(m) = flags.get("max-frame") {
                     config.max_frame = m.parse().map_err(|_| "bad --max-frame")?;
                 }
+                if let Some(s) = flags.get("trace-seed") {
+                    config.trace_seed = s.parse().map_err(|_| "bad --trace-seed")?;
+                }
+                if let Some(t) = flags.get("cr-tolerance") {
+                    config.cr_tolerance = t.parse().map_err(|_| "bad --cr-tolerance")?;
+                }
                 let server = fxrz::serve::Server::new(config);
+                if let Some(path) = flags.get("audit-log") {
+                    server
+                        .set_audit_log(std::path::Path::new(path))
+                        .map_err(|e| e.to_string())?;
+                    println!("audit log: {path}");
+                }
                 // Positional args preload the registry: `id=model.json`, or
                 // a bare path whose file stem becomes the id.
                 for spec in &pos {
@@ -449,25 +632,25 @@ fn run() -> Result<(), String> {
                 if !rendered.ends_with('\n') {
                     eprintln!();
                 }
+                // Flight-recorder tail: the last spans/events before the
+                // drain, each tagged with its request trace id.
+                let recorder = fxrz::telemetry::flight_recorder();
+                let records = recorder.dump();
+                if !records.is_empty() {
+                    let tail = records.len().saturating_sub(64);
+                    eprintln!(
+                        "flight recorder ({} recorded, {} overwritten, showing last {}):",
+                        recorder.recorded(),
+                        recorder.overwritten(),
+                        records.len() - tail
+                    );
+                    eprint!("{}", fxrz::telemetry::render_records(&records[tail..]));
+                }
                 Ok(())
             }
+            "top" => run_top(&flags),
             "client" => {
-                let mut client = match flags.get("socket") {
-                    Some(path) => {
-                        #[cfg(unix)]
-                        {
-                            fxrz::serve::Client::connect_unix(std::path::Path::new(path))
-                                .map_err(|e| e.to_string())?
-                        }
-                        #[cfg(not(unix))]
-                        {
-                            let _ = path;
-                            return Err("--socket needs a unix platform".into());
-                        }
-                    }
-                    None => fxrz::serve::Client::connect_tcp(&flag("connect")?)
-                        .map_err(|e| e.to_string())?,
-                };
+                let mut client = connect_client(&flags)?;
                 if let Some(d) = flags.get("deadline-ms") {
                     client.deadline_ms = d.parse().map_err(|_| "bad --deadline-ms")?;
                 }

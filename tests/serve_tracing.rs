@@ -1,0 +1,222 @@
+//! Integration: request-scoped tracing and the accuracy audit plane.
+//!
+//! Every compress reply carries a `trace_id`; every audit record in the
+//! JSONL log must map 1:1 onto a client request by that id, its achieved
+//! compression ratio must match a recomputation from raw byte counts,
+//! and the live `Stats` plane must expose scheduler counters, per-op
+//! latency percentiles and per-model accuracy summaries.
+
+use fxrz::prelude::*;
+use fxrz::serve::AuditRecord;
+use fxrz_core::sampling::StridedSampler;
+use fxrz_core::train::{TrainedModel, TrainerConfig};
+use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex};
+
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 2;
+
+fn tiny_model() -> TrainedModel {
+    let fields: Vec<Field> = (0..3)
+        .map(|i| {
+            gaussian_random_field(
+                Dims::d3(16, 16, 16),
+                GrfConfig::default().with_seed(1300 + i),
+            )
+        })
+        .collect();
+    let trainer = Trainer {
+        config: TrainerConfig {
+            model: fxrz_ml::ModelKind::Svr,
+            stationary_points: 8,
+            augment_per_field: 16,
+            sampler: StridedSampler::new(2),
+            ..TrainerConfig::default()
+        },
+    };
+    trainer.train(&Sz, &fields).expect("train")
+}
+
+fn extract_trace_id(info: &str) -> u64 {
+    let value = serde_json::parse_value(info).expect("info json");
+    value
+        .as_object()
+        .and_then(|o| o.iter().find(|(k, _)| k == "trace_id"))
+        .and_then(|(_, v)| v.as_u64())
+        .expect("trace_id in compress info")
+}
+
+#[test]
+fn audit_records_map_one_to_one_onto_requests() {
+    let audit_path = std::env::temp_dir().join(format!("fxrz_audit_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&audit_path);
+
+    let model = tiny_model();
+    let server = Server::new(ServerConfig::default());
+    server.registry().insert("m", 1, model).expect("insert");
+    server.set_audit_log(&audit_path).expect("audit log");
+    let handle = server.serve_tcp("127.0.0.1:0").expect("bind tcp");
+    let addr = handle.local_addr().expect("addr").to_string();
+
+    let ratio = 12.0;
+    // trace_id -> (uncompressed bytes, compressed bytes) observed by the
+    // client that made the request.
+    let seen: Arc<Mutex<HashMap<u64, (u64, u64)>>> = Arc::new(Mutex::new(HashMap::new()));
+    let start = Arc::new(Barrier::new(CLIENTS));
+    let mut threads = Vec::new();
+    for t in 0..CLIENTS as u64 {
+        let addr = addr.clone();
+        let seen = Arc::clone(&seen);
+        let start = Arc::clone(&start);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).expect("connect");
+            start.wait();
+            for r in 0..ROUNDS as u64 {
+                let field = gaussian_random_field(
+                    Dims::d3(16, 16, 16),
+                    GrfConfig::default().with_seed(100 * t + r),
+                );
+                let (info, stream) = client.compress("m", ratio, &field).expect("compress");
+                let trace_id = extract_trace_id(&info);
+                let prev = seen
+                    .lock()
+                    .unwrap()
+                    .insert(trace_id, (field.nbytes() as u64, stream.len() as u64));
+                assert!(prev.is_none(), "duplicate trace id {trace_id:#x}");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    // The stats plane must reflect the load before shutdown.
+    let mut client = Client::connect_tcp(&addr).expect("connect stats");
+    let stats = serde_json::parse_value(&client.stats().expect("stats")).expect("stats json");
+    let get = |v: &serde_json::Value, k: &str| -> serde_json::Value {
+        v.as_object()
+            .and_then(|o| o.iter().find(|(n, _)| n == k))
+            .map(|(_, v)| v.clone())
+            .unwrap_or(serde_json::Value::Null)
+    };
+    let sched = get(&stats, "scheduler");
+    assert!(
+        sched.as_object().is_some(),
+        "stats missing scheduler block: {stats:?}"
+    );
+    let admitted = get(&sched, "admitted").as_u64().expect("admitted");
+    assert!(admitted >= (CLIENTS * ROUNDS) as u64, "admitted {admitted}");
+    assert_eq!(get(&sched, "shed").as_u64(), Some(0));
+    assert!(get(&sched, "queue_depth").as_u64().is_some());
+    assert!(get(&sched, "inflight").as_u64().is_some());
+    let ops = get(&stats, "ops");
+    let compress_row = ops
+        .as_array()
+        .expect("ops array")
+        .iter()
+        .find(|row| get(row, "op").as_str() == Some("compress"))
+        .expect("compress row in ops");
+    assert_eq!(
+        get(compress_row, "count").as_u64(),
+        Some((CLIENTS * ROUNDS) as u64)
+    );
+    assert!(
+        get(compress_row, "p99_ns").as_u64().unwrap_or(0) > 0,
+        "compress p99 missing: {compress_row:?}"
+    );
+    let accuracy = get(&stats, "accuracy");
+    let m1 = accuracy
+        .as_array()
+        .expect("accuracy array")
+        .iter()
+        .find(|row| get(row, "model").as_str() == Some("m@1"))
+        .cloned()
+        .expect("accuracy row for m@1");
+    assert_eq!(
+        get(&m1, "requests").as_u64(),
+        Some((CLIENTS * ROUNDS) as u64)
+    );
+    drop(client);
+
+    let report = handle.shutdown();
+    assert!(report.drained, "server failed to drain: {report:?}");
+
+    // Audit log ↔ request mapping.
+    let text = std::fs::read_to_string(&audit_path).expect("read audit log");
+    let records: Vec<AuditRecord> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("audit record parses"))
+        .collect();
+    let seen = seen.lock().unwrap();
+    assert_eq!(
+        records.len(),
+        seen.len(),
+        "one audit record per compress request"
+    );
+    let mut audited = HashMap::new();
+    for rec in &records {
+        assert!(
+            audited.insert(rec.trace_id, ()).is_none(),
+            "trace id {:#x} audited twice",
+            rec.trace_id
+        );
+        let (nbytes, stream_len) = seen
+            .get(&rec.trace_id)
+            .unwrap_or_else(|| panic!("audit trace {:#x} matches no request", rec.trace_id));
+        // Achieved CR must agree with a recomputation from byte counts.
+        assert_eq!(rec.uncompressed_bytes, *nbytes);
+        assert_eq!(rec.compressed_bytes, *stream_len);
+        let recomputed = *nbytes as f64 / *stream_len as f64;
+        assert!(
+            (rec.achieved_cr - recomputed).abs() / recomputed < 1e-9,
+            "achieved_cr {} vs recomputed {recomputed}",
+            rec.achieved_cr
+        );
+        // Schema sanity on the rest of the record.
+        assert_eq!(rec.op, "compress");
+        assert_eq!(rec.model, "m@1");
+        assert_eq!(rec.target_cr, ratio);
+        assert!(rec.rel_err >= 0.0);
+        assert!(rec.exec_ns > 0);
+        assert!(rec.features.value_range.is_finite());
+        assert_eq!(
+            rec.in_tolerance,
+            rec.rel_err <= 0.10,
+            "in_tolerance disagrees with default 10% tolerance: {rec:?}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&audit_path);
+}
+
+#[test]
+fn trace_ids_are_deterministic_for_a_fixed_seed() {
+    let run = |seed: u64| -> Vec<u64> {
+        let model = tiny_model();
+        let server = Server::new(ServerConfig {
+            trace_seed: seed,
+            ..ServerConfig::default()
+        });
+        server.registry().insert("m", 1, model).expect("insert");
+        let handle = server.serve_tcp("127.0.0.1:0").expect("bind tcp");
+        let addr = handle.local_addr().expect("addr").to_string();
+        let mut client = Client::connect_tcp(&addr).expect("connect");
+        let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(55));
+        let ids: Vec<u64> = (0..3)
+            .map(|_| {
+                let (info, _) = client.compress("m", 12.0, &field).expect("compress");
+                extract_trace_id(&info)
+            })
+            .collect();
+        drop(client);
+        handle.shutdown();
+        ids
+    };
+    let a = run(42);
+    let b = run(42);
+    let c = run(43);
+    assert_eq!(a, b, "same seed must reproduce the same trace ids");
+    assert_ne!(a, c, "different seeds must produce different trace ids");
+    assert!(a.iter().all(|&id| id != 0), "trace id 0 is reserved");
+}

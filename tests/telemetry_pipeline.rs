@@ -124,8 +124,11 @@ fn telemetry_overhead_is_under_two_percent_without_sink() {
     }
     let per_compress = t0.elapsed() / reps;
 
-    // Cost of the three registry primitives a pipeline stage uses.
+    // Cost of the primitives a pipeline stage uses: the three registry
+    // calls plus the flight-recorder write every `span!` guard performs
+    // on drop, so the tracing path is priced in, not just the metrics.
     let registry = fxrz::telemetry::global();
+    let recorder = fxrz::telemetry::flight_recorder();
     let probes = 10_000u32;
     let t1 = Instant::now();
     for i in 0..probes {
@@ -134,6 +137,13 @@ fn telemetry_overhead_is_under_two_percent_without_sink() {
         // fxrz-lint: allow(telemetry_names): synthetic probe series for overhead measurement
         registry.observe("overhead.probe.hist", u64::from(i));
         registry.record_span("overhead.probe/span", Duration::from_nanos(50));
+        recorder.record(
+            fxrz::telemetry::RecordKind::Span,
+            None,
+            u64::from(i),
+            50,
+            "overhead.probe/span",
+        );
     }
     let per_triplet = t1.elapsed() / probes;
 
