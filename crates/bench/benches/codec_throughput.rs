@@ -17,7 +17,7 @@
 //! second while still exercising every code path.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use fxrz_codec::{huffman, lz77};
+use fxrz_codec::{fse, huffman, lz77};
 use fxrz_datagen::nyx::{self, NyxConfig};
 use fxrz_datagen::Dims;
 use std::time::Instant;
@@ -480,6 +480,11 @@ fn bench_codec(c: &mut Criterion) {
         baseline::lz77_decompress(&baseline::lz77_compress(&huff)).expect("baseline roundtrip"),
         huff
     );
+    // The tANS/FSE backend: its "baseline" is the Huffman fast path it
+    // competes with under per-block bit-cost selection, so the fse rows
+    // report how much headroom the selector can win, not a strawman.
+    let fse_buf = fse::encode(&codes).expect("fse encode");
+    assert_eq!(fse::decode(&fse_buf).expect("fse decode"), codes);
 
     // Criterion's own report for the interactive run.
     let mut group = c.benchmark_group("huffman");
@@ -493,6 +498,16 @@ fn bench_codec(c: &mut Criterion) {
     });
     group.bench_function("decode/fast", |b| {
         b.iter(|| huffman::decode(&huff).expect("decode"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fse");
+    group.throughput(Throughput::Bytes(sym_bytes as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| fse::encode(&codes).expect("fse encode"))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| fse::decode(&fse_buf).expect("fse decode"))
     });
     group.finish();
 
@@ -552,6 +567,26 @@ fn bench_codec(c: &mut Criterion) {
             black_box(lz77::decompress(&lz).expect("decompress"));
         },
     );
+    let fse_enc = measure(
+        sym_bytes,
+        samples,
+        || {
+            black_box(huffman::encode(&codes));
+        },
+        || {
+            black_box(fse::encode(&codes).expect("fse encode"));
+        },
+    );
+    let fse_dec = measure(
+        sym_bytes,
+        samples,
+        || {
+            black_box(huffman::decode(&huff).expect("decode"));
+        },
+        || {
+            black_box(fse::decode(&fse_buf).expect("fse decode"));
+        },
+    );
 
     let json = format!(
         r#"{{
@@ -562,10 +597,13 @@ fn bench_codec(c: &mut Criterion) {
     "symbols": {symbols},
     "symbol_bytes": {sym_bytes},
     "huffman_bytes": {huff_bytes},
+    "fse_bytes": {fse_bytes},
     "lz77_bytes": {lz_bytes}
   }},
   "huffman_encode": {{"baseline_mibps": {he_b:.1}, "fast_mibps": {he_f:.1}, "speedup": {he_s:.2}}},
   "huffman_decode": {{"baseline_mibps": {hd_b:.1}, "fast_mibps": {hd_f:.1}, "speedup": {hd_s:.2}}},
+  "fse_encode": {{"baseline_mibps": {fe_b:.1}, "fast_mibps": {fe_f:.1}, "speedup": {fe_s:.2}}},
+  "fse_decode": {{"baseline_mibps": {fd_b:.1}, "fast_mibps": {fd_f:.1}, "speedup": {fd_s:.2}}},
   "lz77_compress": {{"baseline_mibps": {lc_b:.1}, "fast_mibps": {lc_f:.1}, "speedup": {lc_s:.2}}},
   "lz77_decompress": {{"baseline_mibps": {ld_b:.1}, "fast_mibps": {ld_f:.1}, "speedup": {ld_s:.2}}}
 }}
@@ -575,6 +613,7 @@ fn bench_codec(c: &mut Criterion) {
         symbols = codes.len(),
         sym_bytes = sym_bytes,
         huff_bytes = huff.len(),
+        fse_bytes = fse_buf.len(),
         lz_bytes = lz.len(),
         he_b = huff_enc.baseline_mibps,
         he_f = huff_enc.fast_mibps,
@@ -582,6 +621,12 @@ fn bench_codec(c: &mut Criterion) {
         hd_b = huff_dec.baseline_mibps,
         hd_f = huff_dec.fast_mibps,
         hd_s = huff_dec.speedup(),
+        fe_b = fse_enc.baseline_mibps,
+        fe_f = fse_enc.fast_mibps,
+        fe_s = fse_enc.speedup(),
+        fd_b = fse_dec.baseline_mibps,
+        fd_f = fse_dec.fast_mibps,
+        fd_s = fse_dec.speedup(),
         lc_b = lz_comp.baseline_mibps,
         lc_f = lz_comp.fast_mibps,
         lc_s = lz_comp.speedup(),

@@ -271,6 +271,12 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Bytes [`write_varint`] emits for `v` — used by the entropy-backend
+/// cost models to price headers without serializing them.
+pub fn varint_len(v: u64) -> u64 {
+    u64::from((64 - v.leading_zeros()).max(1)).div_ceil(7)
+}
+
 /// Writes `v` as a LEB128 varint.
 pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {

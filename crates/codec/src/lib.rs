@@ -4,6 +4,9 @@
 //! `fxrz-compressors`:
 //!
 //! * [`bitstream`] — LSB-first bit I/O plus LEB128 varints and zigzag.
+//! * [`fse`] — tabled asymmetric-numeral-system coder (tANS/FSE) with
+//!   interleaved dual states (the fast entropy backend the SZ pipeline
+//!   selects per block against [`huffman`] by estimated bit cost).
 //! * [`huffman`] — canonical, length-limited Huffman over `u32` alphabets
 //!   (the entropy stage of the SZ-style pipeline).
 //! * [`lz77`] — hash-chain LZ77 (the "Zstd stage" of SZ; collapses the
@@ -18,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod bitstream;
+pub mod fse;
 pub mod huffman;
 pub mod lz77;
 pub mod names;

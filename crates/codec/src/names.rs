@@ -31,6 +31,23 @@ pub const HUFFMAN_DECODE_SYMBOLS_OUT: &str = "codec.huffman.decode.symbols_out";
 /// Huffman decode failures (corrupt streams).
 pub const HUFFMAN_DECODE_ERRORS: &str = "codec.huffman.decode.errors";
 
+/// FSE state-table constructions (encode and decode sides).
+pub const FSE_TABLE_BUILDS: &str = "codec.fse.table_builds";
+/// FSE encode invocations.
+pub const FSE_ENCODE_CALLS: &str = "codec.fse.encode.calls";
+/// Symbols fed to the FSE encoder.
+pub const FSE_ENCODE_SYMBOLS_IN: &str = "codec.fse.encode.symbols_in";
+/// Bytes produced by the FSE encoder.
+pub const FSE_ENCODE_BYTES_OUT: &str = "codec.fse.encode.bytes_out";
+/// FSE decode invocations.
+pub const FSE_DECODE_CALLS: &str = "codec.fse.decode.calls";
+/// Bytes consumed by the FSE decoder.
+pub const FSE_DECODE_BYTES_IN: &str = "codec.fse.decode.bytes_in";
+/// Symbols recovered by the FSE decoder.
+pub const FSE_DECODE_SYMBOLS_OUT: &str = "codec.fse.decode.symbols_out";
+/// FSE decode failures (corrupt streams).
+pub const FSE_DECODE_ERRORS: &str = "codec.fse.decode.errors";
+
 /// Scratch-buffer pool misses (fresh allocation).
 pub const SCRATCH_CREATE: &str = "codec.scratch.create";
 /// Scratch-buffer pool hits (reused allocation).

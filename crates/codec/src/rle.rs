@@ -41,13 +41,21 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
     out
 }
 
-/// Decodes a buffer produced by [`encode`].
+/// Symbol-count ceiling for [`decode`]: RLE legitimately expands a
+/// handful of bytes into an enormous zero run, so without a cap a forged
+/// stream could demand an arbitrary allocation from a few input bytes.
+/// 2^26 symbols (256 MiB decoded) comfortably covers every block this
+/// pipeline produces while bounding the damage of a hostile stream.
+const DEFAULT_DECODE_LIMIT: usize = 1 << 26;
+
+/// Decodes a buffer produced by [`encode`], capping the claimed symbol
+/// count at a conservative default ([`CodecError::Corrupt`] beyond it).
 ///
-/// RLE legitimately expands tiny inputs into enormous zero runs, so the
-/// output size is attacker-controlled for untrusted data — callers that
-/// know the expected symbol count should use [`decode_limited`].
+/// The output size is attacker-controlled for untrusted data — callers
+/// that know the expected symbol count should use [`decode_limited`],
+/// which both rejects forgeries exactly and pre-sizes the output.
 pub fn decode(buf: &[u8]) -> Result<Vec<u32>, CodecError> {
-    decode_limited(buf, usize::MAX)
+    decode_limited(buf, DEFAULT_DECODE_LIMIT)
 }
 
 /// Like [`decode`], but errors with [`CodecError::Corrupt`] when the stream
@@ -71,14 +79,15 @@ fn decode_limited_unmetered(buf: &[u8], max_total: usize) -> Result<Vec<u32>, Co
     if total > max_total {
         return Err(CodecError::Corrupt("symbol count exceeds caller limit"));
     }
-    // A caller-supplied bound vouches for `total`, so pre-size exactly and
-    // skip all regrowth; otherwise cap the speculative allocation (the Vec
+    // A tight caller-supplied bound vouches for `total`, so pre-size
+    // exactly and skip all regrowth; the permissive default cap does not
+    // vouch, so there the speculative allocation is bounded too (the Vec
     // still grows as needed; truncated streams error out before reaching
     // absurd sizes).
-    let cap = if max_total == usize::MAX {
-        total.min(1 << 20)
-    } else {
+    let cap = if max_total < DEFAULT_DECODE_LIMIT {
         total
+    } else {
+        total.min(1 << 20)
     };
     let mut out = Vec::with_capacity(cap);
     while out.len() < total {
@@ -167,9 +176,29 @@ mod tests {
         let mut buf = Vec::new();
         write_varint(&mut buf, u64::MAX); // total symbols
         write_varint(&mut buf, u64::MAX); // one giant zero run
-                                          // unlimited decode is the caller's risk, but the limited form
-                                          // must reject before allocating
         assert!(decode_limited(&buf, 1 << 20).is_err());
+        // The public decode() must also reject it: its default cap, not
+        // the forged total, bounds the allocation.
+        assert!(matches!(decode(&buf), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn forged_huge_zero_run_is_rejected_by_default() {
+        use crate::bitstream::write_varint;
+        // A few bytes claiming a run just past the default cap: without
+        // the cap this would be a ~256 MiB allocation demanded by a
+        // 12-byte stream.
+        let mut buf = Vec::new();
+        let total = (1u64 << 26) + 1;
+        write_varint(&mut buf, total);
+        write_varint(&mut buf, total); // entire output as one zero run
+        assert!(matches!(decode(&buf), Err(CodecError::Corrupt(_))));
+        // At exactly the cap the claim is allowed but the stream must
+        // still be internally consistent; a truncated run errors cleanly.
+        let mut ok = Vec::new();
+        write_varint(&mut ok, 1 << 26);
+        write_varint(&mut ok, 1 << 20); // run shorter than the total...
+        assert!(decode(&ok).is_err()); // ...then the stream just ends
     }
 
     #[test]

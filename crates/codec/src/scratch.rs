@@ -45,6 +45,23 @@ pub struct CodecScratch {
     pub(crate) huff_dict: Vec<u32>,
     /// Huffman: per-slot `(reversed code, length)` encode table.
     pub(crate) huff_codes: Vec<(u64, u32)>,
+    /// FSE: dense symbol→slot map (doubles as the count array during the
+    /// histogram pass).
+    pub(crate) fse_slots: Vec<u32>,
+    /// FSE: ascending symbol dictionary.
+    pub(crate) fse_dict: Vec<u32>,
+    /// FSE: per-slot raw frequency counts.
+    pub(crate) fse_freqs: Vec<u64>,
+    /// FSE: sorted unique symbols for the sparse histogram path.
+    pub(crate) fse_sorted: Vec<u32>,
+    /// FSE: normalized frequencies summing to the table size.
+    pub(crate) fse_norm: Vec<u32>,
+    /// FSE: slot occupying each state-table position.
+    pub(crate) fse_spread: Vec<u16>,
+    /// FSE: cumulative normalized frequencies (per-slot table offsets).
+    pub(crate) fse_cumul: Vec<u32>,
+    /// FSE: next-state table indexed by cumulative slot offset.
+    pub(crate) fse_state_table: Vec<u32>,
     /// Number of codec calls served by this scratch.
     uses: u64,
 }

@@ -5,7 +5,8 @@
 //! namesake (they are *not* bit-compatible with the C libraries):
 //!
 //! * [`sz`] — prediction-based: Lorenzo predictor, linear-scaling
-//!   quantization, Huffman coding, LZ77 dictionary stage.
+//!   quantization, per-block Huffman/FSE entropy coding (see
+//!   [`entropy`]), LZ77 dictionary stage.
 //! * [`zfp`] — transform-based: 4^d block lifting transform, negabinary
 //!   bit-plane coding; fixed-accuracy **and** fixed-rate modes.
 //! * [`fpzip`] — predictive coding of the monotone integer mapping of
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod entropy;
 pub mod fpzip;
 pub mod header;
 pub mod instrument;
@@ -210,6 +212,10 @@ pub fn by_name(name: &str) -> Option<Box<dyn Compressor>> {
         "szi" => Some(Box::new(szinterp::SzInterp)),
         // SZ 2.x hybrid predictor (Lorenzo + per-block regression)
         "sz2" => Some(Box::new(sz2::Sz2)),
+        // SZ pipeline with the entropy stage pinned to tANS/FSE — the
+        // extra codec row for the feature→error-bound regression. Shares
+        // the SZ stream family, so `detect` resolves its archives to "sz".
+        "sz-fse" => Some(Box::new(sz::SzFse)),
         _ => None,
     }
 }

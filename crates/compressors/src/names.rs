@@ -19,3 +19,8 @@ pub const PER_CODEC_NS: &str = "compressor.{name}.{direction}.ns";
 pub const PER_CODEC_THROUGHPUT_BPS: &str = "compressor.{name}.{direction}.throughput_bps";
 /// Codec failures.
 pub const PER_CODEC_ERRORS: &str = "compressor.{name}.{direction}.errors";
+
+/// Entropy-selection blocks the bit-cost model gave to Huffman.
+pub const ENTROPY_BLOCKS_HUFFMAN: &str = "compressor.entropy.blocks.huffman";
+/// Entropy-selection blocks the bit-cost model gave to FSE.
+pub const ENTROPY_BLOCKS_FSE: &str = "compressor.entropy.blocks.fse";

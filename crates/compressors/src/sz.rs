@@ -9,16 +9,22 @@
 //!    to an integer code with bin width `2·eb`; codes outside the
 //!    `2^16`-bin capacity (or values whose `f32` reconstruction would
 //!    violate the bound) are flagged *unpredictable* and stored verbatim.
-//! 3. **Huffman coding** of the code stream, then an **LZ77 dictionary
-//!    stage** (the role Zstd plays in real SZ) over the whole payload.
+//! 3. **Entropy coding** of the code stream — per block, Huffman or
+//!    tANS/FSE by estimated bit cost (see [`crate::entropy`]) — then an
+//!    **LZ77 dictionary stage** (the role Zstd plays in real SZ) over
+//!    the whole payload.
 //!
 //! The decompressor replays prediction from reconstructed data, so the
 //! absolute error bound holds exactly (see the error-bound tests).
+//!
+//! [`SzFse`] shares the whole pipeline but pins the entropy stage to
+//! FSE — the extra codec row the feature→error-bound regression trains
+//! on (the paper's extensibility claim).
 
+use crate::entropy::{self, EntropyMode};
 use crate::header::{self, magic};
 use crate::{CompressError, Compressor, ConfigSpace, ErrorConfig};
-use fxrz_codec::bitstream::{read_varint, write_varint};
-use fxrz_codec::{huffman, lz77};
+use fxrz_codec::lz77;
 use fxrz_datagen::{Dims, Field};
 
 /// Quantization capacity: codes span `(-HALF, HALF)` around zero.
@@ -63,125 +69,132 @@ fn lorenzo_predict(recon: &[f32], dims: Dims, idx: usize, coords: &[usize]) -> f
     pred
 }
 
+/// The shared SZ pipeline body: quantize, entropy-code under `mode`,
+/// LZ77. `name` feeds the per-codec telemetry series and error messages.
+pub(crate) fn compress_impl(
+    name: &'static str,
+    mode: EntropyMode,
+    field: &Field,
+    cfg: &ErrorConfig,
+) -> Result<Vec<u8>, CompressError> {
+    crate::instrument::compress(name, field.nbytes(), || {
+        let eb = match cfg {
+            ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
+            ErrorConfig::Abs(eb) => {
+                return Err(CompressError::BadConfig(format!(
+                    "{name} needs a positive finite error bound, got {eb}"
+                )))
+            }
+            other => {
+                return Err(CompressError::BadConfig(format!(
+                    "{name} accepts ErrorConfig::Abs, got {other}"
+                )))
+            }
+        };
+
+        let dims = field.dims();
+        let data = field.data();
+        let n = data.len();
+        let bin = 2.0 * eb;
+
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        let mut unpred: Vec<u8> = Vec::new();
+        let mut recon: Vec<f32> = vec![0.0; n];
+
+        for (idx, c) in dims.iter_coords().enumerate() {
+            let val = data[idx];
+            let coords = &c[..dims.ndim()];
+            let pred = lorenzo_predict(&recon, dims, idx, coords);
+            let diff = val as f64 - pred;
+            let q = (diff / bin).round();
+            let mut stored = false;
+            if q.abs() < (HALF - 1) as f64 && val.is_finite() {
+                let q = q as i64;
+                let rec = (pred + q as f64 * bin) as f32;
+                if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
+                    codes.push((q + HALF) as u32);
+                    recon[idx] = rec;
+                    stored = true;
+                }
+            }
+            if !stored {
+                codes.push(UNPREDICTABLE);
+                unpred.extend_from_slice(&val.to_le_bytes());
+                recon[idx] = val;
+            }
+        }
+
+        // payload = eb (8 bytes) | entropy section | unpredictables
+        // One scratch borrow covers both codec stages, so rate-curve
+        // probe loops reuse the same tables call after call.
+        fxrz_codec::with_scratch(|scratch| {
+            let mut payload = Vec::with_capacity(codes.len() / 2 + unpred.len() + 16);
+            payload.extend_from_slice(&eb.to_le_bytes());
+            entropy::encode_codes(scratch, &codes, mode, &mut payload);
+            payload.extend_from_slice(&unpred);
+
+            let mut out = Vec::new();
+            header::write(&mut out, magic::SZ, field.name(), dims);
+            out.extend_from_slice(&lz77::compress_with(scratch, &payload));
+            Ok(out)
+        })
+    })
+}
+
+/// The shared SZ decompressor: both wire formats (legacy single-Huffman
+/// and the tagged per-block container) are recognized by the entropy
+/// section itself, so every [`Sz`]/[`SzFse`] stream — and every pre-
+/// container archive — decodes here.
+pub(crate) fn decompress_impl(name: &'static str, bytes: &[u8]) -> Result<Field, CompressError> {
+    crate::instrument::decompress(name, bytes.len(), || {
+        let (field_name, dims, off) = header::read(bytes, magic::SZ, name)?;
+        let payload = lz77::decompress(&bytes[off..])?;
+
+        if payload.len() < 8 {
+            return Err(CompressError::Header("payload too short for error bound"));
+        }
+        let eb = f64::from_le_bytes(payload[..8].try_into().expect("slice of checked length"));
+        if !(eb > 0.0 && eb.is_finite()) {
+            return Err(CompressError::Header("invalid stored error bound"));
+        }
+        let bin = 2.0 * eb;
+
+        let mut pos = 8usize;
+        let codes = entropy::decode_codes(&payload, &mut pos, dims.len())?;
+        let mut unpred = &payload[pos..];
+
+        let mut recon: Vec<f32> = vec![0.0; dims.len()];
+        for (idx, c) in dims.iter_coords().enumerate() {
+            let code = codes[idx];
+            if code == UNPREDICTABLE {
+                if unpred.len() < 4 {
+                    return Err(CompressError::Header("missing unpredictable value"));
+                }
+                let (head, tail) = unpred.split_at(4);
+                recon[idx] = f32::from_le_bytes(head.try_into().expect("slice of checked length"));
+                unpred = tail;
+            } else {
+                let q = code as i64 - HALF;
+                let coords = &c[..dims.ndim()];
+                let pred = lorenzo_predict(&recon, dims, idx, coords);
+                recon[idx] = (pred + q as f64 * bin) as f32;
+            }
+        }
+        Ok(Field::new(field_name, dims, recon))
+    })
+}
+
 impl Compressor for Sz {
     fn name(&self) -> &'static str {
         "sz"
     }
 
     fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
-        crate::instrument::compress(self.name(), field.nbytes(), || {
-            let eb = match cfg {
-                ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
-                ErrorConfig::Abs(eb) => {
-                    return Err(CompressError::BadConfig(format!(
-                        "sz needs a positive finite error bound, got {eb}"
-                    )))
-                }
-                other => {
-                    return Err(CompressError::BadConfig(format!(
-                        "sz accepts ErrorConfig::Abs, got {other}"
-                    )))
-                }
-            };
-
-            let dims = field.dims();
-            let data = field.data();
-            let n = data.len();
-            let bin = 2.0 * eb;
-
-            let mut codes: Vec<u32> = Vec::with_capacity(n);
-            let mut unpred: Vec<u8> = Vec::new();
-            let mut recon: Vec<f32> = vec![0.0; n];
-
-            for (idx, c) in dims.iter_coords().enumerate() {
-                let val = data[idx];
-                let coords = &c[..dims.ndim()];
-                let pred = lorenzo_predict(&recon, dims, idx, coords);
-                let diff = val as f64 - pred;
-                let q = (diff / bin).round();
-                let mut stored = false;
-                if q.abs() < (HALF - 1) as f64 && val.is_finite() {
-                    let q = q as i64;
-                    let rec = (pred + q as f64 * bin) as f32;
-                    if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
-                        codes.push((q + HALF) as u32);
-                        recon[idx] = rec;
-                        stored = true;
-                    }
-                }
-                if !stored {
-                    codes.push(UNPREDICTABLE);
-                    unpred.extend_from_slice(&val.to_le_bytes());
-                    recon[idx] = val;
-                }
-            }
-
-            // payload = eb (8 bytes) | varint(huff len) | huffman | unpredictables
-            // One scratch borrow covers both codec stages, so rate-curve
-            // probe loops reuse the same tables call after call.
-            fxrz_codec::with_scratch(|scratch| {
-                let huff = huffman::encode_with(scratch, &codes);
-                let mut payload = Vec::with_capacity(huff.len() + unpred.len() + 16);
-                payload.extend_from_slice(&eb.to_le_bytes());
-                write_varint(&mut payload, huff.len() as u64);
-                payload.extend_from_slice(&huff);
-                payload.extend_from_slice(&unpred);
-
-                let mut out = Vec::new();
-                header::write(&mut out, magic::SZ, field.name(), dims);
-                out.extend_from_slice(&lz77::compress_with(scratch, &payload));
-                Ok(out)
-            })
-        })
+        compress_impl(self.name(), EntropyMode::Auto, field, cfg)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
-        crate::instrument::decompress(self.name(), bytes.len(), || {
-            let (name, dims, off) = header::read(bytes, magic::SZ, "sz")?;
-            let payload = lz77::decompress(&bytes[off..])?;
-
-            if payload.len() < 8 {
-                return Err(CompressError::Header("payload too short for error bound"));
-            }
-            let eb = f64::from_le_bytes(payload[..8].try_into().expect("slice of checked length"));
-            if !(eb > 0.0 && eb.is_finite()) {
-                return Err(CompressError::Header("invalid stored error bound"));
-            }
-            let bin = 2.0 * eb;
-
-            let mut pos = 8usize;
-            let huff_len = read_varint(&payload, &mut pos)
-                .ok_or(CompressError::Header("missing huffman length"))?
-                as usize;
-            if pos + huff_len > payload.len() {
-                return Err(CompressError::Header("huffman block overruns payload"));
-            }
-            let codes = huffman::decode(&payload[pos..pos + huff_len])?;
-            if codes.len() != dims.len() {
-                return Err(CompressError::Header("code count mismatch"));
-            }
-            let mut unpred = &payload[pos + huff_len..];
-
-            let mut recon: Vec<f32> = vec![0.0; dims.len()];
-            for (idx, c) in dims.iter_coords().enumerate() {
-                let code = codes[idx];
-                if code == UNPREDICTABLE {
-                    if unpred.len() < 4 {
-                        return Err(CompressError::Header("missing unpredictable value"));
-                    }
-                    let (head, tail) = unpred.split_at(4);
-                    recon[idx] =
-                        f32::from_le_bytes(head.try_into().expect("slice of checked length"));
-                    unpred = tail;
-                } else {
-                    let q = code as i64 - HALF;
-                    let coords = &c[..dims.ndim()];
-                    let pred = lorenzo_predict(&recon, dims, idx, coords);
-                    recon[idx] = (pred + q as f64 * bin) as f32;
-                }
-            }
-            Ok(Field::new(name, dims, recon))
-        })
+        decompress_impl(self.name(), bytes)
     }
 
     fn config_space(&self) -> ConfigSpace {
@@ -189,6 +202,34 @@ impl Compressor for Sz {
             min_rel: 1e-7,
             max_rel: 2e-1,
         }
+    }
+}
+
+/// The SZ pipeline with the entropy stage pinned to tANS/FSE.
+///
+/// Emits the same self-describing stream family as [`Sz`] (same magic,
+/// same container), so [`crate::detect`] resolves its archives to `sz`
+/// and either decompressor reads either stream. Registered as its own
+/// [`Compressor`] name so the feature→error-bound regression learns it
+/// as an additional codec row.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SzFse;
+
+impl Compressor for SzFse {
+    fn name(&self) -> &'static str {
+        "sz-fse"
+    }
+
+    fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
+        compress_impl(self.name(), EntropyMode::Fse, field, cfg)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
+        decompress_impl(self.name(), bytes)
+    }
+
+    fn config_space(&self) -> ConfigSpace {
+        Sz.config_space()
     }
 }
 

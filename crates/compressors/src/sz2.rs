@@ -12,13 +12,14 @@
 //! cheaper one wins. Regression blocks ship their coefficients (as `f32`),
 //! Lorenzo blocks predict from the shared reconstruction buffer, so block
 //! order (raster over blocks, raster within a block) keeps every Lorenzo
-//! neighbour causal. Quantization and the Huffman + LZ77 back end match
-//! [`crate::sz`].
+//! neighbour causal. Quantization and the entropy back end (per-block
+//! Huffman/FSE selection + LZ77) match [`crate::sz`].
 
+use crate::entropy::{self, EntropyMode};
 use crate::header::{self, magic};
 use crate::{CompressError, Compressor, ConfigSpace, ErrorConfig};
 use fxrz_codec::bitstream::{read_varint, write_varint};
-use fxrz_codec::{huffman, lz77};
+use fxrz_codec::lz77;
 use fxrz_datagen::{Dims, Field};
 
 /// Quantization capacity: codes span `(-HALF, HALF)` around zero.
@@ -357,17 +358,15 @@ impl Compressor for Sz2 {
             // One scratch borrow covers both codec stages, so rate-curve
             // probe loops reuse the same tables call after call.
             fxrz_codec::with_scratch(|scratch| {
-                let huff = huffman::encode_with(scratch, &codes);
                 let mut payload = Vec::with_capacity(
-                    huff.len() + unpred.len() + coef_bytes.len() + modes.len() + 32,
+                    codes.len() / 2 + unpred.len() + coef_bytes.len() + modes.len() + 32,
                 );
                 payload.extend_from_slice(&eb.to_le_bytes());
                 write_varint(&mut payload, modes.len() as u64);
                 payload.extend_from_slice(&modes);
                 write_varint(&mut payload, coef_bytes.len() as u64);
                 payload.extend_from_slice(&coef_bytes);
-                write_varint(&mut payload, huff.len() as u64);
-                payload.extend_from_slice(&huff);
+                entropy::encode_codes(scratch, &codes, EntropyMode::Auto, &mut payload);
                 payload.extend_from_slice(&unpred);
 
                 let mut out = Vec::new();
@@ -412,17 +411,8 @@ impl Compressor for Sz2 {
             let coef_bytes = &payload[pos..pos + coef_len];
             pos += coef_len;
 
-            let huff_len = read_varint(&payload, &mut pos)
-                .ok_or(CompressError::Header("missing huffman length"))?
-                as usize;
-            if pos + huff_len > payload.len() {
-                return Err(CompressError::Header("huffman block overruns payload"));
-            }
-            let codes = huffman::decode(&payload[pos..pos + huff_len])?;
-            if codes.len() != dims.len() {
-                return Err(CompressError::Header("code count mismatch"));
-            }
-            let mut unpred = &payload[pos + huff_len..];
+            let codes = entropy::decode_codes(&payload, &mut pos, dims.len())?;
+            let mut unpred = &payload[pos..];
 
             let blocks = BlockIter::new(dims);
             if blocks.origins.len() != n_modes {

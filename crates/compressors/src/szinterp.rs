@@ -14,12 +14,13 @@
 //! `±s, ±3s` using the paper's Eq. 3 weights `(-1/16, 9/16, 9/16, -1/16)`,
 //! falling back to linear/constant interpolation at the grid boundary.
 //! Residuals are quantized with bin `2·eb` (verbatim fallback, as in SZ)
-//! and entropy-coded with Huffman + LZ77.
+//! and entropy-coded with the shared back end (per-block Huffman/FSE
+//! selection + LZ77, see [`crate::entropy`]).
 
+use crate::entropy::{self, EntropyMode};
 use crate::header::{self, magic};
 use crate::{CompressError, Compressor, ConfigSpace, ErrorConfig};
-use fxrz_codec::bitstream::{read_varint, write_varint};
-use fxrz_codec::{huffman, lz77};
+use fxrz_codec::lz77;
 use fxrz_datagen::{Dims, Field};
 
 /// Residual capacity (matches the SZ-style quantizer).
@@ -231,11 +232,9 @@ impl Compressor for SzInterp {
             // One scratch borrow covers both codec stages, so rate-curve
             // probe loops reuse the same tables call after call.
             fxrz_codec::with_scratch(|scratch| {
-                let huff = huffman::encode_with(scratch, &codes);
-                let mut payload = Vec::with_capacity(huff.len() + unpred.len() + 16);
+                let mut payload = Vec::with_capacity(codes.len() / 2 + unpred.len() + 16);
                 payload.extend_from_slice(&eb.to_le_bytes());
-                write_varint(&mut payload, huff.len() as u64);
-                payload.extend_from_slice(&huff);
+                entropy::encode_codes(scratch, &codes, EntropyMode::Auto, &mut payload);
                 payload.extend_from_slice(&unpred);
 
                 let mut out = Vec::new();
@@ -259,17 +258,8 @@ impl Compressor for SzInterp {
             }
             let bin = 2.0 * eb;
             let mut pos = 8usize;
-            let huff_len = read_varint(&payload, &mut pos)
-                .ok_or(CompressError::Header("missing huffman length"))?
-                as usize;
-            if pos + huff_len > payload.len() {
-                return Err(CompressError::Header("huffman block overruns payload"));
-            }
-            let codes = huffman::decode(&payload[pos..pos + huff_len])?;
-            if codes.len() != dims.len() {
-                return Err(CompressError::Header("code count mismatch"));
-            }
-            let mut unpred = &payload[pos + huff_len..];
+            let codes = entropy::decode_codes(&payload, &mut pos, dims.len())?;
+            let mut unpred = &payload[pos..];
 
             let levels = num_levels(dims);
             let mut recon = vec![0.0f32; dims.len()];

@@ -165,7 +165,10 @@ mod tests {
     use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
     use fxrz_datagen::Dims;
 
-    fn train_sz() -> FixedRatioCompressor {
+    /// Trains one codec row — the per-compressor feature→eb regression —
+    /// and binds it. Every registered compressor trains through the same
+    /// path; a new entropy backend is just a new row.
+    fn train_row(compressor: Box<dyn Compressor>) -> FixedRatioCompressor {
         let fields: Vec<Field> = (0..4)
             .map(|i| {
                 gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(70 + i))
@@ -179,8 +182,12 @@ mod tests {
                 ..TrainerConfig::default()
             },
         };
-        let model = trainer.train(&Sz, &fields).expect("train");
-        FixedRatioCompressor::new(model, Box::new(Sz)).expect("bind")
+        let model = trainer.train(compressor.as_ref(), &fields).expect("train");
+        FixedRatioCompressor::new(model, compressor).expect("bind")
+    }
+
+    fn train_sz() -> FixedRatioCompressor {
+        train_row(Box::new(Sz))
     }
 
     #[test]
@@ -234,6 +241,40 @@ mod tests {
         assert!(frc.estimate(&field, 0.5).is_err());
         assert!(frc.estimate(&field, f64::NAN).is_err());
         assert!(frc.estimate(&field, -3.0).is_err());
+    }
+
+    /// The paper's extensibility claim: a new entropy backend is a new
+    /// codec row in the feature→error-bound regression — trained, bound
+    /// and served exactly like the original compressors. The FSE-forced
+    /// SZ variant trains its own row, lands near target, and its archives
+    /// stay readable by the baseline `sz` decoder (shared container).
+    #[test]
+    fn fse_backend_trains_as_its_own_codec_row() {
+        use fxrz_compressors::sz::SzFse;
+        let frc = train_row(Box::new(SzFse));
+        assert_eq!(frc.model().compressor, "sz-fse");
+        let field = gaussian_random_field(Dims::d3(16, 16, 16), GrfConfig::default().with_seed(74));
+        let (lo, hi) = frc.model().valid_ratio_range;
+        let tcr = (lo * hi).sqrt().clamp(lo * 1.2, hi * 0.8);
+        let out = frc.compress(&field, tcr).expect("compress");
+        let err = out.estimation_error(tcr);
+        assert!(
+            err < 0.35,
+            "estimation error {err}, tcr {tcr}, mcr {}",
+            out.measured_ratio
+        );
+        let back = frc.decompress(&out.bytes).expect("decompress");
+        assert_eq!(back.dims(), field.dims());
+        // Cross-decoder: the container is self-describing, so the plain
+        // sz row's decoder reads sz-fse archives bit-for-bit.
+        let direct = Sz.decompress(&out.bytes).expect("cross decode");
+        assert_eq!(direct.data(), back.data());
+        // Rows do not interchange at bind time: the model remembers which
+        // backend produced its rate curves.
+        assert!(matches!(
+            FixedRatioCompressor::new(frc.model().clone(), Box::new(Sz)),
+            Err(FxrzError::ModelMismatch { .. })
+        ));
     }
 
     #[test]

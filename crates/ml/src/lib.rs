@@ -128,4 +128,35 @@ mod tests {
         let names: Vec<_> = ModelKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names, vec!["RFR", "AdaBoost", "SVR"]);
     }
+
+    /// FXRZ trains one regression per (application, compressor) pair —
+    /// one "codec row". Rows share the design matrix (features + ACR) and
+    /// differ only in the target column their compressor's rate curves
+    /// produced, so fits must be deterministic and fully independent:
+    /// fitting one row can never perturb another's predictions.
+    #[test]
+    fn codec_rows_fit_independently_and_deterministically() {
+        let mut huff = Dataset::new(3);
+        let mut fse = Dataset::new(3);
+        for i in 0..150 {
+            let x = i as f64 / 15.0;
+            let row = [x, x * x * 0.1, (150 - i) as f64 / 50.0];
+            // Same features, shifted targets: the fse row's rate curve
+            // reaches a given ratio at a looser error bound.
+            huff.push(&row, -x * 0.9 - 2.0);
+            fse.push(&row, -x * 0.9 - 1.6);
+        }
+        let probe = [4.2, 1.764 * 0.1, 1.16];
+        let a = forest::RandomForest::fit(&huff, forest::ForestParams::default());
+        let b = forest::RandomForest::fit(&fse, forest::ForestParams::default());
+        let a2 = forest::RandomForest::fit(&huff, forest::ForestParams::default());
+        // Deterministic: refitting the same row reproduces predictions
+        // bit-for-bit; independent: the rows stay distinct models.
+        assert_eq!(a.predict(&probe).to_bits(), a2.predict(&probe).to_bits());
+        let (pa, pb) = (a.predict(&probe), b.predict(&probe));
+        assert!(
+            pb > pa + 0.1,
+            "fse row should predict a looser bound: {pa} vs {pb}"
+        );
+    }
 }

@@ -723,7 +723,7 @@ mod tests {
 
     #[test]
     fn request_frames_roundtrip() {
-        let reqs = vec![
+        let reqs = [
             Request::Ping,
             Request::Stats,
             Request::Features {

@@ -193,6 +193,7 @@ pub struct MetricsRegistry {
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     hdrs: RwLock<BTreeMap<String, Arc<HdrHistogram>>>,
     spans: RwLock<BTreeMap<String, Arc<SpanStat>>>,
+    generation: AtomicU64,
 }
 
 fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -339,13 +340,24 @@ impl MetricsRegistry {
         }
     }
 
-    /// Drops every metric (test isolation; CLI uses one registry per run).
+    /// Drops every metric (test isolation; CLI uses one registry per run)
+    /// and advances the registry generation so cached handles re-resolve.
     pub fn reset(&self) {
         self.counters.write().clear();
         self.gauges.write().clear();
         self.histograms.write().clear();
         self.hdrs.write().clear();
         self.spans.write().clear();
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Monotonic generation, bumped by every [`Self::reset`]. Hot call
+    /// sites that cache metric handles compare this against the generation
+    /// they resolved under: on mismatch the cached `Arc`s are orphans
+    /// (detached from the registry) and must be re-fetched, otherwise
+    /// post-reset snapshots would silently miss those metrics.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 }
 
@@ -504,6 +516,22 @@ mod tests {
         a.add(2);
         b.add(3);
         assert_eq!(reg.counter("shared").get(), 5);
+    }
+
+    #[test]
+    fn reset_bumps_generation() {
+        let reg = MetricsRegistry::new();
+        let g0 = reg.generation();
+        let stale = reg.counter("cached.elsewhere");
+        reg.reset();
+        assert_eq!(reg.generation(), g0 + 1);
+        // The pre-reset handle is orphaned: it still counts, but a fresh
+        // resolve reaches a different cell — this is exactly why cachers
+        // must re-resolve when the generation moves.
+        stale.incr();
+        assert_eq!(reg.counter("cached.elsewhere").get(), 0);
+        reg.reset();
+        assert_eq!(reg.generation(), g0 + 2);
     }
 
     #[test]

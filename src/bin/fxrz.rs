@@ -34,7 +34,7 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [--audit-log FILE]\n             [--trace-seed N] [--cr-tolerance F] [id=]model.json …\n  fxrz top (--connect HOST:PORT | --socket PATH) [--interval-ms N] [--once]\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi|sz2|sz-fse> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [--audit-log FILE]\n             [--trace-seed N] [--cr-tolerance F] [id=]model.json …\n  fxrz top (--connect HOST:PORT | --socket PATH) [--interval-ms N] [--once]\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
     );
     ExitCode::FAILURE
 }
@@ -196,8 +196,14 @@ fn run_top(flags: &HashMap<String, String>) -> Result<(), String> {
                 let count = jf64(op, "count");
                 let qps = prev.as_ref().map_or(f64::NAN, |(t0, c0, _, _)| {
                     let dt = (uptime_ms - t0) / 1e3;
-                    if dt > 0.0 {
-                        (count - c0.get(&name).copied().unwrap_or(0.0)) / dt
+                    let dc = count - c0.get(&name).copied().unwrap_or(0.0);
+                    // dt <= 0 is the first poll after a daemon restart
+                    // (uptime went backward) or a duplicate sample; dc < 0
+                    // means the counters reset under us. Either way there
+                    // is no meaningful rate this round — render a dash
+                    // rather than a division artifact.
+                    if dt > 0.0 && dc >= 0.0 {
+                        dc / dt
                     } else {
                         f64::NAN
                     }
@@ -206,10 +212,10 @@ fn run_top(flags: &HashMap<String, String>) -> Result<(), String> {
                     "  {:<12} {:>10} {:>8} {:>10.2} {:>10.2} {:>10.2}",
                     name,
                     count as u64,
-                    if qps.is_nan() {
-                        "-".to_owned()
-                    } else {
+                    if qps.is_finite() {
                         format!("{qps:.1}")
+                    } else {
+                        "—".to_owned()
                     },
                     jf64(op, "p50_ns") / 1e6,
                     jf64(op, "p99_ns") / 1e6,
@@ -227,9 +233,15 @@ fn run_top(flags: &HashMap<String, String>) -> Result<(), String> {
                 }
             },
             |(_, _, a0, s0)| {
-                let offered = (admitted - a0) + (shed - s0);
-                if offered > 0.0 {
-                    (shed - s0) / offered
+                let da = admitted - a0;
+                let ds = shed - s0;
+                if da >= 0.0 && ds >= 0.0 && da + ds > 0.0 {
+                    ds / (da + ds)
+                } else if admitted + shed > 0.0 {
+                    // Counters went backward (daemon restart mid-watch):
+                    // the interval rate is meaningless, fall back to the
+                    // new daemon's lifetime ratio.
+                    shed / (admitted + shed)
                 } else {
                     0.0
                 }

@@ -38,6 +38,21 @@ fn load_or_bless(name: &str, encoded: &[u8]) -> Vec<u8> {
     })
 }
 
+/// Like [`load_or_bless`], but never overwrites an existing fixture: used
+/// for pins of *historic* wire formats (streams written by encoders that
+/// no longer exist), which a re-bless with the current encoder would
+/// silently destroy. Regenerate only by checking out the old encoder.
+fn load_or_bless_keep(name: &str, encoded: &[u8]) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var("FXRZ_BLESS").is_ok() && !path.exists() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+        std::fs::write(&path, encoded).expect("write fixture");
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {name} ({e}); run with FXRZ_BLESS=1 to generate")
+    })
+}
+
 /// SplitMix64: deterministic stimulus without external dependencies.
 struct Rng(u64);
 
@@ -179,6 +194,30 @@ fn range_golden() {
     }
 }
 
+/// Splits an SZ-family archive back into its entropy-container block
+/// tags (empty for a legacy single-Huffman stream).
+fn archive_block_tags(archive: &[u8]) -> Vec<u8> {
+    use fxrz::codec::bitstream::read_varint;
+    use fxrz::compressors::header;
+    let (_, _, pos) = header::read(archive, header::magic::SZ, "sz").expect("header");
+    let payload = fxrz::codec::lz77::decompress(&archive[pos..]).expect("lz77");
+    let mut p = 8usize; // skip the stored error bound
+    let lead = read_varint(&payload, &mut p).expect("entropy lead");
+    if lead != 0 {
+        return Vec::new(); // legacy stream, no tags
+    }
+    read_varint(&payload, &mut p).expect("total");
+    let n_blocks = read_varint(&payload, &mut p).expect("blocks");
+    let mut tags = Vec::new();
+    for _ in 0..n_blocks {
+        tags.push(payload[p]);
+        p += 1;
+        let len = read_varint(&payload, &mut p).expect("block len") as usize;
+        p += len;
+    }
+    tags
+}
+
 /// Whole-pipeline golden: an SZ archive written by the pre-fast-path
 /// pipeline must still decompress to the identical field.
 #[test]
@@ -189,12 +228,12 @@ fn sz_archive_golden_decodes() {
     let archive = Sz
         .compress(&field, &ErrorConfig::Abs(eb))
         .expect("compress");
-    let fixture = load_or_bless("sz_nyx12.fxrz", &archive);
+    let fixture = load_or_bless_keep("sz_nyx12.fxrz", &archive);
     let back = Sz.decompress(&fixture).expect("decompress");
     assert_eq!(back.dims(), field.dims());
     assert!(field.max_abs_diff(&back) <= eb);
     // The decoded field is pinned too: reconstruction must be bit-stable.
-    let expected = load_or_bless(
+    let expected = load_or_bless_keep(
         "sz_nyx12_decoded.f32",
         &back
             .data()
@@ -204,4 +243,78 @@ fn sz_archive_golden_decodes() {
     );
     let got: Vec<u8> = back.data().iter().flat_map(|v| v.to_le_bytes()).collect();
     assert_eq!(got, expected, "sz reconstruction drifted");
+    // Pre-container archives carry the legacy single-Huffman section.
+    assert!(archive_block_tags(&fixture).is_empty());
+}
+
+/// Golden for the tagged container with the entropy stage pinned to FSE:
+/// the archive bytes are deterministic, both decompressors read them, and
+/// the reconstruction is bit-stable.
+#[test]
+fn sz_fse_archive_golden() {
+    use fxrz::compressors::sz::SzFse;
+    use fxrz::prelude::*;
+    let field = nyx::baryon_density(Dims::d3(16, 16, 16), NyxConfig::default().with_seed(4242));
+    let eb = field.stats().range * 1e-3;
+    let archive = SzFse
+        .compress(&field, &ErrorConfig::Abs(eb))
+        .expect("compress");
+    let fixture = load_or_bless("szfse_nyx12.fxrz", &archive);
+    assert_eq!(archive, fixture, "sz-fse archive bytes drifted");
+    assert_eq!(
+        archive_block_tags(&fixture),
+        vec![1],
+        "expected one FSE block"
+    );
+    // The stream family is shared: `sz` decodes `sz-fse` archives too.
+    let via_fse = SzFse.decompress(&fixture).expect("sz-fse decompress");
+    let via_sz = Sz.decompress(&fixture).expect("sz decompress");
+    assert!(field.max_abs_diff(&via_fse) <= eb);
+    assert_eq!(via_fse.data(), via_sz.data());
+    let expected = load_or_bless(
+        "szfse_nyx12_decoded.f32",
+        &via_fse
+            .data()
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect::<Vec<u8>>(),
+    );
+    let got: Vec<u8> = via_fse
+        .data()
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect();
+    assert_eq!(got, expected, "sz-fse reconstruction drifted");
+}
+
+/// Golden for a mixed-backend archive: a two-block code stream whose
+/// first block (constant codes) selects FSE and whose second block (two
+/// equiprobable symbols, exactly Huffman-optimal) stays Huffman.
+#[test]
+fn sz_mixed_backend_archive_golden() {
+    use fxrz::prelude::*;
+    const BLOCK: usize = 1 << 18; // entropy::BLOCK_SYMBOLS
+    let n = BLOCK + (BLOCK >> 3);
+    // 1-D: the Lorenzo predictor is the previous value, so a constant run
+    // quantizes to the zero code and a unit-step square wave (eb = 0.5,
+    // bin = 1.0) to the ±1 codes in equal measure.
+    let field = Field::from_fn("mixed/square", Dims::d1(n), |c| {
+        if c[0] < BLOCK {
+            0.0
+        } else {
+            ((c[0] - BLOCK + 1) % 2) as f32
+        }
+    });
+    let archive = Sz
+        .compress(&field, &ErrorConfig::Abs(0.5))
+        .expect("compress");
+    let fixture = load_or_bless("sz_mixed_backend.fxrz", &archive);
+    assert_eq!(archive, fixture, "mixed archive bytes drifted");
+    assert_eq!(
+        archive_block_tags(&fixture),
+        vec![1, 0],
+        "expected an FSE block then a Huffman block"
+    );
+    let back = Sz.decompress(&fixture).expect("decompress");
+    assert!(field.max_abs_diff(&back) <= 0.5);
 }
