@@ -1,0 +1,4 @@
+//! Telemetry name inventory for the archive crate.
+
+/// By-name index lookups (binary search over the sorted name index).
+pub const INDEX_LOOKUPS: &str = "archive.index.lookups";

@@ -18,6 +18,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use fxrz_codec::{fse, huffman, lz77};
+use fxrz_compressors::{slab, sz, Compressor, ErrorConfig};
 use fxrz_datagen::nyx::{self, NyxConfig};
 use fxrz_datagen::Dims;
 use std::time::Instant;
@@ -525,6 +526,85 @@ fn bench_codec(c: &mut Criterion) {
     });
     group.finish();
 
+    // Slab container: the same field as one monolithic v1 stream and as
+    // a slabbed v2 container, decoded at 1/2/4/8 worker threads. Raw
+    // field bytes are the throughput denominator for every row, so the
+    // v2 columns read directly as parallel speedup over the
+    // single-stream baseline.
+    let (arch_field, slab_budget) = if smoke_mode() {
+        (
+            nyx::baryon_density(Dims::d3(8, 16, 16), NyxConfig::default().with_seed(31)),
+            64,
+        )
+    } else {
+        (
+            nyx::baryon_density(Dims::d3(16, 256, 256), NyxConfig::default().with_seed(31)),
+            slab::SLAB_SYMBOLS,
+        )
+    };
+    let arch_eb = ErrorConfig::Abs((arch_field.stats().range as f64 * 1e-4).max(1e-12));
+    let raw_bytes = arch_field.nbytes();
+    let v1 = sz::compress_with_budget(&arch_field, &arch_eb, usize::MAX).expect("v1 compress");
+    let v2 = sz::compress_with_budget(&arch_field, &arch_eb, slab_budget).expect("v2 compress");
+    let v2_slabs = slab::table(&v2, fxrz_compressors::header::magic::SZ, "sz")
+        .expect("v2 table")
+        .expect("v2 must be slabbed")
+        .2
+        .len();
+    assert!(
+        slab::table(&v1, fxrz_compressors::header::magic::SZ, "sz")
+            .expect("v1 table")
+            .is_none(),
+        "v1 baseline must be monolithic"
+    );
+    // Both layouts reconstruct within the error bound on identical input.
+    for decoded in [
+        sz::Sz.decompress(&v1).expect("v1 decode"),
+        sz::Sz.decompress(&v2).expect("v2 decode"),
+    ] {
+        let worst = arch_field
+            .data()
+            .iter()
+            .zip(decoded.data())
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0f64, f64::max);
+        let ErrorConfig::Abs(eb) = arch_eb else {
+            unreachable!()
+        };
+        assert!(worst <= eb * 1.0001, "decode exceeds error bound");
+    }
+
+    let mut group = c.benchmark_group("archive_decode");
+    group.throughput(Throughput::Bytes(raw_bytes as u64));
+    group.bench_function("v1_monolithic", |b| {
+        b.iter(|| sz::Sz.decompress(&v1).expect("v1 decode"))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("v2_slabbed/{threads}t"), |b| {
+            b.iter(|| {
+                fxrz_parallel::with_threads(threads, || sz::Sz.decompress(&v2).expect("v2 decode"))
+            })
+        });
+    }
+    group.finish();
+
+    let arch_mib = raw_bytes as f64 / (1024.0 * 1024.0);
+    let v1_mibps = arch_mib
+        / median_secs(samples, || {
+            black_box(sz::Sz.decompress(&v1).expect("v1 decode"));
+        });
+    let v2_mibps: Vec<f64> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            arch_mib
+                / median_secs(samples, || {
+                    fxrz_parallel::with_threads(threads, || {
+                        black_box(sz::Sz.decompress(&v2).expect("v2 decode"));
+                    });
+                })
+        })
+        .collect();
+
     // Manual medians for the JSON snapshot (criterion's vendored stand-in
     // has no programmatic output).
     let huff_enc = measure(
@@ -605,7 +685,15 @@ fn bench_codec(c: &mut Criterion) {
   "fse_encode": {{"baseline_mibps": {fe_b:.1}, "fast_mibps": {fe_f:.1}, "speedup": {fe_s:.2}}},
   "fse_decode": {{"baseline_mibps": {fd_b:.1}, "fast_mibps": {fd_f:.1}, "speedup": {fd_s:.2}}},
   "lz77_compress": {{"baseline_mibps": {lc_b:.1}, "fast_mibps": {lc_f:.1}, "speedup": {lc_s:.2}}},
-  "lz77_decompress": {{"baseline_mibps": {ld_b:.1}, "fast_mibps": {ld_f:.1}, "speedup": {ld_s:.2}}}
+  "lz77_decompress": {{"baseline_mibps": {ld_b:.1}, "fast_mibps": {ld_f:.1}, "speedup": {ld_s:.2}}},
+  "archive_decode": {{
+    "raw_mib": {am:.2},
+    "slabs": {an},
+    "worker_threads_available": {cores},
+    "v1_monolithic_mibps": {a0:.1},
+    "v2_slabbed_mibps": {{"1t": {a1:.1}, "2t": {a2:.1}, "4t": {a4:.1}, "8t": {a8:.1}}},
+    "speedup_4t_vs_v1": {asp:.2}
+  }}
 }}
 "#,
         mode = if smoke_mode() { "smoke" } else { "full" },
@@ -633,6 +721,15 @@ fn bench_codec(c: &mut Criterion) {
         ld_b = lz_decomp.baseline_mibps,
         ld_f = lz_decomp.fast_mibps,
         ld_s = lz_decomp.speedup(),
+        am = arch_mib,
+        an = v2_slabs,
+        cores = fxrz_parallel::current_threads(),
+        a0 = v1_mibps,
+        a1 = v2_mibps[0],
+        a2 = v2_mibps[1],
+        a4 = v2_mibps[2],
+        a8 = v2_mibps[3],
+        asp = v2_mibps[2] / v1_mibps,
     );
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
     std::fs::write(out_path, &json).expect("write BENCH_codec.json");

@@ -637,15 +637,30 @@ fn decode_limited_unmetered(buf: &[u8], max_symbols: usize) -> Result<Vec<u32>, 
     let mut remaining = count;
     while remaining >= 2 {
         let e0 = dtable[s0];
-        out.push(dict[(e0 >> 32) as usize]);
-        s0 = ((e0 & 0xFFFF)
-            + tr.read((e0 >> 16) as u32 & 0x3F)
-                .ok_or(CodecError::Truncated)?) as usize;
         let e1 = dtable[s1];
+        let nb0 = (e0 >> 16) as u32 & 0x3F;
+        let nb1 = (e1 >> 16) as u32 & 0x3F;
+        let total = (nb0 + nb1) as usize;
+        let byte = tr.bit_pos.wrapping_sub(total) >> 3;
+        if total <= tr.bit_pos && byte + 8 <= tr.buf.len() {
+            // Fast path: both interleaved states refill from a single
+            // 8-byte load — nb0 + nb1 ≤ 32 bits plus a ≤7-bit shift fits
+            // the u64 window. The stream is read backward and s0 consumed
+            // its bits after s1's position, so s0's field sits *above*
+            // s1's in the window. The bounds checks mirror `tr.read`; the
+            // `else` arm only runs near the marker (within 8 bytes of the
+            // payload end) or on a truncated stream.
+            tr.bit_pos -= total;
+            let word = u64::from_le_bytes(tr.buf[byte..byte + 8].try_into().expect("8 bytes"));
+            let chunk = word >> (tr.bit_pos & 7);
+            s0 = ((e0 & 0xFFFF) + ((chunk >> nb1) & ((1u64 << nb0) - 1))) as usize;
+            s1 = ((e1 & 0xFFFF) + (chunk & ((1u64 << nb1) - 1))) as usize;
+        } else {
+            s0 = ((e0 & 0xFFFF) + tr.read(nb0).ok_or(CodecError::Truncated)?) as usize;
+            s1 = ((e1 & 0xFFFF) + tr.read(nb1).ok_or(CodecError::Truncated)?) as usize;
+        }
+        out.push(dict[(e0 >> 32) as usize]);
         out.push(dict[(e1 >> 32) as usize]);
-        s1 = ((e1 & 0xFFFF)
-            + tr.read((e1 >> 16) as u32 & 0x3F)
-                .ok_or(CodecError::Truncated)?) as usize;
         remaining -= 2;
     }
     if remaining == 1 {

@@ -28,6 +28,7 @@ pub mod header;
 pub mod instrument;
 pub mod mgard;
 pub mod names;
+pub mod slab;
 pub mod sz;
 pub mod sz2;
 pub mod szinterp;
@@ -177,6 +178,25 @@ pub trait Compressor: Send + Sync {
 
     /// Reconstructs the field from a buffer produced by [`Self::compress`].
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError>;
+
+    /// Reconstructs only the elements in `range` (row-major indices).
+    ///
+    /// The default decodes the whole field and slices — correct for any
+    /// stream. Compressors whose wire format is seekable (the SZ-family
+    /// slab container, [`slab`]) override this to decode only the slabs
+    /// covering the range.
+    fn decompress_range(
+        &self,
+        bytes: &[u8],
+        range: std::ops::Range<usize>,
+    ) -> Result<Vec<f32>, CompressError> {
+        let field = self.decompress(bytes)?;
+        field
+            .data()
+            .get(range)
+            .map(<[f32]>::to_vec)
+            .ok_or(CompressError::Header("range exceeds field extent"))
+    }
 
     /// The valid configuration space for this compressor.
     fn config_space(&self) -> ConfigSpace;

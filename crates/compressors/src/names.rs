@@ -24,3 +24,11 @@ pub const PER_CODEC_ERRORS: &str = "compressor.{name}.{direction}.errors";
 pub const ENTROPY_BLOCKS_HUFFMAN: &str = "compressor.entropy.blocks.huffman";
 /// Entropy-selection blocks the bit-cost model gave to FSE.
 pub const ENTROPY_BLOCKS_FSE: &str = "compressor.entropy.blocks.fse";
+
+/// Slabs written into v2 containers (see [`crate::slab`]).
+pub const SLAB_ENCODED: &str = "archive.slab.encoded";
+/// Slabs read back: checksum-verified and decoded. A `decompress_range`
+/// touching only its covering slabs advances this by exactly that count.
+pub const SLAB_DECODED: &str = "archive.slab.decoded";
+/// Random-access range decodes (including v1 full-decode fallbacks).
+pub const SLAB_RANGE_CALLS: &str = "archive.slab.range_calls";

@@ -1,0 +1,485 @@
+//! Seekable slab container for SZ-family streams (format v2).
+//!
+//! A monolithic (v1) stream is one LZ77 payload after the common
+//! [`crate::header`]; decode is inherently sequential. The slab
+//! container splits a field along its leading axis into
+//! independently-decodable *slabs*, each a complete self-describing
+//! compressor stream over a contiguous run of leading-axis planes:
+//!
+//! ```text
+//! common header (magic | name | dims)           <- same as v1, detect() unchanged
+//! 0x02                                          <- container tag (v1 LZ77 streams
+//!                                                  never start with 0x02: the
+//!                                                  leading varint of an >=8-byte
+//!                                                  payload is >= 8 or >= 0x80)
+//! varint n_slabs                                <- always >= 2
+//! n_slabs x { varint raw_elems                  <- directory
+//!             varint comp_len
+//!             u32 LE checksum                   <- FNV-1a over the slab bytes
+//!             u8   codec tag }                  <- header magic of the slab stream
+//! slab streams, concatenated                    <- each begins with its own header
+//! ```
+//!
+//! Slab boundaries are a pure function of the dims and the symbol
+//! budget — never of thread count — so encode output and decode output
+//! are bit-identical at any parallelism (the `par_map` contract).
+//! Decode fans slabs over [`fxrz_parallel::par_map`];
+//! [`decompress_range_impl`] decodes only the slabs covering a
+//! requested element range.
+
+use crate::{header, CompressError};
+use fxrz_datagen::{Dims, Field};
+
+/// Container tag byte that follows the common header in a v2 stream.
+pub const SLAB_TAG: u8 = 0x02;
+
+/// Symbols per slab: aligned to the entropy coder's block size so one
+/// slab is one entropy block (plus the plane-alignment remainder).
+pub const SLAB_SYMBOLS: usize = crate::entropy::BLOCK_SYMBOLS;
+
+/// One directory row of a parsed slab container.
+#[derive(Clone, Copy, Debug)]
+pub struct SlabEntry {
+    /// Byte offset of the slab stream, relative to the whole stream.
+    pub offset: usize,
+    /// Compressed length of the slab stream in bytes.
+    pub comp_len: usize,
+    /// Decoded element count (a whole number of leading-axis planes).
+    pub raw_elems: usize,
+    /// FNV-1a checksum of the slab stream bytes.
+    pub checksum: u32,
+    /// Header magic byte of the slab's codec.
+    pub codec: u8,
+}
+
+/// FNV-1a over `bytes`, folded to 32 bits. Dependency-free and
+/// deterministic; this guards slab payloads against bit rot, not
+/// adversaries.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h ^= bytes.len() as u64;
+    h = h.wrapping_mul(0x1_0000_01b3);
+    ((h >> 32) ^ h) as u32
+}
+
+/// Plans the slab split for `dims` under a per-slab symbol `budget`:
+/// returns the leading-axis plane count of each slab, or `None` when
+/// the field is too small to be worth slabbing (fewer than two full
+/// slabs). The remainder planes are merged into the last slab so every
+/// slab holds at least `budget` symbols.
+pub fn plan(dims: Dims, budget: usize) -> Option<Vec<usize>> {
+    let shape = dims.shape();
+    let axis0 = *shape.first()?;
+    if axis0 == 0 || budget == 0 {
+        return None;
+    }
+    let plane = dims.len() / axis0;
+    if plane == 0 {
+        return None;
+    }
+    let per_slab = (budget / plane).max(1);
+    let full = axis0 / per_slab;
+    if full < 2 {
+        return None;
+    }
+    let mut planes = vec![per_slab; full];
+    if let Some(last) = planes.last_mut() {
+        *last += axis0 - full * per_slab;
+    }
+    Some(planes)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 63 && b > 1 {
+            return None;
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Extracts the sub-field of `field` covering `n_planes` leading-axis
+/// planes starting at plane `start_plane`.
+fn sub_field(field: &Field, start_plane: usize, n_planes: usize) -> Option<Field> {
+    let dims = field.dims();
+    let shape = dims.shape();
+    let axis0 = *shape.first()?;
+    let plane = dims.len() / axis0.max(1);
+    let mut sub_shape: Vec<usize> = shape.to_vec();
+    *sub_shape.first_mut()? = n_planes;
+    let start = start_plane.checked_mul(plane)?;
+    let end = start.checked_add(n_planes.checked_mul(plane)?)?;
+    let data = field.data().get(start..end)?.to_vec();
+    Some(Field::new(field.name(), Dims::new(&sub_shape), data))
+}
+
+/// Compresses `field` as a slab container, or returns `Ok(None)` when
+/// [`plan`] declines (the caller then emits a monolithic v1 stream).
+/// `compress_one` must produce a complete self-describing stream for a
+/// sub-field — the compressor's own monolithic path. Slabs compress in
+/// parallel over the worker pool; output bytes are identical at any
+/// thread count because the split and the concatenation order are
+/// thread-independent.
+pub fn compress_slabbed<F>(
+    expect_magic: u8,
+    field: &Field,
+    budget: usize,
+    compress_one: F,
+) -> Result<Option<Vec<u8>>, CompressError>
+where
+    F: Fn(&Field) -> Result<Vec<u8>, CompressError> + Sync,
+{
+    let Some(planes) = plan(field.dims(), budget) else {
+        return Ok(None);
+    };
+    let mut starts = Vec::with_capacity(planes.len());
+    let mut acc = 0usize;
+    for &p in &planes {
+        starts.push(acc);
+        acc += p;
+    }
+
+    let slabs: Vec<Result<Vec<u8>, CompressError>> = fxrz_parallel::par_map(planes.len(), 1, |r| {
+        let i = r.start;
+        let (start, n) = (starts[i], planes[i]);
+        let sub = sub_field(field, start, n)
+            .ok_or(CompressError::Header("slab plan exceeds field extent"))?;
+        compress_one(&sub)
+    });
+
+    let dims = field.dims();
+    let axis0 = dims.shape().first().copied().unwrap_or(0);
+    let plane = dims.len() / axis0.max(1);
+
+    let mut out = Vec::new();
+    header::write(&mut out, expect_magic, field.name(), dims);
+    out.push(SLAB_TAG);
+    write_varint(&mut out, planes.len() as u64);
+    let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(planes.len());
+    for (i, slab) in slabs.into_iter().enumerate() {
+        let bytes = slab?;
+        write_varint(&mut out, (planes[i] * plane) as u64);
+        write_varint(&mut out, bytes.len() as u64);
+        out.extend_from_slice(&checksum(&bytes).to_le_bytes());
+        out.push(expect_magic);
+        bodies.push(bytes);
+    }
+    for body in &bodies {
+        out.extend_from_slice(body);
+    }
+    fxrz_telemetry::global().add(crate::names::SLAB_ENCODED, planes.len() as u64);
+    Ok(Some(out))
+}
+
+/// Parses the slab directory of a stream, if it is a v2 container.
+///
+/// Returns `Ok(None)` for a monolithic v1 stream (no `0x02` tag after
+/// the common header). Every directory field is validated before use:
+/// slab count against the remaining byte budget and the leading axis,
+/// element counts as whole-plane multiples summing exactly to the
+/// field, byte extents against the stream length.
+pub fn table(
+    bytes: &[u8],
+    expect_magic: u8,
+    compressor: &'static str,
+) -> Result<Option<(String, Dims, Vec<SlabEntry>)>, CompressError> {
+    let (name, dims, off) = header::read(bytes, expect_magic, compressor)?;
+    if bytes.get(off) != Some(&SLAB_TAG) {
+        return Ok(None);
+    }
+    let mut pos = off + 1;
+    let n = read_varint(bytes, &mut pos).ok_or(CompressError::Header("truncated slab count"))?;
+    let axis0 = dims.shape().first().copied().unwrap_or(0);
+    // Each directory row is at least 7 bytes (two 1-byte varints, a
+    // 4-byte checksum, a codec tag), so the row count is bounded by the
+    // remaining bytes — checked before sizing any allocation.
+    let remaining = bytes.len().saturating_sub(pos);
+    if n < 2 || n > axis0 as u64 || n > (remaining / 7) as u64 {
+        return Err(CompressError::Header("implausible slab count"));
+    }
+    let n = n as usize;
+    let plane = dims.len() / axis0.max(1);
+
+    let mut entries = Vec::with_capacity(n);
+    let mut elems_seen = 0usize;
+    for _ in 0..n {
+        let raw_elems = read_varint(bytes, &mut pos)
+            .ok_or(CompressError::Header("truncated slab directory"))?;
+        let comp_len = read_varint(bytes, &mut pos)
+            .ok_or(CompressError::Header("truncated slab directory"))?;
+        let ck = bytes
+            .get(pos..pos + 4)
+            .ok_or(CompressError::Header("truncated slab directory"))?;
+        let checksum = u32::from_le_bytes(ck.try_into().expect("slice of checked length"));
+        pos += 4;
+        let codec = *bytes
+            .get(pos)
+            .ok_or(CompressError::Header("truncated slab directory"))?;
+        pos += 1;
+
+        let raw_elems = usize::try_from(raw_elems)
+            .ok()
+            .filter(|&r| r > 0 && plane > 0 && r % plane == 0)
+            .ok_or(CompressError::Header("slab extent not plane-aligned"))?;
+        elems_seen = elems_seen
+            .checked_add(raw_elems)
+            .filter(|&t| t <= dims.len())
+            .ok_or(CompressError::Header("slab extents exceed field"))?;
+        let comp_len = usize::try_from(comp_len)
+            .ok()
+            .ok_or(CompressError::Header("slab length overflows"))?;
+        entries.push(SlabEntry {
+            offset: 0, // filled below once the directory length is known
+            comp_len,
+            raw_elems,
+            checksum,
+            codec,
+        });
+    }
+    if elems_seen != dims.len() {
+        return Err(CompressError::Header("slab extents exceed field"));
+    }
+    let mut offset = pos;
+    for e in &mut entries {
+        e.offset = offset;
+        offset = offset
+            .checked_add(e.comp_len)
+            .filter(|&end| end <= bytes.len())
+            .ok_or(CompressError::Header("slab stream overruns container"))?;
+    }
+    if offset != bytes.len() {
+        return Err(CompressError::Header("trailing bytes after slab streams"));
+    }
+    Ok(Some((name, dims, entries)))
+}
+
+/// Checks one slab's checksum, decodes it, and validates that the
+/// decoded sub-field tiles the parent: same name, same trailing shape,
+/// leading extent matching the directory row.
+fn decode_slab<G>(
+    bytes: &[u8],
+    entry: &SlabEntry,
+    expect_magic: u8,
+    parent_name: &str,
+    parent: Dims,
+    decode_one: &G,
+) -> Result<Vec<f32>, CompressError>
+where
+    G: Fn(&[u8]) -> Result<Field, CompressError> + Sync,
+{
+    if entry.codec != expect_magic {
+        return Err(CompressError::Header("slab codec tag mismatch"));
+    }
+    let end = entry
+        .offset
+        .checked_add(entry.comp_len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or(CompressError::Header("slab stream overruns container"))?;
+    let slab = bytes
+        .get(entry.offset..end)
+        .ok_or(CompressError::Header("slab stream overruns container"))?;
+    if checksum(slab) != entry.checksum {
+        return Err(CompressError::Header("slab checksum mismatch"));
+    }
+    let sub = decode_one(slab)?;
+    let axis0 = parent.shape().first().copied().unwrap_or(0);
+    let plane = parent.len() / axis0.max(1);
+    let sub_dims = sub.dims();
+    let sub_shape = sub_dims.shape();
+    let tiles = sub.name() == parent_name
+        && sub_dims.ndim() == parent.ndim()
+        && sub_shape.get(1..) == parent.shape().get(1..)
+        && plane > 0
+        && sub_shape.first().copied().unwrap_or(0) == entry.raw_elems / plane;
+    if !tiles {
+        return Err(CompressError::Header("slab stream does not tile field"));
+    }
+    fxrz_telemetry::global().incr(crate::names::SLAB_DECODED);
+    Ok(sub.into_data())
+}
+
+/// Decompresses a slab container in parallel, or returns `Ok(None)` for
+/// a monolithic v1 stream. `decode_one` is the compressor's monolithic
+/// decode path. Output is bit-identical at any thread count: slab
+/// boundaries come from the directory and each slab writes a disjoint
+/// range of the output.
+pub fn decompress_slabbed<G>(
+    bytes: &[u8],
+    expect_magic: u8,
+    compressor: &'static str,
+    decode_one: G,
+) -> Result<Option<Field>, CompressError>
+where
+    G: Fn(&[u8]) -> Result<Field, CompressError> + Sync,
+{
+    let Some((name, dims, entries)) = table(bytes, expect_magic, compressor)? else {
+        return Ok(None);
+    };
+    let decoded: Vec<Result<Vec<f32>, CompressError>> =
+        fxrz_parallel::par_map(entries.len(), 1, |r| {
+            decode_slab(
+                bytes,
+                &entries[r.start],
+                expect_magic,
+                &name,
+                dims,
+                &decode_one,
+            )
+        });
+    let mut data = Vec::with_capacity(dims.len());
+    for part in decoded {
+        data.extend_from_slice(&part?);
+    }
+    Ok(Some(Field::new(name, dims, data)))
+}
+
+/// Decodes `range` (element indices) from a stream, touching only the
+/// slabs that cover it. Falls back to full decode + slice for
+/// monolithic v1 streams. `decode_one` is the compressor's monolithic
+/// decode path (used per slab and for the v1 fallback).
+pub fn decompress_range_impl<G>(
+    bytes: &[u8],
+    expect_magic: u8,
+    compressor: &'static str,
+    range: core::ops::Range<usize>,
+    decode_one: G,
+) -> Result<Vec<f32>, CompressError>
+where
+    G: Fn(&[u8]) -> Result<Field, CompressError> + Sync,
+{
+    fxrz_telemetry::global().incr(crate::names::SLAB_RANGE_CALLS);
+    let Some((name, dims, entries)) = table(bytes, expect_magic, compressor)? else {
+        // Monolithic stream: decode everything, slice the range.
+        let field = decode_one(bytes)?;
+        return field
+            .data()
+            .get(range)
+            .map(<[f32]>::to_vec)
+            .ok_or(CompressError::Header("range exceeds field extent"));
+    };
+    if range.start > range.end || range.end > dims.len() {
+        return Err(CompressError::Header("range exceeds field extent"));
+    }
+    if range.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Prefix-sum the directory to find the covering slab window.
+    let mut acc = 0usize;
+    let mut cover = entries.len()..entries.len();
+    let mut cover_start_elem = 0usize;
+    for (i, e) in entries.iter().enumerate() {
+        let end = acc + e.raw_elems;
+        if acc < range.end && end > range.start {
+            if cover.start == entries.len() {
+                cover.start = i;
+                cover_start_elem = acc;
+            }
+            cover.end = i + 1;
+        }
+        acc = end;
+    }
+
+    let window = &entries[cover.clone()];
+    let decoded: Vec<Result<Vec<f32>, CompressError>> =
+        fxrz_parallel::par_map(window.len(), 1, |r| {
+            decode_slab(
+                bytes,
+                &window[r.start],
+                expect_magic,
+                &name,
+                dims,
+                &decode_one,
+            )
+        });
+    let mut data = Vec::with_capacity(range.len());
+    let mut elem = cover_start_elem;
+    for part in decoded {
+        let part = part?;
+        let lo = range.start.saturating_sub(elem).min(part.len());
+        let hi = (range.end - elem).min(part.len());
+        data.extend_from_slice(
+            part.get(lo..hi)
+                .ok_or(CompressError::Header("slab stream does not tile field"))?,
+        );
+        elem += part.len();
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_declines_small_fields() {
+        assert!(plan(Dims::d3(16, 16, 16), SLAB_SYMBOLS).is_none());
+        assert!(plan(Dims::d1(294_912), SLAB_SYMBOLS).is_none()); // 1 full slab
+        assert!(plan(Dims::d1(10), 0).is_none());
+    }
+
+    #[test]
+    fn plan_merges_remainder_into_last_slab() {
+        // 10 planes of 4 elems, budget 8 symbols -> 2 planes per slab,
+        // 5 full slabs, no remainder.
+        assert_eq!(plan(Dims::d2(10, 4), 8), Some(vec![2, 2, 2, 2, 2]));
+        // 11 planes -> remainder plane rides with the last slab.
+        assert_eq!(plan(Dims::d2(11, 4), 8), Some(vec![2, 2, 2, 2, 3]));
+    }
+
+    #[test]
+    fn plan_covers_whole_axis() {
+        for axis0 in 2..200usize {
+            for budget in 1..20usize {
+                if let Some(planes) = plan(Dims::d2(axis0, 3), budget * 3) {
+                    assert!(planes.len() >= 2);
+                    assert_eq!(planes.iter().sum::<usize>(), axis0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_and_length_sensitive() {
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+        assert_ne!(checksum(b"a"), checksum(b"a\0"));
+        assert_eq!(checksum(b""), checksum(b""));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        // Unterminated varint.
+        assert_eq!(read_varint(&[0x80, 0x80], &mut 0), None);
+    }
+}

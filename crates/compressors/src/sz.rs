@@ -69,9 +69,48 @@ fn lorenzo_predict(recon: &[f32], dims: Dims, idx: usize, coords: &[usize]) -> f
     pred
 }
 
+/// The shared SZ entry point: large fields emit the slabbed v2
+/// container (each slab a complete monolithic stream over a run of
+/// leading-axis planes, compressed in parallel), small fields fall
+/// through to the byte-identical v1 monolithic stream.
+pub(crate) fn compress_impl(
+    name: &'static str,
+    mode: EntropyMode,
+    field: &Field,
+    cfg: &ErrorConfig,
+) -> Result<Vec<u8>, CompressError> {
+    let slabbed =
+        crate::slab::compress_slabbed(magic::SZ, field, crate::slab::SLAB_SYMBOLS, |sub| {
+            compress_mono(name, mode, sub, cfg)
+        })?;
+    match slabbed {
+        Some(out) => Ok(out),
+        None => compress_mono(name, mode, field, cfg),
+    }
+}
+
+/// Compresses with an explicit slab symbol budget instead of the
+/// production [`crate::slab::SLAB_SYMBOLS`]. A budget the field cannot
+/// fill twice (e.g. `usize::MAX`) forces a monolithic v1 stream —
+/// benches and tests use this to compare container layouts on
+/// identical data; production code goes through [`Compressor::compress`].
+pub fn compress_with_budget(
+    field: &Field,
+    cfg: &ErrorConfig,
+    budget: usize,
+) -> Result<Vec<u8>, CompressError> {
+    let slabbed = crate::slab::compress_slabbed(magic::SZ, field, budget, |sub| {
+        compress_mono("sz", EntropyMode::Auto, sub, cfg)
+    })?;
+    match slabbed {
+        Some(out) => Ok(out),
+        None => compress_mono("sz", EntropyMode::Auto, field, cfg),
+    }
+}
+
 /// The shared SZ pipeline body: quantize, entropy-code under `mode`,
 /// LZ77. `name` feeds the per-codec telemetry series and error messages.
-pub(crate) fn compress_impl(
+fn compress_mono(
     name: &'static str,
     mode: EntropyMode,
     field: &Field,
@@ -141,11 +180,36 @@ pub(crate) fn compress_impl(
     })
 }
 
-/// The shared SZ decompressor: both wire formats (legacy single-Huffman
-/// and the tagged per-block container) are recognized by the entropy
-/// section itself, so every [`Sz`]/[`SzFse`] stream — and every pre-
-/// container archive — decodes here.
+/// The shared SZ decompressor entry point: v2 slab containers fan out
+/// over the worker pool (bit-identical at any thread count), v1
+/// monolithic streams — including every pre-container archive —
+/// decode exactly as before.
 pub(crate) fn decompress_impl(name: &'static str, bytes: &[u8]) -> Result<Field, CompressError> {
+    let slabbed =
+        crate::slab::decompress_slabbed(bytes, magic::SZ, name, |sub| decompress_mono(name, sub))?;
+    match slabbed {
+        Some(field) => Ok(field),
+        None => decompress_mono(name, bytes),
+    }
+}
+
+/// Random-access decode shared by [`Sz`] and [`SzFse`]: touches only
+/// the slabs covering `range` (v1 streams fall back to full decode).
+pub(crate) fn decompress_range_impl(
+    name: &'static str,
+    bytes: &[u8],
+    range: core::ops::Range<usize>,
+) -> Result<Vec<f32>, CompressError> {
+    crate::slab::decompress_range_impl(bytes, magic::SZ, name, range, |sub| {
+        decompress_mono(name, sub)
+    })
+}
+
+/// The shared SZ decompressor body: both monolithic wire formats
+/// (legacy single-Huffman and the tagged per-block container) are
+/// recognized by the entropy section itself, so every [`Sz`]/[`SzFse`]
+/// stream — and every pre-container archive — decodes here.
+fn decompress_mono(name: &'static str, bytes: &[u8]) -> Result<Field, CompressError> {
     crate::instrument::decompress(name, bytes.len(), || {
         let (field_name, dims, off) = header::read(bytes, magic::SZ, name)?;
         let payload = lz77::decompress(&bytes[off..])?;
@@ -197,6 +261,14 @@ impl Compressor for Sz {
         decompress_impl(self.name(), bytes)
     }
 
+    fn decompress_range(
+        &self,
+        bytes: &[u8],
+        range: core::ops::Range<usize>,
+    ) -> Result<Vec<f32>, CompressError> {
+        decompress_range_impl(self.name(), bytes, range)
+    }
+
     fn config_space(&self) -> ConfigSpace {
         ConfigSpace::AbsRelRange {
             min_rel: 1e-7,
@@ -226,6 +298,14 @@ impl Compressor for SzFse {
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
         decompress_impl(self.name(), bytes)
+    }
+
+    fn decompress_range(
+        &self,
+        bytes: &[u8],
+        range: core::ops::Range<usize>,
+    ) -> Result<Vec<f32>, CompressError> {
+        decompress_range_impl(self.name(), bytes, range)
     }
 
     fn config_space(&self) -> ConfigSpace {

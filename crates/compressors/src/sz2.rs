@@ -282,195 +282,224 @@ fn predictor_costs(
     (reg + coef_bits as f64, lor)
 }
 
+/// Monolithic (v1) compress body; also compresses each slab of a v2
+/// container.
+fn compress_mono(field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
+    crate::instrument::compress("sz2", field.nbytes(), || {
+        let eb = match cfg {
+            ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
+            ErrorConfig::Abs(eb) => {
+                return Err(CompressError::BadConfig(format!(
+                    "sz2 needs a positive finite error bound, got {eb}"
+                )))
+            }
+            other => {
+                return Err(CompressError::BadConfig(format!(
+                    "sz2 accepts ErrorConfig::Abs, got {other}"
+                )))
+            }
+        };
+        let dims = field.dims();
+        let data = field.data();
+        let ndim = dims.ndim();
+        let bin = 2.0 * eb;
+
+        let blocks = BlockIter::new(dims);
+        let mut recon = vec![0.0f32; dims.len()];
+        let mut codes: Vec<u32> = Vec::with_capacity(dims.len());
+        let mut unpred: Vec<u8> = Vec::new();
+        let mut modes: Vec<u8> = Vec::with_capacity(blocks.origins.len());
+        let mut coef_bytes: Vec<u8> = Vec::new();
+
+        for origin in &blocks.origins {
+            let fitted = fit_regression(data, dims, origin);
+            let (ints, coefs) = quantize_coefs(&fitted, eb, ndim);
+            let (reg_cost, lor_cost) = predictor_costs(data, dims, origin, &coefs, &ints, eb);
+            // SZ2's per-block predictor selection on estimated coded bits
+            // (the regression cost already carries its coefficient bytes)
+            let use_reg = reg_cost < lor_cost;
+            modes.push(u8::from(use_reg));
+            if use_reg {
+                for q in ints {
+                    write_varint(&mut coef_bytes, fxrz_codec::bitstream::zigzag(q));
+                }
+            }
+
+            for_block_points(dims, origin, |idx, coords, local| {
+                let val = data[idx];
+                let pred = if use_reg {
+                    regression_predict(&coefs, local)
+                } else {
+                    lorenzo_predict(&recon, dims, idx, coords)
+                };
+                let q = (val as f64 - pred) / bin;
+                let q = q.round();
+                let mut stored = false;
+                if q.abs() < (HALF - 1) as f64 && val.is_finite() && pred.is_finite() {
+                    let qi = q as i64;
+                    let rec = (pred + qi as f64 * bin) as f32;
+                    if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
+                        codes.push((qi + HALF) as u32);
+                        recon[idx] = rec;
+                        stored = true;
+                    }
+                }
+                if !stored {
+                    codes.push(UNPREDICTABLE);
+                    unpred.extend_from_slice(&val.to_le_bytes());
+                    recon[idx] = val;
+                }
+            });
+        }
+
+        // One scratch borrow covers both codec stages, so rate-curve
+        // probe loops reuse the same tables call after call.
+        fxrz_codec::with_scratch(|scratch| {
+            let mut payload = Vec::with_capacity(
+                codes.len() / 2 + unpred.len() + coef_bytes.len() + modes.len() + 32,
+            );
+            payload.extend_from_slice(&eb.to_le_bytes());
+            write_varint(&mut payload, modes.len() as u64);
+            payload.extend_from_slice(&modes);
+            write_varint(&mut payload, coef_bytes.len() as u64);
+            payload.extend_from_slice(&coef_bytes);
+            entropy::encode_codes(scratch, &codes, EntropyMode::Auto, &mut payload);
+            payload.extend_from_slice(&unpred);
+
+            let mut out = Vec::new();
+            header::write(&mut out, magic::SZ2, field.name(), dims);
+            out.extend_from_slice(&lz77::compress_with(scratch, &payload));
+            let _ = ndim;
+            Ok(out)
+        })
+    })
+}
+
+/// Monolithic (v1) decompress body; also decodes each slab of a v2
+/// container.
+fn decompress_mono(bytes: &[u8]) -> Result<Field, CompressError> {
+    crate::instrument::decompress("sz2", bytes.len(), || {
+        let (name, dims, off) = header::read(bytes, magic::SZ2, "sz2")?;
+        let payload = lz77::decompress(&bytes[off..])?;
+        if payload.len() < 8 {
+            return Err(CompressError::Header("payload too short for error bound"));
+        }
+        let eb = f64::from_le_bytes(payload[..8].try_into().expect("checked length"));
+        if !(eb > 0.0 && eb.is_finite()) {
+            return Err(CompressError::Header("invalid stored error bound"));
+        }
+        let bin = 2.0 * eb;
+        let ndim = dims.ndim();
+        let mut pos = 8usize;
+
+        let n_modes = read_varint(&payload, &mut pos)
+            .ok_or(CompressError::Header("missing mode count"))? as usize;
+        if pos + n_modes > payload.len() {
+            return Err(CompressError::Header("mode stream overruns payload"));
+        }
+        let modes = payload[pos..pos + n_modes].to_vec();
+        pos += n_modes;
+
+        let coef_len = read_varint(&payload, &mut pos)
+            .ok_or(CompressError::Header("missing coefficient length"))?
+            as usize;
+        if pos + coef_len > payload.len() {
+            return Err(CompressError::Header("coefficients overrun payload"));
+        }
+        let coef_bytes = &payload[pos..pos + coef_len];
+        pos += coef_len;
+
+        let codes = entropy::decode_codes(&payload, &mut pos, dims.len())?;
+        let mut unpred = &payload[pos..];
+
+        let blocks = BlockIter::new(dims);
+        if blocks.origins.len() != n_modes {
+            return Err(CompressError::Header("mode count mismatch"));
+        }
+        let mut recon = vec![0.0f32; dims.len()];
+        let mut cursor = 0usize;
+        let mut coef_pos = 0usize;
+
+        for (b, origin) in blocks.origins.iter().enumerate() {
+            let use_reg = modes[b] != 0;
+            let coefs: Vec<f32> = if use_reg {
+                let mut ints = Vec::with_capacity(ndim + 1);
+                for _ in 0..=ndim {
+                    let v = read_varint(coef_bytes, &mut coef_pos)
+                        .ok_or(CompressError::Header("missing block coefficients"))?;
+                    ints.push(fxrz_codec::bitstream::unzigzag(v));
+                }
+                dequantize_coefs(&ints, eb, ndim)
+            } else {
+                Vec::new()
+            };
+
+            let mut err: Option<CompressError> = None;
+            {
+                let recon_cell = &mut recon;
+                for_block_points(dims, origin, |idx, coords, local| {
+                    if err.is_some() {
+                        return;
+                    }
+                    let code = codes[cursor];
+                    cursor += 1;
+                    if code == UNPREDICTABLE {
+                        if unpred.len() < 4 {
+                            err = Some(CompressError::Header("missing unpredictable value"));
+                            return;
+                        }
+                        let (head, tail) = unpred.split_at(4);
+                        unpred = tail;
+                        recon_cell[idx] = f32::from_le_bytes(head.try_into().expect("chunk of 4"));
+                    } else {
+                        let q = code as i64 - HALF;
+                        let pred = if use_reg {
+                            regression_predict(&coefs, local)
+                        } else {
+                            lorenzo_predict(recon_cell, dims, idx, coords)
+                        };
+                        recon_cell[idx] = (pred + q as f64 * bin) as f32;
+                    }
+                });
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(Field::new(name, dims, recon))
+    })
+}
+
 impl Compressor for Sz2 {
     fn name(&self) -> &'static str {
         "sz2"
     }
 
     fn compress(&self, field: &Field, cfg: &ErrorConfig) -> Result<Vec<u8>, CompressError> {
-        crate::instrument::compress(self.name(), field.nbytes(), || {
-            let eb = match cfg {
-                ErrorConfig::Abs(eb) if *eb > 0.0 && eb.is_finite() => *eb,
-                ErrorConfig::Abs(eb) => {
-                    return Err(CompressError::BadConfig(format!(
-                        "sz2 needs a positive finite error bound, got {eb}"
-                    )))
-                }
-                other => {
-                    return Err(CompressError::BadConfig(format!(
-                        "sz2 accepts ErrorConfig::Abs, got {other}"
-                    )))
-                }
-            };
-            let dims = field.dims();
-            let data = field.data();
-            let ndim = dims.ndim();
-            let bin = 2.0 * eb;
-
-            let blocks = BlockIter::new(dims);
-            let mut recon = vec![0.0f32; dims.len()];
-            let mut codes: Vec<u32> = Vec::with_capacity(dims.len());
-            let mut unpred: Vec<u8> = Vec::new();
-            let mut modes: Vec<u8> = Vec::with_capacity(blocks.origins.len());
-            let mut coef_bytes: Vec<u8> = Vec::new();
-
-            for origin in &blocks.origins {
-                let fitted = fit_regression(data, dims, origin);
-                let (ints, coefs) = quantize_coefs(&fitted, eb, ndim);
-                let (reg_cost, lor_cost) = predictor_costs(data, dims, origin, &coefs, &ints, eb);
-                // SZ2's per-block predictor selection on estimated coded bits
-                // (the regression cost already carries its coefficient bytes)
-                let use_reg = reg_cost < lor_cost;
-                modes.push(u8::from(use_reg));
-                if use_reg {
-                    for q in ints {
-                        write_varint(&mut coef_bytes, fxrz_codec::bitstream::zigzag(q));
-                    }
-                }
-
-                for_block_points(dims, origin, |idx, coords, local| {
-                    let val = data[idx];
-                    let pred = if use_reg {
-                        regression_predict(&coefs, local)
-                    } else {
-                        lorenzo_predict(&recon, dims, idx, coords)
-                    };
-                    let q = (val as f64 - pred) / bin;
-                    let q = q.round();
-                    let mut stored = false;
-                    if q.abs() < (HALF - 1) as f64 && val.is_finite() && pred.is_finite() {
-                        let qi = q as i64;
-                        let rec = (pred + qi as f64 * bin) as f32;
-                        if ((rec as f64) - (val as f64)).abs() <= eb && rec.is_finite() {
-                            codes.push((qi + HALF) as u32);
-                            recon[idx] = rec;
-                            stored = true;
-                        }
-                    }
-                    if !stored {
-                        codes.push(UNPREDICTABLE);
-                        unpred.extend_from_slice(&val.to_le_bytes());
-                        recon[idx] = val;
-                    }
-                });
-            }
-
-            // One scratch borrow covers both codec stages, so rate-curve
-            // probe loops reuse the same tables call after call.
-            fxrz_codec::with_scratch(|scratch| {
-                let mut payload = Vec::with_capacity(
-                    codes.len() / 2 + unpred.len() + coef_bytes.len() + modes.len() + 32,
-                );
-                payload.extend_from_slice(&eb.to_le_bytes());
-                write_varint(&mut payload, modes.len() as u64);
-                payload.extend_from_slice(&modes);
-                write_varint(&mut payload, coef_bytes.len() as u64);
-                payload.extend_from_slice(&coef_bytes);
-                entropy::encode_codes(scratch, &codes, EntropyMode::Auto, &mut payload);
-                payload.extend_from_slice(&unpred);
-
-                let mut out = Vec::new();
-                header::write(&mut out, magic::SZ2, field.name(), dims);
-                out.extend_from_slice(&lz77::compress_with(scratch, &payload));
-                let _ = ndim;
-                Ok(out)
-            })
-        })
+        let slabbed =
+            crate::slab::compress_slabbed(magic::SZ2, field, crate::slab::SLAB_SYMBOLS, |sub| {
+                compress_mono(sub, cfg)
+            })?;
+        match slabbed {
+            Some(out) => Ok(out),
+            None => compress_mono(field, cfg),
+        }
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Field, CompressError> {
-        crate::instrument::decompress(self.name(), bytes.len(), || {
-            let (name, dims, off) = header::read(bytes, magic::SZ2, "sz2")?;
-            let payload = lz77::decompress(&bytes[off..])?;
-            if payload.len() < 8 {
-                return Err(CompressError::Header("payload too short for error bound"));
-            }
-            let eb = f64::from_le_bytes(payload[..8].try_into().expect("checked length"));
-            if !(eb > 0.0 && eb.is_finite()) {
-                return Err(CompressError::Header("invalid stored error bound"));
-            }
-            let bin = 2.0 * eb;
-            let ndim = dims.ndim();
-            let mut pos = 8usize;
+        let slabbed = crate::slab::decompress_slabbed(bytes, magic::SZ2, "sz2", decompress_mono)?;
+        match slabbed {
+            Some(field) => Ok(field),
+            None => decompress_mono(bytes),
+        }
+    }
 
-            let n_modes = read_varint(&payload, &mut pos)
-                .ok_or(CompressError::Header("missing mode count"))?
-                as usize;
-            if pos + n_modes > payload.len() {
-                return Err(CompressError::Header("mode stream overruns payload"));
-            }
-            let modes = payload[pos..pos + n_modes].to_vec();
-            pos += n_modes;
-
-            let coef_len = read_varint(&payload, &mut pos)
-                .ok_or(CompressError::Header("missing coefficient length"))?
-                as usize;
-            if pos + coef_len > payload.len() {
-                return Err(CompressError::Header("coefficients overrun payload"));
-            }
-            let coef_bytes = &payload[pos..pos + coef_len];
-            pos += coef_len;
-
-            let codes = entropy::decode_codes(&payload, &mut pos, dims.len())?;
-            let mut unpred = &payload[pos..];
-
-            let blocks = BlockIter::new(dims);
-            if blocks.origins.len() != n_modes {
-                return Err(CompressError::Header("mode count mismatch"));
-            }
-            let mut recon = vec![0.0f32; dims.len()];
-            let mut cursor = 0usize;
-            let mut coef_pos = 0usize;
-
-            for (b, origin) in blocks.origins.iter().enumerate() {
-                let use_reg = modes[b] != 0;
-                let coefs: Vec<f32> = if use_reg {
-                    let mut ints = Vec::with_capacity(ndim + 1);
-                    for _ in 0..=ndim {
-                        let v = read_varint(coef_bytes, &mut coef_pos)
-                            .ok_or(CompressError::Header("missing block coefficients"))?;
-                        ints.push(fxrz_codec::bitstream::unzigzag(v));
-                    }
-                    dequantize_coefs(&ints, eb, ndim)
-                } else {
-                    Vec::new()
-                };
-
-                let mut err: Option<CompressError> = None;
-                {
-                    let recon_cell = &mut recon;
-                    for_block_points(dims, origin, |idx, coords, local| {
-                        if err.is_some() {
-                            return;
-                        }
-                        let code = codes[cursor];
-                        cursor += 1;
-                        if code == UNPREDICTABLE {
-                            if unpred.len() < 4 {
-                                err = Some(CompressError::Header("missing unpredictable value"));
-                                return;
-                            }
-                            let (head, tail) = unpred.split_at(4);
-                            unpred = tail;
-                            recon_cell[idx] =
-                                f32::from_le_bytes(head.try_into().expect("chunk of 4"));
-                        } else {
-                            let q = code as i64 - HALF;
-                            let pred = if use_reg {
-                                regression_predict(&coefs, local)
-                            } else {
-                                lorenzo_predict(recon_cell, dims, idx, coords)
-                            };
-                            recon_cell[idx] = (pred + q as f64 * bin) as f32;
-                        }
-                    });
-                }
-                if let Some(e) = err {
-                    return Err(e);
-                }
-            }
-            Ok(Field::new(name, dims, recon))
-        })
+    fn decompress_range(
+        &self,
+        bytes: &[u8],
+        range: core::ops::Range<usize>,
+    ) -> Result<Vec<f32>, CompressError> {
+        crate::slab::decompress_range_impl(bytes, magic::SZ2, "sz2", range, decompress_mono)
     }
 
     fn config_space(&self) -> ConfigSpace {

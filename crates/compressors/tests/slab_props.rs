@@ -1,0 +1,204 @@
+//! Seeded property suite for the slab container.
+//!
+//! Three contracts, each driven by a hand-rolled SplitMix64 generator
+//! (`entropy_props` style, no dev-dependencies):
+//!
+//! 1. **Roundtrip** across every slab count 1..=64: a slabbed stream
+//!    decodes within the error bound, and the directory reports exactly
+//!    the planned slab count.
+//! 2. **Adversarial decode**: every truncation, seeded bit flip, and
+//!    forged-directory mutation of a valid stream produces a typed
+//!    error — never a panic.
+//! 3. **Determinism**: encode and decode are bit-identical at any
+//!    thread count, and `decompress_range` equals full-decode slicing
+//!    for seeded random ranges.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fxrz_compressors::header::magic;
+use fxrz_compressors::sz::Sz;
+use fxrz_compressors::{slab, Compressor, ErrorConfig};
+use fxrz_datagen::{Dims, Field};
+
+const EB: ErrorConfig = ErrorConfig::Abs(1e-3);
+
+/// SplitMix64: tiny, seedable, and good enough to drive mutations.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A smooth seeded field of `planes` leading-axis planes of 16 elements.
+fn sample_field(planes: usize, seed: u64) -> Field {
+    Field::from_fn("prop/slab", Dims::d2(planes, 16), move |c| {
+        let t = (c[0] * 16 + c[1]) as f32 + seed as f32;
+        (t * 0.013).sin() + 0.25 * (t * 0.11).cos()
+    })
+}
+
+/// Compresses with a tiny slab budget (4 planes per slab) so the suite
+/// exercises many slab counts without multi-megabyte fields. Returns
+/// `None` when [`slab::plan`] declines (fewer than two full slabs).
+fn compress_small_slabs(field: &Field, budget: usize) -> Option<Vec<u8>> {
+    slab::compress_slabbed(magic::SZ, field, budget, |sub| Sz.compress(sub, &EB))
+        .expect("slab compress")
+}
+
+#[test]
+fn roundtrip_across_slab_counts_1_to_64() {
+    const BUDGET: usize = 64; // 4 planes of 16 elements per slab
+    for k in 1..=64usize {
+        let field = sample_field(4 * k, 31 * k as u64);
+        let bytes = match compress_small_slabs(&field, BUDGET) {
+            Some(b) => b,
+            None => {
+                assert_eq!(k, 1, "plan may only decline below two slabs");
+                Sz.compress(&field, &EB).expect("mono compress")
+            }
+        };
+        let entries = slab::table(&bytes, magic::SZ, "sz").expect("table");
+        match entries {
+            Some((name, dims, rows)) => {
+                assert_eq!(rows.len(), k, "directory row count");
+                assert_eq!(name, field.name());
+                assert_eq!(dims, field.dims());
+                assert_eq!(
+                    rows.iter().map(|r| r.raw_elems).sum::<usize>(),
+                    field.dims().len()
+                );
+            }
+            None => assert_eq!(k, 1, "streams with >=2 slabs must carry a directory"),
+        }
+        let back = Sz.decompress(&bytes).expect("decompress");
+        assert_eq!(back.dims(), field.dims());
+        let worst = field
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst <= 1e-3 + 1e-6, "slab count {k}: error {worst}");
+    }
+}
+
+#[test]
+fn truncations_error_without_panic() {
+    let field = sample_field(32, 7);
+    let bytes = compress_small_slabs(&field, 64).expect("slabbed");
+    for cut in (0..bytes.len()).step_by(3).chain([bytes.len() - 1]) {
+        let prefix = bytes[..cut].to_vec();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let full = Sz.decompress(&prefix).is_err();
+            let ranged = Sz.decompress_range(&prefix, 0..field.dims().len()).is_err();
+            (full, ranged)
+        }))
+        .unwrap_or_else(|_| panic!("panic decoding truncation at {cut}"));
+        assert_eq!(res, (true, true), "truncation at {cut} must be an error");
+    }
+}
+
+#[test]
+fn bit_flips_error_or_decode_without_panic() {
+    let field = sample_field(32, 99);
+    let bytes = compress_small_slabs(&field, 64).expect("slabbed");
+    let total = field.dims().len();
+    let mut rng = Rng(0x5eed_0001);
+    for case in 0..300 {
+        let mut bad = bytes.clone();
+        let byte = rng.below(bad.len());
+        bad[byte] ^= 1 << rng.below(8);
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            // Either a typed error or a successful decode of plausible
+            // shape — a flip may land in slack bits. Panics are the bug.
+            if let Ok(f) = Sz.decompress(&bad) {
+                assert_eq!(f.data().len(), f.dims().len());
+            }
+            let lo = rng.below(total);
+            let hi = lo + rng.below(total - lo + 1);
+            let _ = Sz.decompress_range(&bad, lo..hi);
+        }));
+        assert!(ok.is_ok(), "case {case}: panic on flip in byte {byte}");
+    }
+}
+
+#[test]
+fn forged_directory_fields_rejected() {
+    let field = sample_field(16, 5);
+    let bytes = compress_small_slabs(&field, 64).expect("slabbed");
+    let (_, _, off) = fxrz_compressors::header::read(&bytes, magic::SZ, "sz").expect("header");
+    assert_eq!(bytes[off], 0x02, "slab tag after common header");
+
+    // Slab-count forgeries: zero, one, huge.
+    for forged in [0u8, 1, 0x7F] {
+        let mut bad = bytes.clone();
+        bad[off + 1] = forged;
+        assert!(
+            Sz.decompress(&bad).is_err(),
+            "forged slab count {forged} accepted"
+        );
+    }
+    // Checksum forgery: directory rows start at off+2; flip a checksum
+    // byte in every row (rows here are raw_elems=1B, comp_len<=2B,
+    // checksum 4B, codec 1B — flipping bytes across the directory must
+    // never panic, and at least the all-rows sweep must error).
+    let dir = off + 2..(off + 2 + 9 * 4).min(bytes.len());
+    let mut any_err = false;
+    for i in dir {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xFF;
+        let res = catch_unwind(AssertUnwindSafe(|| Sz.decompress(&bad).is_err()));
+        any_err |= res.expect("panic on forged directory byte");
+    }
+    assert!(any_err, "no directory forgery was rejected");
+}
+
+#[test]
+fn decode_is_bit_identical_at_any_thread_count() {
+    let field = sample_field(64, 1234);
+    let (b1, d1, r1) = fxrz_parallel::with_threads(1, || {
+        let b = compress_small_slabs(&field, 64).expect("slabbed");
+        let d = Sz.decompress(&b).expect("decode");
+        let r = Sz.decompress_range(&b, 100..900).expect("range");
+        (b, d, r)
+    });
+    for threads in [2, 4, 8] {
+        let (bn, dn, rn) = fxrz_parallel::with_threads(threads, || {
+            let b = compress_small_slabs(&field, 64).expect("slabbed");
+            let d = Sz.decompress(&b).expect("decode");
+            let r = Sz.decompress_range(&b, 100..900).expect("range");
+            (b, d, r)
+        });
+        assert_eq!(b1, bn, "compressed bytes differ at {threads} threads");
+        assert_eq!(d1.data(), dn.data(), "decode differs at {threads} threads");
+        assert_eq!(r1, rn, "range decode differs at {threads} threads");
+    }
+}
+
+#[test]
+fn range_decode_equals_full_decode_slicing() {
+    let field = sample_field(48, 42);
+    let bytes = compress_small_slabs(&field, 64).expect("slabbed");
+    let full = Sz.decompress(&bytes).expect("decode");
+    let total = field.dims().len();
+    let mut rng = Rng(0xf0c2_0002);
+    for _ in 0..200 {
+        let lo = rng.below(total + 1);
+        let hi = lo + rng.below(total - lo + 1);
+        let got = Sz.decompress_range(&bytes, lo..hi).expect("range");
+        assert_eq!(&got, &full.data()[lo..hi], "range {lo}..{hi}");
+    }
+    // Out-of-extent and inverted ranges are typed errors.
+    assert!(Sz.decompress_range(&bytes, 0..total + 1).is_err());
+    assert!(Sz.decompress_range(&bytes, total + 5..total + 9).is_err());
+}

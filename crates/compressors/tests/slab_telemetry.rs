@@ -1,0 +1,64 @@
+//! `decompress_range` must decode **only** the slabs covering the
+//! requested range — asserted via the `archive.slab.decoded` counter.
+//!
+//! Lives alone in this binary: the telemetry registry is process-global,
+//! so counter deltas must not race with unrelated tests.
+
+use fxrz_compressors::header::magic;
+use fxrz_compressors::sz::Sz;
+use fxrz_compressors::{names, slab, Compressor, ErrorConfig};
+use fxrz_datagen::{Dims, Field};
+
+fn counter(name: &str) -> u64 {
+    fxrz_telemetry::global()
+        .snapshot()
+        .counter(name)
+        .unwrap_or(0)
+}
+
+#[test]
+fn range_decode_touches_only_covering_slabs() {
+    // 8 slabs of 64 elements each (budget 64 = 4 planes of 16).
+    let field = Field::from_fn("t/cover", Dims::d2(32, 16), |c| {
+        ((c[0] * 16 + c[1]) as f32 * 0.02).sin()
+    });
+    let bytes = slab::compress_slabbed(magic::SZ, &field, 64, |sub| {
+        Sz.compress(sub, &ErrorConfig::Abs(1e-3))
+    })
+    .expect("compress")
+    .expect("slabbed");
+    let rows = slab::table(&bytes, magic::SZ, "sz")
+        .expect("table")
+        .expect("directory")
+        .2;
+    assert_eq!(rows.len(), 8);
+
+    // (range, covering slab count) at 64 elements per slab.
+    let cases = [
+        (0..10, 1),    // inside slab 0
+        (64..128, 1),  // exactly slab 1
+        (60..70, 2),   // straddles slabs 0..2
+        (0..512, 8),   // everything
+        (130..450, 6), // slabs 2..8
+        (511..512, 1), // last element only
+    ];
+    for (range, want_slabs) in cases {
+        let before = counter(names::SLAB_DECODED);
+        let calls_before = counter(names::SLAB_RANGE_CALLS);
+        let got = Sz
+            .decompress_range(&bytes, range.clone())
+            .expect("range decode");
+        assert_eq!(got.len(), range.len());
+        assert_eq!(
+            counter(names::SLAB_DECODED) - before,
+            want_slabs,
+            "range {range:?} should decode exactly {want_slabs} slab(s)"
+        );
+        assert_eq!(counter(names::SLAB_RANGE_CALLS) - calls_before, 1);
+    }
+
+    // An empty range decodes nothing at all.
+    let before = counter(names::SLAB_DECODED);
+    assert!(Sz.decompress_range(&bytes, 9..9).expect("empty").is_empty());
+    assert_eq!(counter(names::SLAB_DECODED), before);
+}

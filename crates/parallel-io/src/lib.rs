@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use fxrz_archive::ArchiveWriter;
 use fxrz_compressors::{Compressor, ErrorConfig};
 use fxrz_core::infer::FixedRatioCompressor;
 use fxrz_core::FxrzError;
@@ -232,6 +233,62 @@ pub fn measure_ranks_parallel(
     .collect()
 }
 
+/// Compresses every rank's field concurrently and packs the streams
+/// into one v2 archive — one entry per rank, named `rank_<i>/<field>`.
+/// Fields over the slab threshold emit slabbed streams (see
+/// `fxrz_compressors::slab`), so decoding a dump is embarrassingly
+/// parallel at both the rank and the slab level, and any rank's slab
+/// is locatable straight from the archive's trailing index.
+///
+/// Returns the archive bytes alongside the per-rank measurements (the
+/// same records [`measure_ranks_parallel`] produces).
+///
+/// # Errors
+/// Returns the lowest-indexed rank failure.
+pub fn dump_archive(
+    strategy: &dyn DumpStrategy,
+    fields: &[Field],
+    tcr: f64,
+) -> Result<(Vec<u8>, Vec<RankWork>), String> {
+    let registry = fxrz_telemetry::global();
+    registry.set_gauge(names::WORKERS, fxrz_parallel::current_threads() as i64);
+    registry.add(names::FIELDS_QUEUED, fields.len() as u64);
+    let results: Vec<Result<(Vec<u8>, RankWork), String>> =
+        fxrz_parallel::par_map(fields.len(), 1, |r| {
+            let field = &fields[r.start];
+            let _rank_span = fxrz_telemetry::span!(names::SPAN_RANK);
+            let rank_start = Instant::now();
+            let (config, analysis) = strategy.plan(field, tcr)?;
+            let t0 = Instant::now();
+            let blob = strategy
+                .compressor()
+                .compress(field, &config)
+                .map_err(|e| e.to_string())?;
+            let compress = t0.elapsed();
+            registry.incr(names::RANKS);
+            registry.observe_duration(names::RANK_NS, rank_start.elapsed());
+            let work = RankWork {
+                analysis,
+                compress,
+                bytes: blob.len() as u64,
+                raw_bytes: field.nbytes() as u64,
+            };
+            Ok((blob, work))
+        });
+
+    let mut writer = ArchiveWriter::new();
+    let mut works = Vec::with_capacity(fields.len());
+    for (i, res) in results.into_iter().enumerate() {
+        let (blob, work) = res?;
+        let field_name = fields.get(i).map(|f| f.name()).unwrap_or("");
+        writer
+            .add_raw(&format!("rank_{i}/{field_name}"), blob)
+            .map_err(|e| e.to_string())?;
+        works.push(work);
+    }
+    Ok((writer.finish(), works))
+}
+
 impl Cluster {
     /// Simulates a weak-scaling dump: the measured `works` are tiled
     /// round-robin over `self.ranks` ranks; writes share the aggregate
@@ -414,5 +471,58 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_works_rejected() {
         Cluster::default().simulate("x", &[]);
+    }
+
+    /// Fixed-bound strategy so dump tests need no trained model.
+    struct FixedEb(fxrz_compressors::sz::Sz);
+
+    impl DumpStrategy for FixedEb {
+        fn name(&self) -> String {
+            "fixed".to_owned()
+        }
+
+        fn plan(&self, _field: &Field, _tcr: f64) -> Result<(ErrorConfig, Duration), String> {
+            Ok((ErrorConfig::Abs(1e-2), Duration::ZERO))
+        }
+
+        fn compressor(&self) -> &dyn Compressor {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn dump_archive_writes_one_entry_per_rank() {
+        use fxrz_datagen::Dims;
+        let fields: Vec<Field> = (0..3)
+            .map(|i| {
+                Field::from_fn("density", Dims::d3(8, 8, 8), move |c| {
+                    ((c[0] + c[1] * 8 + c[2] + i) as f32 * 0.05).sin()
+                })
+            })
+            .collect();
+        let (bytes, works) =
+            dump_archive(&FixedEb(fxrz_compressors::sz::Sz), &fields, 10.0).expect("dump");
+        assert_eq!(works.len(), 3);
+        let a = fxrz_archive::Archive::open(&bytes).expect("open");
+        assert_eq!(a.len(), 3);
+        for (i, f) in fields.iter().enumerate() {
+            let back = a.get(&format!("rank_{i}/density")).expect("get");
+            assert_eq!(back.dims(), f.dims());
+            assert!(f.max_abs_diff(&back) <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn dump_archive_slabs_large_ranks() {
+        use fxrz_datagen::Dims;
+        // 8 × 256 × 256 = 2 × BLOCK_SYMBOLS elements → a two-slab stream.
+        let f = Field::from_fn("big", Dims::d3(8, 256, 256), |c| {
+            ((c[0] * 3 + c[1] + c[2]) as f32 * 0.01).sin()
+        });
+        let (bytes, _) =
+            dump_archive(&FixedEb(fxrz_compressors::sz::Sz), &[f], 10.0).expect("dump");
+        let a = fxrz_archive::Archive::open(&bytes).expect("open");
+        let e = a.entry("rank_0/big").expect("entry");
+        assert_eq!(e.slabs.len(), 2, "rank stream should be slabbed");
     }
 }

@@ -231,6 +231,27 @@ impl Client {
         }
     }
 
+    /// Decompresses element range `start..end` of a stream server-side.
+    /// Slabbed streams decode only the covering slabs.
+    ///
+    /// # Errors
+    /// Propagates call failures.
+    pub fn decompress_range(
+        &mut self,
+        stream: &[u8],
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<f32>, ClientError> {
+        match self.call(&Request::DecompressRange {
+            start,
+            end,
+            stream: stream.to_vec(),
+        })? {
+            Reply::Range(values) => Ok(values),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
     /// Loads (or hot-reloads) a model into the server registry; returns
     /// the `{"id":…,"version":…}` JSON.
     ///

@@ -59,6 +59,11 @@ pub const AUDIT_WRITE_ERRORS: &str = "serve.audit.write_errors";
 /// dispatch latency in nanoseconds with fixed-precision percentiles.
 pub const OP_HDR_NS: &str = "serve.op.{op}.hdr_ns";
 
+/// `DecompressRange` requests served.
+pub const SLAB_RANGE_REQUESTS: &str = "serve.slab.range_requests";
+/// Elements returned by `DecompressRange` replies.
+pub const SLAB_RANGE_ELEMS: &str = "serve.slab.range_elems";
+
 /// Span around one client connection.
 pub const SPAN_CONN: &str = "serve.conn";
 /// Span around one scheduled request execution (traced).

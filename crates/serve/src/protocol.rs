@@ -57,6 +57,8 @@ pub enum Op {
     LoadModel = 0x06,
     /// Server statistics: models, queue state, telemetry snapshot.
     Stats = 0x07,
+    /// Decompress an element range of a stream without decoding the rest.
+    DecompressRange = 0x08,
 }
 
 impl Op {
@@ -70,6 +72,7 @@ impl Op {
             0x05 => Op::Decompress,
             0x06 => Op::LoadModel,
             0x07 => Op::Stats,
+            0x08 => Op::DecompressRange,
             _ => return None,
         })
     }
@@ -84,6 +87,7 @@ impl Op {
             Op::Decompress => "decompress",
             Op::LoadModel => "load_model",
             Op::Stats => "stats",
+            Op::DecompressRange => "decompress_range",
         }
     }
 }
@@ -422,6 +426,10 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_le_bytes(le_array(self.take(4)?)?))
     }
 
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(le_array(self.take(8)?)?))
+    }
+
     fn f64(&mut self) -> Result<f64, FrameError> {
         Ok(f64::from_le_bytes(le_array(self.take(8)?)?))
     }
@@ -536,6 +544,17 @@ pub enum Request {
         /// The compressor stream to decode.
         stream: Vec<u8>,
     },
+    /// Decompression of an element range `start..end` of a stream. Slabbed
+    /// streams decode only the covering slabs; monolithic streams fall back
+    /// to a full decode plus slicing.
+    DecompressRange {
+        /// First element index (inclusive).
+        start: u64,
+        /// One past the last element index (exclusive).
+        end: u64,
+        /// The compressor stream to decode from.
+        stream: Vec<u8>,
+    },
     /// Load (or hot-swap) a model into the registry.
     LoadModel {
         /// Registry id to file the model under.
@@ -558,6 +577,7 @@ impl Request {
             Request::Predict { .. } => Op::Predict,
             Request::Compress { .. } => Op::Compress,
             Request::Decompress { .. } => Op::Decompress,
+            Request::DecompressRange { .. } => Op::DecompressRange,
             Request::LoadModel { .. } => Op::LoadModel,
             Request::Stats => Op::Stats,
         }
@@ -584,6 +604,11 @@ impl Request {
                 put_field(&mut out, field);
             }
             Request::Decompress { stream } => out.extend_from_slice(stream),
+            Request::DecompressRange { start, end, stream } => {
+                out.extend_from_slice(&start.to_le_bytes());
+                out.extend_from_slice(&end.to_le_bytes());
+                out.extend_from_slice(stream);
+            }
             Request::LoadModel { id, version, json } => {
                 put_str16(&mut out, id);
                 out.extend_from_slice(&version.to_le_bytes());
@@ -627,6 +652,18 @@ impl Request {
             Op::Decompress => Request::Decompress {
                 stream: c.rest().to_vec(),
             },
+            Op::DecompressRange => {
+                let start = c.u64()?;
+                let end = c.u64()?;
+                if start > end {
+                    return Err(FrameError::Malformed("range start exceeds end"));
+                }
+                Request::DecompressRange {
+                    start,
+                    end,
+                    stream: c.rest().to_vec(),
+                }
+            }
             Op::LoadModel => {
                 let id = c.str16()?;
                 let version = c.u32()?;
@@ -658,6 +695,8 @@ pub enum Reply {
     },
     /// `Decompress` result: the reconstructed field.
     Field(Field),
+    /// `DecompressRange` result: the requested elements, in order.
+    Range(Vec<f32>),
 }
 
 impl Reply {
@@ -673,6 +712,12 @@ impl Reply {
                 out.extend_from_slice(stream);
             }
             Reply::Field(field) => put_field(&mut out, field),
+            Reply::Range(values) => {
+                out.reserve(values.len() * 4);
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -706,6 +751,17 @@ impl Reply {
                     return Err(FrameError::Malformed("trailing bytes after field"));
                 }
                 Reply::Field(field)
+            }
+            Op::DecompressRange => {
+                let n = c.remaining();
+                if !n.is_multiple_of(4) {
+                    return Err(FrameError::Malformed("range data not f32-aligned"));
+                }
+                let mut values = Vec::with_capacity(n / 4);
+                for b in c.take(n)?.chunks_exact(4) {
+                    values.push(f32::from_le_bytes(le_array(b)?));
+                }
+                Reply::Range(values)
             }
         })
     }
@@ -741,6 +797,11 @@ mod tests {
             },
             Request::Decompress {
                 stream: vec![0xA1, 1, 2, 3],
+            },
+            Request::DecompressRange {
+                start: 100,
+                end: 356,
+                stream: vec![0xA1, 9, 8, 7],
             },
             Request::LoadModel {
                 id: "hurricane".into(),
@@ -816,6 +877,42 @@ mod tests {
         assert_eq!(back.dims(), field.dims());
         assert_eq!(back.data(), field.data());
         assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn range_request_and_reply_roundtrip() {
+        let req = Request::DecompressRange {
+            start: 7,
+            end: 19,
+            stream: vec![0xA1, 3, 1, 4, 1, 5],
+        };
+        match Request::decode(Op::DecompressRange, &req.encode()).expect("decode") {
+            Request::DecompressRange { start, end, stream } => {
+                assert_eq!((start, end), (7, 19));
+                assert_eq!(stream, vec![0xA1, 3, 1, 4, 1, 5]);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+
+        // An inverted range is rejected at decode time.
+        let bad = Request::DecompressRange {
+            start: 19,
+            end: 7,
+            stream: Vec::new(),
+        };
+        assert!(matches!(
+            Request::decode(Op::DecompressRange, &bad.encode()),
+            Err(FrameError::Malformed(_))
+        ));
+
+        let reply = Reply::Range(vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE]);
+        match Reply::decode(Op::DecompressRange, &reply.encode()).expect("decode") {
+            Reply::Range(values) => {
+                assert_eq!(values, vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE]);
+            }
+            other => panic!("wrong reply {other:?}"),
+        }
+        assert!(Reply::decode(Op::DecompressRange, &[0u8; 3]).is_err());
     }
 
     #[test]

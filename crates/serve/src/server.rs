@@ -518,7 +518,7 @@ fn predict_json(served: &ServedModel, est: &Estimate) -> String {
 }
 
 /// Every op the per-op `Stats` array reports on.
-const ALL_OPS: [Op; 7] = [
+const ALL_OPS: [Op; 8] = [
     Op::Ping,
     Op::Features,
     Op::Predict,
@@ -526,6 +526,7 @@ const ALL_OPS: [Op; 7] = [
     Op::Decompress,
     Op::LoadModel,
     Op::Stats,
+    Op::DecompressRange,
 ];
 
 fn stats_json(shared: &Shared) -> String {
@@ -765,6 +766,35 @@ fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame, trace: TraceContext
                     match comp.decompress(&stream) {
                         Ok(field) => {
                             ResponseFrame::ok(Op::Decompress, req_id, Reply::Field(field).encode())
+                        }
+                        Err(e) => {
+                            ResponseFrame::error(op_byte, req_id, code::ENGINE, &e.to_string())
+                        }
+                    }
+                })
+        }
+        Request::DecompressRange { start, end, stream } => {
+            shared
+                .scheduler
+                .submit(op_byte, req_id, frame.deadline_ms, trace, move |_ctx| {
+                    let Some(comp) = fxrz_compressors::detect(&stream) else {
+                        return ResponseFrame::error(
+                            op_byte,
+                            req_id,
+                            code::ENGINE,
+                            "unrecognized compressor stream magic",
+                        );
+                    };
+                    let telemetry = fxrz_telemetry::global();
+                    telemetry.incr(names::SLAB_RANGE_REQUESTS);
+                    match comp.decompress_range(&stream, start as usize..end as usize) {
+                        Ok(values) => {
+                            telemetry.add(names::SLAB_RANGE_ELEMS, values.len() as u64);
+                            ResponseFrame::ok(
+                                Op::DecompressRange,
+                                req_id,
+                                Reply::Range(values).encode(),
+                            )
                         }
                         Err(e) => {
                             ResponseFrame::error(op_byte, req_id, code::ENGINE, &e.to_string())

@@ -34,7 +34,7 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi|sz2|sz-fse> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [--audit-log FILE]\n             [--trace-seed N] [--cr-tolerance F] [id=]model.json …\n  fxrz top (--connect HOST:PORT | --socket PATH) [--interval-ms N] [--once]\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi|sz2|sz-fse> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [--audit-log FILE]\n             [--trace-seed N] [--cr-tolerance F] [id=]model.json …\n  fxrz top (--connect HOST:PORT | --socket PATH) [--interval-ms N] [--once]\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               decompress-range --input FILE --start N --end N --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
     );
     ExitCode::FAILURE
 }
@@ -667,7 +667,7 @@ fn run() -> Result<(), String> {
                     client.deadline_ms = d.parse().map_err(|_| "bad --deadline-ms")?;
                 }
                 let action = pos.first().cloned().ok_or(
-                    "missing client action (ping|features|predict|compress|decompress|load-model|stats)",
+                    "missing client action (ping|features|predict|compress|decompress|decompress-range|load-model|stats)",
                 )?;
                 match action.as_str() {
                     "ping" => {
@@ -705,6 +705,23 @@ fn run() -> Result<(), String> {
                         let field = client.decompress(&bytes).map_err(|e| e.to_string())?;
                         write_field(&flag("output")?, &field)?;
                         println!("decompressed {} ({})", field.name(), field.dims());
+                    }
+                    "decompress-range" => {
+                        let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                        let start: u64 = flag("start")?.parse().map_err(|_| "bad --start")?;
+                        let end: u64 = flag("end")?.parse().map_err(|_| "bad --end")?;
+                        let values = client
+                            .decompress_range(&bytes, start, end)
+                            .map_err(|e| e.to_string())?;
+                        let mut raw = Vec::with_capacity(values.len() * 4);
+                        for v in &values {
+                            raw.extend_from_slice(&v.to_le_bytes());
+                        }
+                        std::fs::write(flag("output")?, &raw).map_err(|e| e.to_string())?;
+                        println!(
+                            "decompressed elements {start}..{end} ({} values)",
+                            values.len()
+                        );
                     }
                     "load-model" => {
                         let json =

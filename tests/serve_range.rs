@@ -1,0 +1,49 @@
+//! Integration: the `DecompressRange` op end to end.
+//!
+//! A slabbed stream served over TCP must return exactly the same bytes a
+//! full decode + slice produces, for ranges that cross slab boundaries,
+//! and the server must count the requests under `serve.slab.*`.
+
+use fxrz::prelude::*;
+use fxrz_datagen::grf::{gaussian_random_field, GrfConfig};
+
+#[test]
+fn served_range_decode_matches_full_decode() {
+    // 8 × 256 × 256 = 524288 elements = 2 entropy blocks → a 2-slab stream.
+    let field = gaussian_random_field(Dims::d3(8, 256, 256), GrfConfig::default().with_seed(777));
+    let stream = Sz
+        .compress(&field, &ErrorConfig::Abs(1e-3))
+        .expect("compress");
+    let full = Sz.decompress(&stream).expect("decompress");
+
+    let server = Server::new(ServerConfig::default());
+    let handle = server.serve_tcp("127.0.0.1:0").expect("bind tcp");
+    let addr = handle.local_addr().expect("addr").to_string();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    // Within the first slab, crossing the boundary, and within the second.
+    for (start, end) in [(0u64, 100), (262_000, 262_500), (400_000, 524_288)] {
+        let got = client
+            .decompress_range(&stream, start, end)
+            .expect("range decode");
+        let want = &full.data()[start as usize..end as usize];
+        assert_eq!(got, want, "range {start}..{end} differs from full decode");
+    }
+
+    // Degenerate and invalid ranges answer without killing the connection.
+    assert!(client
+        .decompress_range(&stream, 5, 5)
+        .expect("empty")
+        .is_empty());
+    assert!(client.decompress_range(&stream, 0, u64::MAX).is_err());
+    client.ping().expect("connection survives an error reply");
+
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("\"serve.slab.range_requests\""),
+        "stats missing range telemetry: {stats}"
+    );
+
+    let report = handle.shutdown();
+    assert!(report.drained, "server failed to drain: {report:?}");
+}
