@@ -20,6 +20,7 @@ const SCOPED_CRATES: &[&str] = &[
     "fxrz-ml",
     "fxrz-parallel",
     "fxrz-fraz",
+    "fxrz-stream",
 ];
 
 /// Banned identifier → why it is banned.

@@ -588,6 +588,70 @@ fn bench_codec(c: &mut Criterion) {
     }
     group.finish();
 
+    // Streaming frames: a drifting sine+noise signal pushed frame by
+    // frame through the FXRZS1 encoder (per-frame codec selection plus
+    // the sliding-window ratio controller), then decoded whole at 1 and
+    // 4 worker threads. Raw signal bytes are the denominator throughout.
+    let (stream_frames, stream_frame_len) = if smoke_mode() { (8, 256) } else { (64, 4096) };
+    let stream_signal: Vec<f32> = (0..stream_frames * stream_frame_len)
+        .map(|i| {
+            let frame = i / stream_frame_len;
+            let drift = frame as f32 / stream_frames as f32;
+            let t = i as f32 * 0.003;
+            let pseudo =
+                ((i as u32).wrapping_mul(2654435761) >> 16) as f32 / 65536.0 - 0.5;
+            (1.0 + drift) * t.sin() + 0.4 * drift * pseudo
+        })
+        .collect();
+    let stream_raw_bytes = stream_signal.len() * 4;
+    let encode_stream = || {
+        let mut enc = fxrz_stream::StreamEncoder::new(fxrz_stream::StreamConfig::new(12.0))
+            .expect("stream config");
+        let mut out = enc.header();
+        for chunk in stream_signal.chunks(stream_frame_len) {
+            out.extend_from_slice(&enc.push(chunk).expect("stream push").bytes);
+        }
+        out.extend_from_slice(&enc.finish());
+        (out, enc.cumulative_ratio())
+    };
+    let (stream_file, stream_cr) = encode_stream();
+    let stream_decoded = fxrz_stream::StreamDecoder::decode(&stream_file).expect("stream decode");
+    assert_eq!(stream_decoded.samples.len(), stream_signal.len());
+
+    let mut group = c.benchmark_group("stream_throughput");
+    group.throughput(Throughput::Bytes(stream_raw_bytes as u64));
+    group.bench_function("encode", |b| b.iter(&encode_stream));
+    for threads in [1usize, 4] {
+        group.bench_function(format!("decode/{threads}t"), |b| {
+            b.iter(|| {
+                fxrz_parallel::with_threads(threads, || {
+                    fxrz_stream::StreamDecoder::decode(&stream_file).expect("stream decode")
+                })
+            })
+        });
+    }
+    group.finish();
+
+    let stream_mib = stream_raw_bytes as f64 / (1024.0 * 1024.0);
+    let stream_enc_mibps = stream_mib
+        / median_secs(samples, || {
+            black_box(encode_stream());
+        });
+    let stream_dec_mibps: Vec<f64> = [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            stream_mib
+                / median_secs(samples, || {
+                    fxrz_parallel::with_threads(threads, || {
+                        black_box(
+                            fxrz_stream::StreamDecoder::decode(&stream_file)
+                                .expect("stream decode"),
+                        );
+                    });
+                })
+        })
+        .collect();
+
     let arch_mib = raw_bytes as f64 / (1024.0 * 1024.0);
     let v1_mibps = arch_mib
         / median_secs(samples, || {
@@ -693,6 +757,15 @@ fn bench_codec(c: &mut Criterion) {
     "v1_monolithic_mibps": {a0:.1},
     "v2_slabbed_mibps": {{"1t": {a1:.1}, "2t": {a2:.1}, "4t": {a4:.1}, "8t": {a8:.1}}},
     "speedup_4t_vs_v1": {asp:.2}
+  }},
+  "stream_throughput": {{
+    "raw_mib": {sm:.2},
+    "frames": {sfr},
+    "frame_samples": {sfl},
+    "target_cr": 12.0,
+    "cumulative_cr": {scr:.2},
+    "encode_mibps": {se:.1},
+    "decode_mibps": {{"1t": {sd1:.1}, "4t": {sd4:.1}}}
   }}
 }}
 "#,
@@ -730,6 +803,13 @@ fn bench_codec(c: &mut Criterion) {
         a4 = v2_mibps[2],
         a8 = v2_mibps[3],
         asp = v2_mibps[2] / v1_mibps,
+        sm = stream_mib,
+        sfr = stream_frames,
+        sfl = stream_frame_len,
+        scr = stream_cr,
+        se = stream_enc_mibps,
+        sd1 = stream_dec_mibps[0],
+        sd4 = stream_dec_mibps[1],
     );
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
     std::fs::write(out_path, &json).expect("write BENCH_codec.json");

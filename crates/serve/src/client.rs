@@ -252,6 +252,58 @@ impl Client {
         }
     }
 
+    /// Opens a streaming session; returns `(info json, FXRZS1 header
+    /// bytes)`. Parse `stream_id` out of the info JSON for subsequent
+    /// frame/close calls — the session lives on this connection only.
+    ///
+    /// # Errors
+    /// Propagates call failures.
+    pub fn stream_open(
+        &mut self,
+        target_ratio: f64,
+        window: u32,
+        models: &[String],
+    ) -> Result<(String, Vec<u8>), ClientError> {
+        match self.call(&Request::StreamOpen {
+            target_ratio,
+            window,
+            models: models.to_vec(),
+        })? {
+            Reply::Stream { info, bytes } => Ok((info, bytes)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Encodes one frame through an open session; returns `(info json,
+    /// frame record bytes)`.
+    ///
+    /// # Errors
+    /// Propagates call failures (`NO_SUCH_STREAM` when the id is stale).
+    pub fn stream_frame(
+        &mut self,
+        stream_id: u32,
+        field: &Field,
+    ) -> Result<(String, Vec<u8>), ClientError> {
+        match self.call(&Request::StreamFrame {
+            stream_id,
+            field: field.clone(),
+        })? {
+            Reply::Stream { info, bytes } => Ok((info, bytes)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Closes a session; returns `(summary json, trailer bytes)`.
+    ///
+    /// # Errors
+    /// Propagates call failures (`NO_SUCH_STREAM` when the id is stale).
+    pub fn stream_close(&mut self, stream_id: u32) -> Result<(String, Vec<u8>), ClientError> {
+        match self.call(&Request::StreamClose { stream_id })? {
+            Reply::Stream { info, bytes } => Ok((info, bytes)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
     /// Loads (or hot-reloads) a model into the server registry; returns
     /// the `{"id":…,"version":…}` JSON.
     ///

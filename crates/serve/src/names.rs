@@ -64,6 +64,16 @@ pub const SLAB_RANGE_REQUESTS: &str = "serve.slab.range_requests";
 /// Elements returned by `DecompressRange` replies.
 pub const SLAB_RANGE_ELEMS: &str = "serve.slab.range_elems";
 
+/// Stream sessions opened (`StreamOpen`).
+pub const STREAM_OPENED: &str = "serve.stream.opened";
+/// Frames encoded through stream sessions (`StreamFrame`).
+pub const STREAM_FRAMES: &str = "serve.stream.frames";
+/// Stream sessions closed cleanly (`StreamClose`).
+pub const STREAM_CLOSED: &str = "serve.stream.closed";
+/// Stream sessions dropped because the connection went away before
+/// `StreamClose`.
+pub const STREAM_ABANDONED: &str = "serve.stream.abandoned";
+
 /// Span around one client connection.
 pub const SPAN_CONN: &str = "serve.conn";
 /// Span around one scheduled request execution (traced).

@@ -59,6 +59,12 @@ pub enum Op {
     Stats = 0x07,
     /// Decompress an element range of a stream without decoding the rest.
     DecompressRange = 0x08,
+    /// Open a per-connection `FXRZS1` stream session.
+    StreamOpen = 0x09,
+    /// Encode one frame into an open stream session.
+    StreamFrame = 0x0A,
+    /// Close a stream session and collect its trailer.
+    StreamClose = 0x0B,
 }
 
 impl Op {
@@ -73,6 +79,9 @@ impl Op {
             0x06 => Op::LoadModel,
             0x07 => Op::Stats,
             0x08 => Op::DecompressRange,
+            0x09 => Op::StreamOpen,
+            0x0A => Op::StreamFrame,
+            0x0B => Op::StreamClose,
             _ => return None,
         })
     }
@@ -88,6 +97,9 @@ impl Op {
             Op::LoadModel => "load_model",
             Op::Stats => "stats",
             Op::DecompressRange => "decompress_range",
+            Op::StreamOpen => "stream_open",
+            Op::StreamFrame => "stream_frame",
+            Op::StreamClose => "stream_close",
         }
     }
 }
@@ -134,6 +146,9 @@ pub mod code {
     pub const SHUTTING_DOWN: u16 = 7;
     /// The request executor panicked or vanished.
     pub const INTERNAL: u16 = 8;
+    /// A stream op referenced a stream id this connection never opened
+    /// (or already closed).
+    pub const NO_SUCH_STREAM: u16 = 9;
 }
 
 /// Frame-layer failures (transport or framing, not application errors).
@@ -566,6 +581,28 @@ pub enum Request {
     },
     /// Server statistics.
     Stats,
+    /// Open a per-connection streaming session.
+    StreamOpen {
+        /// Global target compression ratio for the stream.
+        target_ratio: f64,
+        /// Ratio-controller window, in frames.
+        window: u32,
+        /// Registry references whose models seed the codec rows
+        /// (empty = heuristic codec selection).
+        models: Vec<String>,
+    },
+    /// Encode one frame through an open session.
+    StreamFrame {
+        /// Session id returned by `StreamOpen`.
+        stream_id: u32,
+        /// The frame's samples as a field.
+        field: Field,
+    },
+    /// Close a session, collecting the stream trailer.
+    StreamClose {
+        /// Session id returned by `StreamOpen`.
+        stream_id: u32,
+    },
 }
 
 impl Request {
@@ -580,6 +617,9 @@ impl Request {
             Request::DecompressRange { .. } => Op::DecompressRange,
             Request::LoadModel { .. } => Op::LoadModel,
             Request::Stats => Op::Stats,
+            Request::StreamOpen { .. } => Op::StreamOpen,
+            Request::StreamFrame { .. } => Op::StreamFrame,
+            Request::StreamClose { .. } => Op::StreamClose,
         }
     }
 
@@ -613,6 +653,25 @@ impl Request {
                 put_str16(&mut out, id);
                 out.extend_from_slice(&version.to_le_bytes());
                 out.extend_from_slice(json.as_bytes());
+            }
+            Request::StreamOpen {
+                target_ratio,
+                window,
+                models,
+            } => {
+                out.extend_from_slice(&target_ratio.to_le_bytes());
+                out.extend_from_slice(&window.to_le_bytes());
+                out.push(models.len() as u8);
+                for m in models {
+                    put_str16(&mut out, m);
+                }
+            }
+            Request::StreamFrame { stream_id, field } => {
+                out.extend_from_slice(&stream_id.to_le_bytes());
+                put_field(&mut out, field);
+            }
+            Request::StreamClose { stream_id } => {
+                out.extend_from_slice(&stream_id.to_le_bytes());
             }
         }
         out
@@ -671,6 +730,30 @@ impl Request {
                     .map_err(|_| FrameError::Malformed("model json not utf-8"))?;
                 Request::LoadModel { id, version, json }
             }
+            Op::StreamOpen => {
+                let target_ratio = c.f64()?;
+                let window = c.u32()?;
+                // The count is a u8, so at most 255 entries: growth from an
+                // empty Vec is cheap and keeps the decoder allocation-bounded.
+                let count = c.u8()? as usize;
+                let mut models = Vec::new();
+                for _ in 0..count {
+                    models.push(c.str16()?);
+                }
+                Request::StreamOpen {
+                    target_ratio,
+                    window,
+                    models,
+                }
+            }
+            Op::StreamFrame => {
+                let stream_id = c.u32()?;
+                let field = get_field(&mut c)?;
+                Request::StreamFrame { stream_id, field }
+            }
+            Op::StreamClose => Request::StreamClose {
+                stream_id: c.u32()?,
+            },
         };
         if c.remaining() != 0 {
             return Err(FrameError::Malformed("trailing bytes after payload"));
@@ -697,6 +780,16 @@ pub enum Reply {
     Field(Field),
     /// `DecompressRange` result: the requested elements, in order.
     Range(Vec<f32>),
+    /// Stream op result: a JSON info blob plus raw stream bytes (the
+    /// `FXRZS1` header for `StreamOpen`, one frame record for
+    /// `StreamFrame`, the trailer for `StreamClose`); the client
+    /// concatenates them into the seekable stream file.
+    Stream {
+        /// JSON describing the session / frame outcome.
+        info: String,
+        /// The stream bytes this op contributed.
+        bytes: Vec<u8>,
+    },
 }
 
 impl Reply {
@@ -712,6 +805,11 @@ impl Reply {
                 out.extend_from_slice(stream);
             }
             Reply::Field(field) => put_field(&mut out, field),
+            Reply::Stream { info, bytes } => {
+                out.extend_from_slice(&(info.len() as u32).to_le_bytes());
+                out.extend_from_slice(info.as_bytes());
+                out.extend_from_slice(bytes);
+            }
             Reply::Range(values) => {
                 out.reserve(values.len() * 4);
                 for v in values {
@@ -751,6 +849,16 @@ impl Reply {
                     return Err(FrameError::Malformed("trailing bytes after field"));
                 }
                 Reply::Field(field)
+            }
+            Op::StreamOpen | Op::StreamFrame | Op::StreamClose => {
+                let info_len = c.u32()? as usize;
+                if info_len > c.remaining() {
+                    return Err(FrameError::Malformed("info length exceeds payload"));
+                }
+                let info = String::from_utf8(c.take(info_len)?.to_vec())
+                    .map_err(|_| FrameError::Malformed("info not utf-8"))?;
+                let bytes = c.rest().to_vec();
+                Reply::Stream { info, bytes }
             }
             Op::DecompressRange => {
                 let n = c.remaining();
@@ -808,6 +916,16 @@ mod tests {
                 version: 7,
                 json: "{\"k\":1}".into(),
             },
+            Request::StreamOpen {
+                target_ratio: 12.5,
+                window: 32,
+                models: vec!["nyx".into(), "hurricane@3".into()],
+            },
+            Request::StreamFrame {
+                stream_id: 4,
+                field: sample_field(),
+            },
+            Request::StreamClose { stream_id: 4 },
         ];
         for (i, req) in reqs.iter().enumerate() {
             let frame = RequestFrame {
@@ -863,6 +981,56 @@ mod tests {
                 assert_eq!(stream.len(), 100);
             }
             other => panic!("wrong reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_requests_and_reply_roundtrip() {
+        match Request::decode(
+            Op::StreamOpen,
+            &Request::StreamOpen {
+                target_ratio: 16.0,
+                window: 24,
+                models: vec!["nyx@2".into()],
+            }
+            .encode(),
+        )
+        .expect("decode")
+        {
+            Request::StreamOpen {
+                target_ratio,
+                window,
+                models,
+            } => {
+                assert_eq!(target_ratio, 16.0);
+                assert_eq!(window, 24);
+                assert_eq!(models, vec!["nyx@2".to_owned()]);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        match Request::decode(Op::StreamClose, &Request::StreamClose { stream_id: 9 }.encode())
+            .expect("decode")
+        {
+            Request::StreamClose { stream_id } => assert_eq!(stream_id, 9),
+            other => panic!("wrong request {other:?}"),
+        }
+        // Trailing bytes after a stream request are rejected.
+        let mut payload = Request::StreamClose { stream_id: 9 }.encode();
+        payload.push(0);
+        assert!(Request::decode(Op::StreamClose, &payload).is_err());
+
+        for op in [Op::StreamOpen, Op::StreamFrame, Op::StreamClose] {
+            let reply = Reply::Stream {
+                info: "{\"stream_id\":3}".into(),
+                bytes: vec![0x46, 0x58, 0x52],
+            };
+            match Reply::decode(op, &reply.encode()).expect("decode") {
+                Reply::Stream { info, bytes } => {
+                    assert_eq!(info, "{\"stream_id\":3}");
+                    assert_eq!(bytes, vec![0x46, 0x58, 0x52]);
+                }
+                other => panic!("wrong reply {other:?}"),
+            }
         }
     }
 

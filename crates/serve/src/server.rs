@@ -18,11 +18,12 @@ use crate::registry::{ModelRegistry, RegistryError, ServedModel};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use fxrz_core::infer::Estimate;
 use fxrz_core::sampling::StridedSampler;
+use fxrz_stream::{StreamConfig, StreamEncoder};
 use fxrz_telemetry::{TraceContext, TraceIdGen};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Process-level stop plumbing: SIGTERM / SIGINT → one atomic flag every
@@ -433,12 +434,46 @@ impl Read for PatientReader<'_> {
     }
 }
 
+/// One open `FXRZS1` encoder session. Sessions are per-connection (the
+/// protocol is strict request/response, so a stream's frames arrive in
+/// order on one socket); the mutex exists because frame jobs execute on
+/// scheduler pool threads while open/close run on the connection thread.
+struct StreamSession {
+    encoder: StreamEncoder,
+}
+
+/// Per-connection stream-session table — the serve daemon's first
+/// stateful ops. Dropped (and counted) with the connection.
+#[derive(Default)]
+struct ConnStreams {
+    next_id: u32,
+    sessions: Vec<(u32, Arc<Mutex<StreamSession>>)>,
+}
+
+impl ConnStreams {
+    fn get(&self, id: u32) -> Option<Arc<Mutex<StreamSession>>> {
+        self.sessions
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, s)| Arc::clone(s))
+    }
+}
+
+impl Drop for ConnStreams {
+    fn drop(&mut self) {
+        if !self.sessions.is_empty() {
+            fxrz_telemetry::global().add(names::STREAM_ABANDONED, self.sessions.len() as u64);
+        }
+    }
+}
+
 fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
     let _guard = ConnGuard(shared);
     let _span = fxrz_telemetry::span!(names::SPAN_CONN);
     if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
+    let mut streams = ConnStreams::default();
     loop {
         let read_result = {
             let mut patient = PatientReader {
@@ -451,7 +486,7 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
         match read_result {
             Ok(None) => break, // clean close (peer EOF, or stop while idle)
             Ok(Some(frame)) => {
-                let response = dispatch(shared, frame);
+                let response = dispatch(shared, frame, &mut streams);
                 if protocol::write_response(&mut conn, &response).is_err() {
                     fxrz_telemetry::global().incr(names::CONN_WRITE_ERRORS);
                     break;
@@ -478,13 +513,13 @@ fn handle_connection(shared: &Arc<Shared>, mut conn: Box<dyn Connection>) {
 /// [`TraceContext`] attached to the connection thread for its duration;
 /// the scheduler re-attaches it on whichever pool thread executes the
 /// job.
-fn dispatch(shared: &Arc<Shared>, frame: RequestFrame) -> ResponseFrame {
+fn dispatch(shared: &Arc<Shared>, frame: RequestFrame, streams: &mut ConnStreams) -> ResponseFrame {
     let telemetry = fxrz_telemetry::global();
     let op = frame.op;
     let trace = shared.trace_ids.next();
     let _trace_guard = fxrz_telemetry::trace::attach(trace);
     let t0 = Instant::now();
-    let response = dispatch_inner(shared, frame, trace);
+    let response = dispatch_inner(shared, frame, trace, streams);
     let elapsed = t0.elapsed();
     telemetry
         .histogram(&format!("serve.op.{op}.ns", op = op.name()))
@@ -518,7 +553,7 @@ fn predict_json(served: &ServedModel, est: &Estimate) -> String {
 }
 
 /// Every op the per-op `Stats` array reports on.
-const ALL_OPS: [Op; 8] = [
+const ALL_OPS: [Op; 11] = [
     Op::Ping,
     Op::Features,
     Op::Predict,
@@ -527,6 +562,9 @@ const ALL_OPS: [Op; 8] = [
     Op::LoadModel,
     Op::Stats,
     Op::DecompressRange,
+    Op::StreamOpen,
+    Op::StreamFrame,
+    Op::StreamClose,
 ];
 
 fn stats_json(shared: &Shared) -> String {
@@ -571,7 +609,12 @@ fn stats_json(shared: &Shared) -> String {
     )
 }
 
-fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame, trace: TraceContext) -> ResponseFrame {
+fn dispatch_inner(
+    shared: &Arc<Shared>,
+    frame: RequestFrame,
+    trace: TraceContext,
+    streams: &mut ConnStreams,
+) -> ResponseFrame {
     let op = frame.op;
     let op_byte = op as u8;
     let req_id = frame.req_id;
@@ -801,6 +844,194 @@ fn dispatch_inner(shared: &Arc<Shared>, frame: RequestFrame, trace: TraceContext
                         }
                     }
                 })
+        }
+        Request::StreamOpen {
+            target_ratio,
+            window,
+            models,
+        } => {
+            // Resolve model references up front (like Predict/Compress)
+            // so the session pins its model Arcs across hot swaps.
+            let mut trained = Vec::with_capacity(models.len());
+            let mut refs = Vec::with_capacity(models.len());
+            for m in &models {
+                match shared.registry.resolve(m) {
+                    Ok(served) => {
+                        refs.push(served.reference());
+                        trained.push(served.engine.model().clone());
+                    }
+                    Err(e) => {
+                        return ResponseFrame::error(
+                            op_byte,
+                            req_id,
+                            registry_error_code(&e),
+                            &e.to_string(),
+                        )
+                    }
+                }
+            }
+            let mut config = StreamConfig::new(target_ratio);
+            if window != 0 {
+                config.window = window as usize;
+            }
+            let encoder = match StreamEncoder::with_models(config, trained) {
+                Ok(enc) => enc,
+                Err(e) => {
+                    return ResponseFrame::error(op_byte, req_id, code::BAD_REQUEST, &e.to_string())
+                }
+            };
+            let header = encoder.header();
+            let id = streams.next_id;
+            streams.next_id += 1;
+            streams
+                .sessions
+                .push((id, Arc::new(Mutex::new(StreamSession { encoder }))));
+            fxrz_telemetry::global().incr(names::STREAM_OPENED);
+            let info = format!(
+                "{{\"stream_id\":{id},\"target_ratio\":{target_ratio},\"models\":{},\"trace_id\":{}}}",
+                serde_json::to_string(&refs).unwrap_or_else(|_| "[]".to_owned()),
+                trace.trace_id,
+            );
+            ResponseFrame::ok(
+                Op::StreamOpen,
+                req_id,
+                Reply::Stream {
+                    info,
+                    bytes: header,
+                }
+                .encode(),
+            )
+        }
+        Request::StreamFrame { stream_id, field } => {
+            let Some(session) = streams.get(stream_id) else {
+                return ResponseFrame::error(
+                    op_byte,
+                    req_id,
+                    code::NO_SUCH_STREAM,
+                    &format!("no open stream {stream_id} on this connection"),
+                );
+            };
+            let audit_shared = Arc::clone(shared);
+            shared
+                .scheduler
+                .submit(op_byte, req_id, frame.deadline_ms, trace, move |ctx| {
+                    let t0 = Instant::now();
+                    let mut session = session.lock().unwrap_or_else(|e| e.into_inner());
+                    match session.encoder.push(field.data()) {
+                        Ok(outcome) => {
+                            let exec_ns =
+                                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            let rel_err = (outcome.achieved_ratio - outcome.target_ratio).abs()
+                                / outcome.target_ratio;
+                            let in_tolerance = rel_err <= audit_shared.config.cr_tolerance;
+                            let record = AuditRecord {
+                                trace_id: ctx.trace.trace_id,
+                                req_id,
+                                op: "stream".to_owned(),
+                                model: format!("stream:{}", outcome.codec),
+                                target_cr: outcome.target_ratio,
+                                predicted_eb: outcome.eb,
+                                config: format!("abs={:.3e}", outcome.eb),
+                                achieved_cr: outcome.achieved_ratio,
+                                rel_err,
+                                in_tolerance,
+                                queue_ns: ctx.queue_ns,
+                                exec_ns,
+                                uncompressed_bytes: field.nbytes() as u64,
+                                compressed_bytes: outcome.bytes.len() as u64,
+                                features: outcome.features,
+                            };
+                            audit_shared.accuracy.record(
+                                &record.model,
+                                rel_err,
+                                in_tolerance,
+                                exec_ns,
+                            );
+                            let sink = audit_shared
+                                .audit
+                                .read()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .clone();
+                            if let Some(sink) = sink {
+                                sink.append(&record);
+                            }
+                            fxrz_telemetry::global().incr(names::STREAM_FRAMES);
+                            let info = format!(
+                                "{{\"stream_id\":{stream_id},\"frame\":{},\"codec\":\"{}\",\"eb\":{:e},\
+                                 \"frame_target\":{},\"achieved\":{},\"cumulative\":{},\
+                                 \"retried\":{},\"in_tolerance\":{},\"trace_id\":{}}}",
+                                outcome.index,
+                                outcome.codec,
+                                outcome.eb,
+                                outcome.target_ratio,
+                                outcome.achieved_ratio,
+                                outcome.cumulative_ratio,
+                                outcome.retried,
+                                in_tolerance,
+                                ctx.trace.trace_id,
+                            );
+                            ResponseFrame::ok(
+                                Op::StreamFrame,
+                                req_id,
+                                Reply::Stream {
+                                    info,
+                                    bytes: outcome.bytes,
+                                }
+                                .encode(),
+                            )
+                        }
+                        Err(e) => {
+                            ResponseFrame::error(op_byte, req_id, code::ENGINE, &e.to_string())
+                        }
+                    }
+                })
+        }
+        Request::StreamClose { stream_id } => {
+            let Some(at) = streams
+                .sessions
+                .iter()
+                .position(|(sid, _)| *sid == stream_id)
+            else {
+                return ResponseFrame::error(
+                    op_byte,
+                    req_id,
+                    code::NO_SUCH_STREAM,
+                    &format!("no open stream {stream_id} on this connection"),
+                );
+            };
+            let (_, session) = streams.sessions.remove(at);
+            let session = session.lock().unwrap_or_else(|e| e.into_inner());
+            let trailer = session.encoder.finish();
+            let summary = session.encoder.summary();
+            fxrz_telemetry::global().incr(names::STREAM_CLOSED);
+            let codecs: Vec<String> = summary
+                .codecs
+                .iter()
+                .map(|(name, count)| format!("{{\"codec\":\"{name}\",\"frames\":{count}}}"))
+                .collect();
+            let info = format!(
+                "{{\"stream_id\":{stream_id},\"frames\":{},\"samples\":{},\
+                 \"raw_bytes\":{},\"comp_bytes\":{},\"target_ratio\":{},\
+                 \"cumulative_ratio\":{},\"retries\":{},\"codecs\":[{}],\"trace_id\":{}}}",
+                summary.frames,
+                summary.samples,
+                summary.raw_bytes,
+                summary.comp_bytes,
+                summary.target_ratio,
+                summary.cumulative_ratio,
+                summary.retries,
+                codecs.join(","),
+                trace.trace_id,
+            );
+            ResponseFrame::ok(
+                Op::StreamClose,
+                req_id,
+                Reply::Stream {
+                    info,
+                    bytes: trailer,
+                }
+                .encode(),
+            )
         }
     }
 }

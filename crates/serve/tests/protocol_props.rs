@@ -261,10 +261,14 @@ fn fuzzed_payload_decode_never_panics_for_any_op() {
 fn valid_response_frames_round_trip() {
     let mut rng = Rng(0xfeed_0007);
     for case in 0..100 {
-        let reply = match rng.below(4) {
+        let reply = match rng.below(5) {
             0 => Reply::Pong,
             1 => Reply::Json("{\"ok\":true}".to_owned()),
             2 => Reply::Range((0..rng.below(24)).map(|_| rng.next() as f32).collect()),
+            3 => Reply::Stream {
+                info: "{\"stream_id\":1}".to_owned(),
+                bytes: (0..rng.below(32)).map(|_| rng.next() as u8).collect(),
+            },
             _ => Reply::Compress {
                 info: "{\"ratio\":30.0}".to_owned(),
                 stream: (0..rng.below(48)).map(|_| rng.next() as u8).collect(),
@@ -276,6 +280,7 @@ fn valid_response_frames_round_trip() {
             Reply::Compress { .. } => Op::Compress,
             Reply::Field(_) => Op::Decompress,
             Reply::Range(_) => Op::DecompressRange,
+            Reply::Stream { .. } => Op::StreamFrame,
         };
         let frame = ResponseFrame::ok(op, rng.next(), reply.encode());
         let mut bytes = Vec::new();

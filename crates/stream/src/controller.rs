@@ -1,0 +1,270 @@
+//! The sliding-window fixed-ratio controller and the per-codec
+//! rate-curve calibration.
+//!
+//! FXRZ's snapshot path predicts one error bound per field; a stream has
+//! to hold a *global* target ratio while frame statistics drift. The
+//! controller tracks the cumulative byte debt against the target —
+//! `D = comp_total − raw_total / R_target`, the bytes spent beyond what
+//! the target allows — and amortizes its repayment over the next
+//! `window` frames: each upcoming frame's byte budget is its own fair
+//! share minus one window-th of the outstanding debt,
+//!
+//! ```text
+//! budget_f = raw_f / R_target − D / window
+//! target_f = raw_f / budget_f            (clamped to R_target / 4 .. R_target × 4)
+//! ```
+//!
+//! so an under-shot frame (D grows) tightens the next `window` targets
+//! and an over-shot frame (D shrinks) loosens them, and — because D is
+//! cumulative — the stream-wide achieved ratio converges onto the
+//! target instead of fossilizing early calibration misses. When frames
+//! hit their assigned targets exactly, D decays geometrically by
+//! `(1 − 1/window)` per frame. Everything is deterministic, from byte
+//! counts alone (no clocks, no randomness; the same frame sequence
+//! always produces the same targets).
+//!
+//! [`Calibration`] is the FRaZ-flavoured corrective loop: each codec row
+//! remembers its last two `(ln eb, ln achieved-CR)` observations and
+//! predicts the next coordinate by a slope-clamped secant. When a frame
+//! still lands outside the per-frame tolerance, the encoder recompresses
+//! once with the freshly-updated calibration (single-retry fallback).
+
+/// How far a frame target may deviate from the global target when the
+/// controller redistributes budget (factor, both directions).
+pub const TARGET_CLAMP: f64 = 4.0;
+/// Floor on any frame target ratio.
+pub const MIN_TARGET: f64 = 1.05;
+
+/// Deterministic cumulative-debt byte-budget controller with a
+/// `window`-frame repayment horizon.
+#[derive(Clone, Debug)]
+pub struct RatioController {
+    target: f64,
+    window: usize,
+    total_raw: u64,
+    total_comp: u64,
+}
+
+impl RatioController {
+    /// A controller holding `target` over a `window`-frame horizon.
+    pub fn new(target: f64, window: usize) -> Self {
+        Self {
+            target,
+            window: window.max(1),
+            total_raw: 0,
+            total_comp: 0,
+        }
+    }
+
+    /// The global target ratio.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Raw bytes seen over the whole stream.
+    pub fn total_raw(&self) -> u64 {
+        self.total_raw
+    }
+
+    /// Compressed bytes produced over the whole stream.
+    pub fn total_comp(&self) -> u64 {
+        self.total_comp
+    }
+
+    /// Cumulative achieved ratio over the whole stream (`target` before
+    /// any frame was recorded).
+    pub fn cumulative_ratio(&self) -> f64 {
+        if self.total_comp == 0 {
+            self.target
+        } else {
+            self.total_raw as f64 / self.total_comp as f64
+        }
+    }
+
+    /// Outstanding byte debt: compressed bytes already spent beyond
+    /// what the target allows for the raw bytes seen so far. Positive
+    /// when the stream is running behind the target ratio.
+    pub fn debt_bytes(&self) -> f64 {
+        self.total_comp as f64 - self.total_raw as f64 / self.target
+    }
+
+    /// The target ratio for the next frame of `raw_bytes`: the frame's
+    /// fair byte share minus one window-th of the outstanding debt.
+    pub fn frame_target(&self, raw_bytes: u64) -> f64 {
+        let raw_f = raw_bytes.max(1) as f64;
+        let budget = raw_f / self.target - self.debt_bytes() / self.window as f64;
+        let lo = (self.target / TARGET_CLAMP).max(MIN_TARGET);
+        let hi = self.target * TARGET_CLAMP;
+        if budget <= raw_f / hi {
+            // So far over budget that even the tightest allowed frame
+            // cannot recover it this frame; clamp and let the following
+            // frames keep absorbing the debt.
+            return hi;
+        }
+        (raw_f / budget).clamp(lo, hi)
+    }
+
+    /// Records one encoded frame's byte counts.
+    pub fn record(&mut self, raw_bytes: u64, comp_bytes: u64) {
+        self.total_raw += raw_bytes;
+        self.total_comp += comp_bytes;
+    }
+}
+
+/// Slope bounds for the secant predictor: `d ln CR / d ln eb` of the
+/// SZ-family rate curves stays well inside this band.
+const SLOPE_MIN: f64 = 0.1;
+const SLOPE_MAX: f64 = 3.0;
+/// Slope assumed before two observations exist.
+const SLOPE_DEFAULT: f64 = 0.75;
+/// Relative error-bound seed for a codec's very first frame.
+const SEED_REL_EB: f64 = 1e-3;
+
+/// Per-codec online rate-curve state: last two `(ln eb, ln CR)` points.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Calibration {
+    last: Option<(f64, f64)>,
+    prev: Option<(f64, f64)>,
+}
+
+impl Calibration {
+    /// Predicts the error bound expected to hit `target` on data whose
+    /// sampled amplitude is `value_range`.
+    pub fn predict_eb(&self, value_range: f64, target: f64) -> f64 {
+        let vr = if value_range.is_finite() && value_range > 0.0 {
+            value_range
+        } else {
+            1.0
+        };
+        let ln_t = target.max(MIN_TARGET).ln();
+        let coord = match (self.last, self.prev) {
+            (Some((c1, l1)), Some((c0, l0))) if (c1 - c0).abs() > 1e-9 => {
+                let slope = ((l1 - l0) / (c1 - c0)).clamp(SLOPE_MIN, SLOPE_MAX);
+                c1 + (ln_t - l1) / slope
+            }
+            (Some((c1, l1)), _) => c1 + (ln_t - l1) / SLOPE_DEFAULT,
+            _ => (vr * SEED_REL_EB).ln(),
+        };
+        let eb = coord.exp();
+        // Keep the bound physical: positive, finite, and within the
+        // range the SZ-family config spaces accept.
+        let floor = vr * 1e-9;
+        let ceil = vr * 0.5;
+        if eb.is_finite() {
+            eb.clamp(floor.min(ceil), ceil.max(floor))
+        } else {
+            vr * SEED_REL_EB
+        }
+    }
+
+    /// True once two distinct observations exist, i.e. the secant has a
+    /// real slope and no longer needs an external (model) seed.
+    pub fn is_warm(&self) -> bool {
+        self.last.is_some() && self.prev.is_some()
+    }
+
+    /// Records an `(eb, achieved ratio)` observation.
+    pub fn observe(&mut self, eb: f64, achieved: f64) {
+        if !(eb > 0.0 && eb.is_finite() && achieved > 0.0 && achieved.is_finite()) {
+            return;
+        }
+        let point = (eb.ln(), achieved.ln());
+        // Skip duplicate coordinates so the secant keeps a usable spread.
+        if self.last.map(|(c, _)| (c - point.0).abs() > 1e-12).unwrap_or(true) {
+            self.prev = self.last;
+            self.last = Some(point);
+        } else {
+            self.last = Some(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_controller_asks_for_the_global_target() {
+        let c = RatioController::new(20.0, 8);
+        assert_eq!(c.frame_target(4096), 20.0);
+        assert_eq!(c.cumulative_ratio(), 20.0);
+    }
+
+    #[test]
+    fn overshoot_loosens_next_target_and_undershoot_tightens() {
+        let mut c = RatioController::new(20.0, 8);
+        // A frame that compressed far too well (CR 80) leaves budget:
+        // the next target drops below the global target.
+        c.record(4096, 51); // ~CR 80
+        assert!(c.frame_target(4096) < 20.0);
+        // A frame that compressed poorly (CR 5) eats budget: tighten.
+        let mut c = RatioController::new(20.0, 8);
+        c.record(4096, 819); // ~CR 5
+        assert!(c.frame_target(4096) > 20.0);
+    }
+
+    #[test]
+    fn targets_stay_clamped() {
+        let mut c = RatioController::new(20.0, 4);
+        for _ in 0..4 {
+            c.record(4096, 4096); // CR 1: hopeless debt
+        }
+        let t = c.frame_target(4096);
+        assert!(t <= 20.0 * TARGET_CLAMP + 1e-9);
+        let mut c = RatioController::new(20.0, 4);
+        for _ in 0..4 {
+            c.record(4096, 1); // absurd surplus
+        }
+        assert!(c.frame_target(4096) >= 20.0 / TARGET_CLAMP - 1e-9);
+    }
+
+    #[test]
+    fn debt_amortizes_and_cumulative_converges() {
+        // One badly under-shot frame, then frames that hit exactly the
+        // targets the controller assigns: the cumulative ratio must
+        // converge back onto the global target.
+        let mut c = RatioController::new(10.0, 4);
+        c.record(1000, 500); // CR 2: 400 bytes of debt
+        for _ in 0..40 {
+            let t = c.frame_target(1000);
+            assert!(t >= 10.0, "while in debt, targets stay tightened");
+            c.record(1000, (1000.0 / t) as u64);
+        }
+        let cum = c.cumulative_ratio();
+        assert!((cum - 10.0).abs() / 10.0 < 0.02, "cumulative {cum}");
+        // Debt decays geometrically, so it is near zero by now.
+        assert!(c.debt_bytes().abs() < 20.0, "debt {}", c.debt_bytes());
+    }
+
+    #[test]
+    fn calibration_converges_on_a_power_law() {
+        // Synthetic rate curve CR = (eb / 1e-6)^0.8: the secant should
+        // land within 10% of the target after a few observations.
+        let curve = |eb: f64| (eb / 1e-6).powf(0.8);
+        let mut cal = Calibration::default();
+        let mut achieved = 0.0;
+        for _ in 0..6 {
+            let eb = cal.predict_eb(1.0, 30.0);
+            achieved = curve(eb);
+            cal.observe(eb, achieved);
+        }
+        assert!(
+            (achieved - 30.0).abs() / 30.0 < 0.1,
+            "achieved {achieved} after calibration"
+        );
+    }
+
+    #[test]
+    fn calibration_seed_is_scale_aware() {
+        let cal = Calibration::default();
+        let small = cal.predict_eb(1e-3, 20.0);
+        let large = cal.predict_eb(1e3, 20.0);
+        assert!(small < large);
+        assert!(small > 0.0 && large.is_finite());
+        // Degenerate amplitudes still produce a usable bound.
+        let flat = cal.predict_eb(0.0, 20.0);
+        assert!(flat > 0.0 && flat.is_finite());
+        let nan = cal.predict_eb(f64::NAN, 20.0);
+        assert!(nan > 0.0 && nan.is_finite());
+    }
+}

@@ -1,0 +1,27 @@
+//! Telemetry metric name inventory for the stream crate.
+//!
+//! Single source of truth checked by the `telemetry_names` lint
+//! (`fxrz lint`): every name literal passed to a telemetry API anywhere
+//! in the workspace must resolve against some `names` module const, so a
+//! typo'd series cannot silently split a dashboard.
+
+/// Frames encoded by [`crate::StreamEncoder`].
+pub const FRAMES_ENCODED: &str = "stream.frames.encoded";
+/// Frames decoded by [`crate::StreamDecoder`].
+pub const FRAMES_DECODED: &str = "stream.frames.decoded";
+/// Frames that went through the FRaZ-style single-retry fallback.
+pub const FRAMES_RETRIED: &str = "stream.frames.retried";
+/// Raw input bytes accepted by the encoder.
+pub const BYTES_RAW: &str = "stream.bytes.raw";
+/// Compressed frame-record bytes produced (header + checksum + payload).
+pub const BYTES_COMP: &str = "stream.bytes.comp";
+/// Per-codec frame histogram template (`{codec}` is the sanitized codec
+/// label, e.g. `sz_fse`).
+pub const CODEC_FRAMES: &str = "stream.codec.{codec}.frames";
+/// Controller tracking error after each frame, in basis points:
+/// `|cumulative CR − target CR| / target × 10⁴` (HDR histogram).
+pub const CONTROLLER_ERR_BP: &str = "stream.controller.err_bp";
+/// Frame-field scratch buffers reused across `push` calls.
+pub const SCRATCH_REUSE: &str = "stream.scratch.reuse";
+/// Frame-field scratch buffers freshly allocated.
+pub const SCRATCH_CREATE: &str = "stream.scratch.create";

@@ -1,0 +1,295 @@
+//! Seeded property suite for the `FXRZS1` frame container and the
+//! streaming encoder/decoder: roundtrips across signal shapes,
+//! truncation / bit-flip / forged-header fuzz (typed errors, never
+//! panics), thread-count-independent decode, and controller
+//! convergence on a drifting signal.
+
+use fxrz_stream::{frame, StreamConfig, StreamDecoder, StreamEncoder, StreamError};
+
+/// Deterministic LCG so every fuzz case is reproducible from the seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+    fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Frame generators for the four signal shapes.
+fn shape_frame(shape: &str, frame_idx: usize, len: usize, rng: &mut Lcg) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let t = (frame_idx * len + i) as f32;
+            match shape {
+                "constant" => 3.25,
+                "trended" => t * 0.001 + (t * 0.01).sin(),
+                "noisy" => rng.next_f32() * 4.0,
+                "special" => {
+                    if i % 37 == 5 {
+                        f32::NAN
+                    } else if i % 53 == 7 {
+                        if i % 2 == 0 {
+                            f32::INFINITY
+                        } else {
+                            f32::NEG_INFINITY
+                        }
+                    } else {
+                        t * 0.002 + (t * 0.02).cos()
+                    }
+                }
+                _ => unreachable!("unknown shape"),
+            }
+        })
+        .collect()
+}
+
+fn encode(frames: &[Vec<f32>], target: f64) -> Vec<u8> {
+    let mut enc = StreamEncoder::new(StreamConfig::new(target)).expect("encoder");
+    let mut stream = enc.header();
+    for chunk in frames {
+        let outcome = enc.push(chunk).expect("push");
+        stream.extend_from_slice(&outcome.bytes);
+    }
+    stream.extend_from_slice(&enc.finish());
+    stream
+}
+
+#[test]
+fn roundtrip_across_signal_shapes() {
+    for shape in ["constant", "trended", "noisy", "special"] {
+        let mut rng = Lcg::new(7);
+        let frames: Vec<Vec<f32>> = (0..6)
+            .map(|f| shape_frame(shape, f, 512, &mut rng))
+            .collect();
+        let stream = encode(&frames, 8.0);
+        let out = StreamDecoder::decode(&stream).unwrap_or_else(|e| panic!("{shape}: {e}"));
+        let raw: Vec<f32> = frames.iter().flatten().copied().collect();
+        assert_eq!(out.samples.len(), raw.len(), "{shape}: length");
+        let mut offset = 0usize;
+        for view in &out.frames {
+            for (a, b) in raw[offset..offset + view.samples]
+                .iter()
+                .zip(&out.samples[offset..offset + view.samples])
+            {
+                if a.is_finite() {
+                    assert!(
+                        (a - b).abs() as f64 <= view.eb * 1.0001,
+                        "{shape}: |{a} - {b}| > eb {}",
+                        view.eb
+                    );
+                } else {
+                    // Non-finite samples ride the literal path: bit-exact.
+                    assert_eq!(a.to_bits(), b.to_bits(), "{shape}: specials differ");
+                }
+            }
+            offset += view.samples;
+        }
+    }
+}
+
+#[test]
+fn every_truncation_yields_typed_error_never_panic() {
+    let mut rng = Lcg::new(11);
+    let frames: Vec<Vec<f32>> = (0..4)
+        .map(|f| shape_frame("trended", f, 128, &mut rng))
+        .collect();
+    let stream = encode(&frames, 6.0);
+    // Inline decode (threads=1) so a hypothetical panic surfaces on
+    // this thread where catch_unwind can see it.
+    fxrz_parallel::with_threads(1, || {
+        for cut in 0..stream.len() {
+            let prefix = stream[..cut].to_vec();
+            let result = std::panic::catch_unwind(move || StreamDecoder::decode(&prefix).is_err());
+            assert!(result.expect("truncation must not panic"), "cut {cut} decoded");
+        }
+    });
+}
+
+#[test]
+fn three_hundred_bit_flips_never_panic() {
+    let mut rng = Lcg::new(13);
+    let frames: Vec<Vec<f32>> = (0..4)
+        .map(|f| shape_frame("noisy", f, 128, &mut rng))
+        .collect();
+    let stream = encode(&frames, 6.0);
+    fxrz_parallel::with_threads(1, || {
+        for _ in 0..300 {
+            let mut mutated = stream.clone();
+            let pos = rng.below(mutated.len());
+            let bit = rng.below(8) as u32;
+            mutated[pos] ^= 1 << bit;
+            // A flip may land in a payload (checksum catches it), a
+            // header (typed structural error), or a don't-care f64 bit
+            // (stream still decodes); the only forbidden outcome is a
+            // panic.
+            let outcome = std::panic::catch_unwind(move || {
+                let _ = StreamDecoder::decode(&mutated);
+            });
+            assert!(outcome.is_ok(), "bit flip at {pos}:{bit} panicked");
+        }
+    });
+}
+
+#[test]
+fn forged_headers_yield_typed_errors() {
+    let mut rng = Lcg::new(17);
+    let frames: Vec<Vec<f32>> = (0..2)
+        .map(|f| shape_frame("trended", f, 64, &mut rng))
+        .collect();
+    let good = encode(&frames, 6.0);
+
+    // Wrong magic.
+    let mut forged = good.clone();
+    forged[0] ^= 0xFF;
+    assert!(matches!(
+        StreamDecoder::inspect(&forged),
+        Err(StreamError::Header(_))
+    ));
+
+    // Non-finite target ratio.
+    let mut forged = good.clone();
+    forged[6..14].copy_from_slice(&f64::NAN.to_le_bytes());
+    assert!(matches!(
+        StreamDecoder::inspect(&forged),
+        Err(StreamError::Header(_))
+    ));
+
+    // A frame tag nothing maps to.
+    let scan = StreamDecoder::inspect(&good).expect("scan");
+    let tag_offset = scan.frames[0].payload_offset
+        - 4 // checksum
+        - varint_len(scan.frames[0].payload_len as u64)
+        - 8 // eb
+        - varint_len(scan.frames[0].samples as u64)
+        - 1; // tag
+    let mut forged = good.clone();
+    forged[tag_offset] = 0x77;
+    assert!(matches!(
+        StreamDecoder::inspect(&forged),
+        Err(StreamError::Frame { index: 0, .. })
+    ));
+
+    // Sample count far beyond the cap: splice a 5-byte varint encoding
+    // 1 + (127 << 28) > MAX_FRAME_SAMPLES right after the tag.
+    let mut forged = good.clone();
+    forged.truncate(tag_offset + 1);
+    forged.extend_from_slice(&[0x81, 0x80, 0x80, 0x80, 0x7F]);
+    forged.extend_from_slice(&[0u8; 32]);
+    assert!(
+        frame::MAX_FRAME_SAMPLES as u64 + 1 < 1 + (127u64 << 28),
+        "splice must exceed the cap"
+    );
+    let outcome = std::panic::catch_unwind(move || StreamDecoder::inspect(&forged).is_err());
+    assert!(outcome.expect("forged sample count must not panic"));
+
+    // Corrupt trailer checksum: the trailer must be rejected.
+    let mut forged = good.clone();
+    let last = forged.len() - 1;
+    forged[last] ^= 0xFF;
+    assert!(StreamDecoder::inspect(&forged).is_err());
+}
+
+fn varint_len(v: u64) -> usize {
+    let bits = (64 - v.leading_zeros()).max(1) as usize;
+    bits.div_ceil(7)
+}
+
+#[test]
+fn codec_scratch_is_reused_across_the_encode_loop() {
+    // The per-frame encode loop runs on one thread, so the codec's
+    // thread-local `CodecScratch` must serve every compression after
+    // the first from a warm buffer. Counters are global and other tests
+    // may bump them concurrently, so assert a lower bound only.
+    let telemetry = fxrz_telemetry::global();
+    let before = telemetry
+        .snapshot()
+        .counter(fxrz_codec::names::SCRATCH_REUSE)
+        .unwrap_or(0);
+    let mut rng = Lcg::new(41);
+    let mut enc = StreamEncoder::new(StreamConfig::new(8.0)).expect("encoder");
+    for f in 0..6 {
+        let chunk = shape_frame("noisy", f, 256, &mut rng);
+        enc.push(&chunk).expect("push");
+    }
+    let after = telemetry
+        .snapshot()
+        .counter(fxrz_codec::names::SCRATCH_REUSE)
+        .unwrap_or(0);
+    assert!(
+        after - before >= 5,
+        "codec scratch reuse moved only {} across 6 frames",
+        after - before
+    );
+}
+
+#[test]
+fn decode_is_bit_identical_across_thread_counts() {
+    let mut rng = Lcg::new(23);
+    let frames: Vec<Vec<f32>> = (0..24)
+        .map(|f| shape_frame(if f % 3 == 0 { "noisy" } else { "trended" }, f, 256, &mut rng))
+        .collect();
+    let stream = encode(&frames, 8.0);
+    let reference: Vec<u32> = fxrz_parallel::with_threads(1, || {
+        StreamDecoder::decode(&stream).expect("decode@1")
+    })
+    .samples
+    .iter()
+    .map(|v| v.to_bits())
+    .collect();
+    for threads in [2usize, 4, 8] {
+        let out: Vec<u32> = fxrz_parallel::with_threads(threads, || {
+            StreamDecoder::decode(&stream).unwrap_or_else(|e| panic!("decode@{threads}: {e}"))
+        })
+        .samples
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+        assert_eq!(reference, out, "{threads}-thread decode differs from 1-thread");
+    }
+}
+
+#[test]
+fn controller_converges_on_drifting_signal() {
+    // Amplitude and noise both drift over 96 frames; the cumulative
+    // achieved ratio must land within 10% of the global target and the
+    // selector must have used at least two codec rows.
+    let mut rng = Lcg::new(31);
+    let target = 12.0;
+    let frames = 96usize;
+    let mut enc = StreamEncoder::new(StreamConfig::new(target)).expect("encoder");
+    for f in 0..frames {
+        let drift = f as f32 / frames as f32;
+        let chunk: Vec<f32> = (0..1024)
+            .map(|i| {
+                let t = (f * 1024 + i) as f32 * 0.0007;
+                (1.0 + 3.0 * drift) * t.sin() + drift * 0.8 * rng.next_f32()
+            })
+            .collect();
+        enc.push(&chunk).expect("push");
+    }
+    let cum = enc.cumulative_ratio();
+    assert!(
+        (cum - target).abs() / target < 0.10,
+        "cumulative ratio {cum} misses target {target} by more than 10%"
+    );
+    let used: Vec<_> = enc
+        .summary()
+        .codecs
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    assert!(used.len() >= 2, "only one codec selected: {used:?}");
+}

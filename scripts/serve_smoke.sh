@@ -67,7 +67,41 @@ echo "== client round trip =="
 "$FXRZ" client --connect "$ADDR" stats >/dev/null
 [[ -s "$WORK/probe.back.f32" ]] || { echo "round trip produced no output" >&2; exit 1; }
 
+echo "== stream session round trip =="
+# One connection: open -> N frames -> close, reassembled client-side into
+# an FXRZS1 file that must inspect and decode back to the input bytes.
+"$FXRZ" client --connect "$ADDR" stream --ratio 8 --frame 512 \
+    --input "$WORK/probe.f32" --output "$WORK/probe.fxrzs" >"$WORK/stream.out"
+grep -q '"stream_id":' "$WORK/stream.out" || {
+    echo "stream open reply missing stream_id:" >&2
+    cat "$WORK/stream.out" >&2
+    exit 1
+}
+"$FXRZ" stream inspect --input "$WORK/probe.fxrzs" >"$WORK/inspect.out"
+grep -q "^FXRZS1:" "$WORK/inspect.out" || {
+    echo "stream inspect did not recognise the container:" >&2
+    cat "$WORK/inspect.out" >&2
+    exit 1
+}
+"$FXRZ" stream decompress --input "$WORK/probe.fxrzs" \
+    --output "$WORK/probe.stream.f32"
+BYTES_STREAM=$(wc -c <"$WORK/probe.stream.f32")
+[[ "$(wc -c <"$WORK/probe.f32")" == "$BYTES_STREAM" ]] || {
+    echo "stream round trip size mismatch" >&2; exit 1;
+}
+
 echo "== observability plane =="
+# Streamed frames land op:"stream" audit rows with per-frame predictions.
+grep -q '"op":"stream"' "$WORK/audit.jsonl" || {
+    echo "audit log has no stream rows:" >&2
+    cat "$WORK/audit.jsonl" >&2
+    exit 1
+}
+grep '"op":"stream"' "$WORK/audit.jsonl" | grep -q '"predicted_eb":' || {
+    echo "stream audit rows missing predicted_eb:" >&2
+    cat "$WORK/audit.jsonl" >&2
+    exit 1
+}
 # The audit log must hold one parseable JSONL record for the compress,
 # carrying a nonzero trace id and the achieved ratio.
 [[ -s "$WORK/audit.jsonl" ]] || { echo "audit log is empty" >&2; exit 1; }
@@ -90,6 +124,11 @@ grep -q "compress" "$WORK/top.out" || {
 }
 grep -q "shed_rate" "$WORK/top.out" || {
     echo "fxrz top --once missing scheduler header:" >&2
+    cat "$WORK/top.out" >&2
+    exit 1
+}
+grep -q "stream_frame" "$WORK/top.out" || {
+    echo "fxrz top --once has no stream_frame row:" >&2
     cat "$WORK/top.out" >&2
     exit 1
 }

@@ -11,6 +11,7 @@
 //! fxrz search     --compressor sz --ratio 30 --dims 64x64x64 --input x.f32   (FRaZ baseline)
 //! fxrz info       --input x.fxrz
 //! fxrz stats      --input snap.fxrza
+//! fxrz stream     compress --ratio 12 --frame 4096 --input x.f32 --output x.fxrzs
 //! fxrz lint       --format json                  (workspace static analysis)
 //! fxrz serve      --listen 127.0.0.1:7557 nyx=model.json
 //! fxrz client     --connect 127.0.0.1:7557 ping
@@ -34,7 +35,7 @@ fn usage(msg: &str) -> ExitCode {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi|sz2|sz-fse> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [--audit-log FILE]\n             [--trace-seed N] [--cr-tolerance F] [id=]model.json …\n  fxrz top (--connect HOST:PORT | --socket PATH) [--interval-ms N] [--once]\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               decompress-range --input FILE --start N --end N --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
+        "usage:\n  fxrz gen --app <nyx|hurricane|rtm|qmcpack> --dims ZxYxX [--seed N] [--timestep N] --out FILE\n  fxrz train --compressor <sz|zfp|mgard|fpzip|szi|sz2|sz-fse> --dims ZxYxX --model FILE <f32-files…>\n  fxrz compress --model FILE --ratio R --dims ZxYxX --input FILE --output FILE\n  fxrz decompress --input FILE --output FILE\n  fxrz search --compressor NAME --ratio R --dims ZxYxX --input FILE [--iters N]\n  fxrz info --input FILE\n  fxrz pack --model FILE --ratio R --dims ZxYxX --output ARCHIVE <f32-files…>\n  fxrz ls --input ARCHIVE\n  fxrz unpack --input ARCHIVE --field NAME --output FILE\n  fxrz stats --input ARCHIVE\n  fxrz stream compress --ratio R [--frame N] [--window N] [--tolerance F]\n              [--models a.json,b.json] [--input FILE|-] --output FILE\n  fxrz stream decompress --input FILE --output FILE\n  fxrz stream inspect --input FILE\n  fxrz lint [--root DIR] [--baseline FILE] [--format human|json] [--list]\n            [--update-baseline]\n  fxrz serve [--listen HOST:PORT] [--socket PATH] [--queue N] [--deadline-ms N]\n             [--drain-ms N] [--max-frame BYTES] [--audit-log FILE]\n             [--trace-seed N] [--cr-tolerance F] [id=]model.json …\n  fxrz top (--connect HOST:PORT | --socket PATH) [--interval-ms N] [--once]\n  fxrz client (--connect HOST:PORT | --socket PATH) [--deadline-ms N] <action>\n      actions: ping | stats\n               features   --dims ZxYxX --input FILE\n               predict    --model REF --ratio R --dims ZxYxX --input FILE\n               compress   --model REF --ratio R --dims ZxYxX --input FILE --output FILE\n               decompress --input FILE --output FILE\n               decompress-range --input FILE --start N --end N --output FILE\n               stream     --ratio R [--frame N] [--window N] [--models id1,id2]\n                          [--input FILE|-] --output FILE\n               load-model --id NAME [--version N] --model FILE\nglobal flags:\n  --metrics <text|json>   dump the telemetry snapshot on exit\n  --metrics-out FILE      write the snapshot to FILE instead of stderr\n  --threads N             worker-pool size for parallel kernels\n                          (default: FXRZ_THREADS env, then all cores)"
     );
     ExitCode::FAILURE
 }
@@ -84,6 +85,50 @@ fn read_field(path: &str, dims: Dims) -> Result<Field, String> {
         .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
         .collect();
     Ok(Field::new(path.to_owned(), dims, data))
+}
+
+/// Opens the streaming-input source: a file path, or stdin for `-` /
+/// no `--input` flag.
+fn open_stream_input(
+    flags: &HashMap<String, String>,
+) -> Result<Box<dyn std::io::Read>, String> {
+    match flags.get("input").map(String::as_str) {
+        None | Some("-") => Ok(Box::new(std::io::stdin())),
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Box::new(std::io::BufReader::new(file)))
+        }
+    }
+}
+
+/// Reads up to `samples` little-endian `f32`s into `buf` (cleared
+/// first). Returns the number of samples read; `0` means clean EOF.
+/// Input ending mid-sample is an error.
+fn read_stream_chunk(
+    reader: &mut dyn std::io::Read,
+    samples: usize,
+    buf: &mut Vec<f32>,
+) -> Result<usize, String> {
+    let mut raw = vec![0u8; samples * 4];
+    let mut filled = 0;
+    while filled < raw.len() {
+        match reader.read(&mut raw[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    if filled % 4 != 0 {
+        return Err("input truncated mid-sample (length not a multiple of 4)".into());
+    }
+    buf.clear();
+    buf.extend(
+        raw[..filled]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4"))),
+    );
+    Ok(filled / 4)
 }
 
 fn write_field(path: &str, field: &Field) -> Result<(), String> {
@@ -548,6 +593,143 @@ fn run() -> Result<(), String> {
                 );
                 Ok(())
             }
+            "stream" => {
+                let action = pos
+                    .first()
+                    .cloned()
+                    .ok_or("missing stream action (compress|decompress|inspect)")?;
+                match action.as_str() {
+                    "compress" => {
+                        let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+                        let frame: usize = flags
+                            .get("frame")
+                            .map_or(Ok(4096), |s| s.parse())
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or("bad --frame (want a positive sample count)")?;
+                        let mut config = fxrz::stream::StreamConfig::new(ratio);
+                        if let Some(w) = flags.get("window") {
+                            config.window = w
+                                .parse()
+                                .ok()
+                                .filter(|&w| w > 0)
+                                .ok_or("bad --window (want a positive frame count)")?;
+                        }
+                        if let Some(t) = flags.get("tolerance") {
+                            config.frame_tolerance =
+                                t.parse().map_err(|_| "bad --tolerance")?;
+                        }
+                        let mut encoder = match flags.get("models") {
+                            Some(list) => {
+                                let mut models = Vec::new();
+                                for path in list.split(',').filter(|s| !s.is_empty()) {
+                                    let json = std::fs::read_to_string(path)
+                                        .map_err(|e| format!("{path}: {e}"))?;
+                                    let model: TrainedModel = serde_json::from_str(&json)
+                                        .map_err(|e| format!("{path}: {e}"))?;
+                                    models.push(model);
+                                }
+                                fxrz::stream::StreamEncoder::with_models(config, models)
+                            }
+                            None => fxrz::stream::StreamEncoder::new(config),
+                        }
+                        .map_err(|e| e.to_string())?;
+                        let mut reader = open_stream_input(&flags)?;
+                        let out_path = flag("output")?;
+                        let mut out = std::io::BufWriter::new(
+                            std::fs::File::create(&out_path)
+                                .map_err(|e| format!("{out_path}: {e}"))?,
+                        );
+                        use std::io::Write as _;
+                        out.write_all(&encoder.header())
+                            .map_err(|e| format!("{out_path}: {e}"))?;
+                        let mut buf = Vec::with_capacity(frame);
+                        loop {
+                            let n = read_stream_chunk(reader.as_mut(), frame, &mut buf)?;
+                            if n == 0 {
+                                break;
+                            }
+                            let outcome =
+                                encoder.push(&buf).map_err(|e| e.to_string())?;
+                            out.write_all(&outcome.bytes)
+                                .map_err(|e| format!("{out_path}: {e}"))?;
+                        }
+                        out.write_all(&encoder.finish())
+                            .map_err(|e| format!("{out_path}: {e}"))?;
+                        out.flush().map_err(|e| format!("{out_path}: {e}"))?;
+                        let s = encoder.summary();
+                        println!(
+                            "streamed {} frames ({} samples): {} -> {} bytes, cumulative CR {:.2} (target {:.2}, {:+.1}%), {} retries",
+                            s.frames,
+                            s.samples,
+                            s.raw_bytes,
+                            s.comp_bytes,
+                            s.cumulative_ratio,
+                            s.target_ratio,
+                            (s.cumulative_ratio / s.target_ratio - 1.0) * 100.0,
+                            s.retries
+                        );
+                        for (codec, frames) in &s.codecs {
+                            if *frames > 0 {
+                                println!("  codec {codec:<8} {frames} frames");
+                            }
+                        }
+                        Ok(())
+                    }
+                    "decompress" => {
+                        let bytes =
+                            std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                        let decoded = fxrz::stream::StreamDecoder::decode(&bytes)
+                            .map_err(|e| e.to_string())?;
+                        let out_path = flag("output")?;
+                        let mut raw = Vec::with_capacity(decoded.samples.len() * 4);
+                        for v in &decoded.samples {
+                            raw.extend_from_slice(&v.to_le_bytes());
+                        }
+                        std::fs::write(&out_path, raw)
+                            .map_err(|e| format!("{out_path}: {e}"))?;
+                        println!(
+                            "decoded {} frames ({} samples) at target CR {:.2}",
+                            decoded.trailer.frames,
+                            decoded.trailer.samples,
+                            decoded.header.target_ratio
+                        );
+                        Ok(())
+                    }
+                    "inspect" => {
+                        let bytes =
+                            std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                        let scan = fxrz::stream::StreamDecoder::inspect(&bytes)
+                            .map_err(|e| e.to_string())?;
+                        println!(
+                            "FXRZS1: target CR {:.2}, controller window {}",
+                            scan.header.target_ratio, scan.header.window
+                        );
+                        println!(
+                            "{:>6} {:>8} {:>10} {:>12} {:>10}",
+                            "frame", "codec", "samples", "eb", "payload"
+                        );
+                        for f in &scan.frames {
+                            println!(
+                                "{:>6} {:>8} {:>10} {:>12.4e} {:>10}",
+                                f.index,
+                                fxrz::stream::frame::codec_name(f.codec).unwrap_or("?"),
+                                f.samples,
+                                f.eb,
+                                f.payload_len
+                            );
+                        }
+                        println!(
+                            "trailer: {} frames, {} samples, {} stream bytes",
+                            scan.trailer.frames,
+                            scan.trailer.samples,
+                            bytes.len()
+                        );
+                        Ok(())
+                    }
+                    other => Err(format!("unknown stream action {other}")),
+                }
+            }
             "serve" => {
                 fxrz::serve::signal::install();
                 let mut config = fxrz::serve::ServerConfig::default();
@@ -667,7 +849,7 @@ fn run() -> Result<(), String> {
                     client.deadline_ms = d.parse().map_err(|_| "bad --deadline-ms")?;
                 }
                 let action = pos.first().cloned().ok_or(
-                    "missing client action (ping|features|predict|compress|decompress|decompress-range|load-model|stats)",
+                    "missing client action (ping|features|predict|compress|decompress|decompress-range|stream|load-model|stats)",
                 )?;
                 match action.as_str() {
                     "ping" => {
@@ -722,6 +904,68 @@ fn run() -> Result<(), String> {
                             "decompressed elements {start}..{end} ({} values)",
                             values.len()
                         );
+                    }
+                    "stream" => {
+                        let ratio: f64 = flag("ratio")?.parse().map_err(|_| "bad --ratio")?;
+                        let frame: usize = flags
+                            .get("frame")
+                            .map_or(Ok(4096), |s| s.parse())
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or("bad --frame (want a positive sample count)")?;
+                        let window: u32 = flags
+                            .get("window")
+                            .map_or(Ok(0), |s| s.parse())
+                            .map_err(|_| "bad --window")?;
+                        let models: Vec<String> = flags
+                            .get("models")
+                            .map(|s| {
+                                s.split(',')
+                                    .filter(|x| !x.is_empty())
+                                    .map(str::to_owned)
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        let (info, header) = client
+                            .stream_open(ratio, window, &models)
+                            .map_err(|e| e.to_string())?;
+                        let parsed =
+                            serde_json::parse_value(&info).map_err(|e| e.to_string())?;
+                        let stream_id = jget(&parsed, "stream_id")
+                            .and_then(serde_json::Value::as_u64)
+                            .ok_or("open reply info lacks stream_id")?
+                            as u32;
+                        println!("{info}");
+                        let mut reader = open_stream_input(&flags)?;
+                        let out_path = flag("output")?;
+                        let mut out = std::io::BufWriter::new(
+                            std::fs::File::create(&out_path)
+                                .map_err(|e| format!("{out_path}: {e}"))?,
+                        );
+                        use std::io::Write as _;
+                        out.write_all(&header)
+                            .map_err(|e| format!("{out_path}: {e}"))?;
+                        let mut buf = Vec::with_capacity(frame);
+                        loop {
+                            let n = read_stream_chunk(reader.as_mut(), frame, &mut buf)?;
+                            if n == 0 {
+                                break;
+                            }
+                            let field =
+                                Field::new("stream/frame", Dims::d1(n), buf.clone());
+                            let (info, record) = client
+                                .stream_frame(stream_id, &field)
+                                .map_err(|e| e.to_string())?;
+                            out.write_all(&record)
+                                .map_err(|e| format!("{out_path}: {e}"))?;
+                            println!("{info}");
+                        }
+                        let (summary, trailer) =
+                            client.stream_close(stream_id).map_err(|e| e.to_string())?;
+                        out.write_all(&trailer)
+                            .map_err(|e| format!("{out_path}: {e}"))?;
+                        out.flush().map_err(|e| format!("{out_path}: {e}"))?;
+                        println!("{summary}");
                     }
                     "load-model" => {
                         let json =

@@ -29,6 +29,7 @@ pub use fxrz_ml as ml;
 pub use fxrz_parallel as parallel;
 pub use fxrz_parallel_io as parallel_io;
 pub use fxrz_serve as serve;
+pub use fxrz_stream as stream;
 pub use fxrz_telemetry as telemetry;
 
 /// Convenient glob-import surface covering the common API.
