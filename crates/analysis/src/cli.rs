@@ -11,7 +11,11 @@
 //! ```
 //!
 //! Exit status is 0 when no active (non-suppressed, non-baselined)
-//! finding remains, 1 when findings exist, 2 on usage or I/O errors.
+//! finding remains and the baseline has no stale entries, 1 when
+//! findings or stale baseline entries exist, 2 on usage or I/O errors.
+//! Failing on stale entries means the baseline can only shrink: a fixed
+//! finding must be removed from the file (or `--update-baseline` re-run)
+//! rather than silently shadowing a future regression at the same line.
 
 use std::path::PathBuf;
 
@@ -132,5 +136,5 @@ pub fn run(prog: &str, args: &[String]) -> u8 {
     } else {
         print!("{}", report::human(&res));
     }
-    u8::from(!res.findings.is_empty())
+    u8::from(!res.findings.is_empty() || !res.stale_baseline.is_empty())
 }

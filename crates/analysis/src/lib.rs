@@ -12,12 +12,18 @@
 //!   wire-derived length before allocating from it;
 //! * **unsafe audit** — every `unsafe` site carries a `// SAFETY:`
 //!   justification, and the per-crate `forbid(unsafe_code)` /
-//!   `deny(unsafe_op_in_unsafe_fn)` inventory stays intact.
+//!   `deny(unsafe_op_in_unsafe_fn)` inventory stays intact;
+//! * **concurrency & wire contracts** — no blocking work or second
+//!   locks under a held guard, no lock-order cycles, and the wire
+//!   protocol's op/error/tag constants stay single-sourced and handled
+//!   on both ends of the socket.
 //!
 //! Architecture: [`lexer`] tokenizes (comment- and string-aware),
-//! [`source`] adds per-file context (suppressions, test spans), each
-//! lint in [`lints`] walks the token stream, and [`report`] renders
-//! human or JSON output. Suppression is by comment —
+//! [`source`] adds per-file context (suppressions, test spans), an
+//! **index pass** ([`graph`]) builds the workspace symbol graph
+//! (functions, consts, enums, call edges) in one walk, each lint in
+//! [`lints`] checks the token stream and/or the graph, and [`report`]
+//! renders human or JSON output. Suppression is by comment —
 //! `// fxrz-lint: allow(<lint>): <justification>` on or directly above
 //! the offending line, or `allow-file(<lint>)` anywhere in the file —
 //! plus a checked-in baseline file for grandfathered findings.
@@ -31,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
 pub mod report;
 pub mod source;
 
+use graph::SymbolGraph;
 use source::SourceFile;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -61,8 +69,9 @@ pub trait Lint {
     /// One-line description for `--list` and the docs.
     fn description(&self) -> &'static str;
     /// Emits raw findings (suppression/baseline filtering happens in the
-    /// runner).
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+    /// runner). `graph` is the shared index-pass output — per-file lints
+    /// may ignore it; workspace lints walk its symbols and call edges.
+    fn check(&self, ws: &Workspace, graph: &SymbolGraph, out: &mut Vec<Finding>);
 }
 
 /// All registered lints, in reporting order.
@@ -73,6 +82,8 @@ pub fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(lints::panic_path::PanicPath),
         Box::new(lints::alloc_bounds::AllocBounds),
         Box::new(lints::telemetry_names::TelemetryNames),
+        Box::new(lints::lock_discipline::LockDiscipline),
+        Box::new(lints::wire_protocol::WireProtocol),
     ]
 }
 
@@ -246,6 +257,20 @@ impl Baseline {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Baseline entries that match none of `raw` (the unfiltered finding
+    /// list) — stale grandfathering that should be deleted. Rendered as
+    /// `lint file:line`, the baseline's own format.
+    pub fn stale(&self, raw: &[Finding]) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(l, p, n)| {
+                !raw.iter()
+                    .any(|f| l == f.lint && p == &f.file && *n == f.line)
+            })
+            .map(|(l, p, n)| format!("{l} {p}:{n}"))
+            .collect()
+    }
 }
 
 /// Outcome of one analysis run.
@@ -256,8 +281,17 @@ pub struct AnalysisResult {
     pub suppressed: Vec<Finding>,
     /// Findings silenced by the baseline file.
     pub baselined: Vec<Finding>,
+    /// Baseline entries that no longer fire (`lint file:line`). Treated
+    /// like findings by the CLI exit code: suppressions may only shrink,
+    /// so a fixed finding must also drop its grandfather entry.
+    pub stale_baseline: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Wall time per pass, in milliseconds: the `index` (symbol graph)
+    /// entry first, then one entry per lint in registration order.
+    pub timings_ms: Vec<(String, f64)>,
+    /// Total analysis wall time (index + all lints), in milliseconds.
+    pub total_ms: f64,
 }
 
 /// Runs every registered lint over the workspace at `root`, filtering
@@ -273,11 +307,18 @@ pub fn analyze(root: &Path, baseline: &Baseline) -> Result<AnalysisResult, Strin
 /// [`analyze`] over an already-loaded workspace (tests use this to lint
 /// synthetic in-memory trees).
 pub fn analyze_workspace(ws: &Workspace, baseline: &Baseline) -> AnalysisResult {
+    let t0 = std::time::Instant::now();
+    let mut timings_ms = Vec::new();
+    let graph = SymbolGraph::build(ws);
+    timings_ms.push(("index".to_owned(), ms_since(t0)));
     let mut raw = Vec::new();
     for lint in all_lints() {
-        lint.check(ws, &mut raw);
+        let t = std::time::Instant::now();
+        lint.check(ws, &graph, &mut raw);
+        timings_ms.push((lint.name().to_owned(), ms_since(t)));
     }
     raw.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    let stale_baseline = baseline.stale(&raw);
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     let mut baselined = Vec::new();
@@ -298,8 +339,15 @@ pub fn analyze_workspace(ws: &Workspace, baseline: &Baseline) -> AnalysisResult 
         findings,
         suppressed,
         baselined,
+        stale_baseline,
         files_scanned: ws.files.len(),
+        timings_ms,
+        total_ms: ms_since(t0),
     }
+}
+
+fn ms_since(t: std::time::Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
 }
 
 /// Walks upward from `start` to the directory whose `Cargo.toml`
@@ -346,6 +394,7 @@ pub(crate) mod testutil {
             ("parallel", "fxrz-parallel"),
             ("parallel-io", "fxrz-parallel-io"),
             ("serve", "fxrz-serve"),
+            ("stream", "fxrz-stream"),
             ("telemetry", "fxrz-telemetry"),
             ("analysis", "fxrz-analysis"),
         ];
@@ -376,8 +425,9 @@ pub(crate) mod testutil {
     /// Runs one lint over a synthetic workspace, applying suppressions
     /// the way the real runner does.
     pub fn run_lint(lint: &dyn Lint, ws: &Workspace) -> (Vec<Finding>, Vec<Finding>) {
+        let graph = SymbolGraph::build(ws);
         let mut raw = Vec::new();
-        lint.check(ws, &mut raw);
+        lint.check(ws, &graph, &mut raw);
         let mut active = Vec::new();
         let mut suppressed = Vec::new();
         for f in raw {
@@ -419,5 +469,24 @@ mod tests {
     fn baseline_ignores_comments_and_junk() {
         let b = Baseline::parse("# header\n\nnot-a-valid-line\npanic_path a.rs:q\n");
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_the_ones_no_raw_finding_matches() {
+        let live = Finding {
+            lint: "determinism",
+            file: "crates/fraz/src/lib.rs".into(),
+            line: 17,
+            message: "x".into(),
+        };
+        let b = Baseline::parse(
+            "determinism crates/fraz/src/lib.rs:17\npanic_path crates/serve/src/server.rs:3\n",
+        );
+        let stale = b.stale(std::slice::from_ref(&live));
+        assert_eq!(
+            stale,
+            vec!["panic_path crates/serve/src/server.rs:3".to_owned()]
+        );
+        assert!(b.stale(&[]).len() == 2);
     }
 }

@@ -2,20 +2,36 @@
 //! without capping it first.
 //!
 //! Scope: the untrusted-input crates (`crates/serve/src/*`,
-//! `crates/archive/src/*`). Within each function the lint runs a small
-//! taint pass: wire-read expressions (`.u8()`, `.u16()`, `.u32()`,
-//! `.take(…)`, `from_le_bytes`, …) and integer-typed parameters are
-//! *tainted*; `let` bindings propagate taint. An allocation sink
-//! (`with_capacity`, `vec![v; n]`, `.resize`, `.reserve`) whose size
-//! argument mentions a tainted variable is a finding unless a cap
-//! appears first — a comparison against the variable earlier in the
-//! function, or `.min(…)`/`.clamp(…)` applied to it. A four-byte length
-//! prefix must not let a client make us allocate 4 GiB.
+//! `crates/archive/src/*`), plus the container decoders
+//! (`crates/stream/src/frame.rs`, `crates/compressors/src/slab.rs`).
+//! Within each function the lint runs a small taint pass: wire-read
+//! expressions (`.u8()`, `.u16()`, `.u32()`, `.take(…)`,
+//! `from_le_bytes`, `read_varint`, …) are *tainted*; `let` bindings
+//! propagate taint; in the legacy serve/archive scope integer-typed
+//! parameters are tainted too (any caller may forward a wire length).
+//! An allocation sink (`with_capacity`, `vec![v; n]`, `.resize`,
+//! `.reserve`) whose size argument mentions a tainted variable is a
+//! finding unless a cap appears first — a comparison against the
+//! variable earlier in the function, or `.min(…)`/`.clamp(…)` applied
+//! to it. A four-byte length prefix must not let a client make us
+//! allocate 4 GiB.
+//!
+//! **Interprocedural**: taint additionally flows one level through the
+//! symbol graph's call edges. When an in-scope function passes a
+//! tainted, unguarded value into an integer parameter of a uniquely
+//! resolved in-scope callee, the analysis re-runs over the callee with
+//! that parameter as the taint seed — so a varint length read in
+//! `frame.rs` that is handed to a helper which calls
+//! `Vec::with_capacity` is caught even though neither function is
+//! suspicious on its own. Propagated findings cite the tainting call
+//! site; the cap may live in either the caller (guarding the argument)
+//! or the callee (guarding the parameter).
 
+use crate::graph::SymbolGraph;
 use crate::lexer::{TokKind, Token};
 use crate::source::{matching, SourceFile};
 use crate::{Finding, Lint, Workspace};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 
 /// Cursor/reader methods whose results are attacker-controlled.
@@ -37,14 +53,28 @@ const SRC_FNS: &[&str] = &[
     "read_exact",
     "read_varint",
 ];
-/// Parameter types treated as tainted lengths in scoped files.
+/// Parameter types treated as tainted lengths in legacy-scoped files.
 const NUM_TYPES: &[&str] = &["usize", "u16", "u32", "u64"];
 
 /// See module docs.
 pub struct AllocBounds;
 
-fn in_scope(f: &SourceFile) -> bool {
+/// Files where every integer parameter is assumed wire-derived.
+fn legacy_scope(f: &SourceFile) -> bool {
     f.rel.starts_with("crates/serve/src/") || f.rel.starts_with("crates/archive/src/")
+}
+
+/// Container decoders: taint starts at wire reads and call edges, not
+/// at parameters (these files have many internally-sized helpers).
+fn extended_scope(f: &SourceFile) -> bool {
+    f.rel == "crates/stream/src/frame.rs" || f.rel == "crates/compressors/src/slab.rs"
+}
+
+/// Per-function taint state: tainted variable names plus the token
+/// positions where one of them is capped/compared.
+struct LocalTaint {
+    tainted: BTreeSet<String>,
+    guards: Vec<(usize, String)>,
 }
 
 impl Lint for AllocBounds {
@@ -56,61 +86,83 @@ impl Lint for AllocBounds {
         "allocation sizes derived from wire-read lengths need a cap check first"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
-        for f in ws.files.iter().filter(|f| in_scope(f)) {
-            let t = &f.tokens;
-            let mut i = 0usize;
-            while i < t.len() {
-                if !(t[i].is_ident("fn")
-                    && t.get(i + 1)
-                        .map(|x| x.kind == TokKind::Ident)
-                        .unwrap_or(false))
-                {
-                    i += 1;
-                    continue;
-                }
-                // Locate the parameter list and body braces.
-                let mut j = i + 2;
-                while j < t.len()
-                    && !t[j].is_punct('(')
-                    && !t[j].is_punct('{')
-                    && !t[j].is_punct(';')
-                {
-                    j += 1;
-                }
-                if j >= t.len() || !t[j].is_punct('(') {
-                    i = j + 1;
-                    continue;
-                }
-                let pclose = matching(t, j);
-                let mut k = pclose + 1;
-                while k < t.len() && !t[k].is_punct('{') && !t[k].is_punct(';') {
-                    k += 1;
-                }
-                if k >= t.len() || !t[k].is_punct('{') {
-                    i = k + 1;
-                    continue;
-                }
-                let bclose = matching(t, k);
-                check_fn(self.name(), f, j + 1..pclose, k + 1..bclose, out);
-                i = bclose.max(k) + 1;
+    fn check(&self, ws: &Workspace, graph: &SymbolGraph, out: &mut Vec<Finding>) {
+        // One finding per (file, line, variable) across both passes.
+        let mut seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+        // callee fn index → (param index, "file:line" of the tainting call)
+        let mut incoming: BTreeMap<usize, Vec<(usize, String)>> = BTreeMap::new();
+
+        // Pass 1: local analysis + call-edge collection.
+        for (fi, fd) in graph.fns.iter().enumerate() {
+            let f = &ws.files[fd.file];
+            if !legacy_scope(f) && !extended_scope(f) {
+                continue;
             }
+            let seed = if legacy_scope(f) {
+                tainted_params(&f.tokens[fd.params_range.clone()])
+            } else {
+                BTreeSet::new()
+            };
+            let lt = taint_of(f, &fd.body, seed);
+            report_sinks(self.name(), f, &fd.body, &lt, None, &mut seen, out);
+            for call in graph.calls.iter().filter(|c| c.caller == fi) {
+                let Some(ci) = graph.resolve(call) else {
+                    continue;
+                };
+                if graph.fns[ci].file == fd.file && graph.fns[ci].name == fd.name {
+                    continue; // self-recursion adds nothing at depth one
+                }
+                let callee = &graph.fns[ci];
+                let cf = &ws.files[callee.file];
+                if !legacy_scope(cf) && !extended_scope(cf) {
+                    continue;
+                }
+                for (k, arg) in call.args.iter().enumerate() {
+                    if k >= callee.params.len() {
+                        break;
+                    }
+                    if !callee.params[k].is_int {
+                        continue;
+                    }
+                    if arg_is_tainted(&f.tokens, arg, &lt, call.token) {
+                        incoming
+                            .entry(ci)
+                            .or_default()
+                            .push((k, format!("{}:{}", f.rel, call.line)));
+                    }
+                }
+            }
+        }
+
+        // Pass 2: re-analyze callees seeded with their tainted params.
+        for (ci, sources) in incoming {
+            let callee = &graph.fns[ci];
+            let cf = &ws.files[callee.file];
+            let mut seed = BTreeSet::new();
+            for (k, _) in &sources {
+                seed.insert(callee.params[*k].name.clone());
+            }
+            let via = sources[0].1.clone();
+            let lt = taint_of(cf, &callee.body, seed);
+            report_sinks(
+                self.name(),
+                cf,
+                &callee.body,
+                &lt,
+                Some(&via),
+                &mut seen,
+                out,
+            );
         }
     }
 }
 
-fn check_fn(
-    lint: &'static str,
-    f: &SourceFile,
-    params: Range<usize>,
-    body: Range<usize>,
-    out: &mut Vec<Finding>,
-) {
+/// Seeds `seed`, then propagates taint through `let` bindings (two
+/// passes reach chains like `let n = cur.u32()?; let b = n as usize;`)
+/// and records guard positions.
+fn taint_of(f: &SourceFile, body: &Range<usize>, seed: BTreeSet<String>) -> LocalTaint {
     let t = &f.tokens;
-    let mut tainted = tainted_params(&t[params]);
-
-    // `let` bindings propagate taint; two passes reach chains like
-    // `let n = cur.u32()?; let bytes = n as usize;`.
+    let mut tainted = seed;
     for _ in 0..2 {
         let mut j = body.start;
         while j < body.end {
@@ -133,12 +185,7 @@ fn check_fn(
             j += 1;
         }
     }
-    if tainted.is_empty() {
-        return;
-    }
 
-    // Guard positions: token indices where a tainted variable is
-    // compared or capped.
     let mut guards: Vec<(usize, String)> = Vec::new();
     for j in body.clone() {
         if t[j].kind != TokKind::Ident || !tainted.contains(&t[j].text) {
@@ -157,25 +204,44 @@ fn check_fn(
             guards.push((j, t[j].text.clone()));
         }
     }
+    LocalTaint { tainted, guards }
+}
 
-    // Allocation sinks.
+/// Reports every allocation sink in `body` sized by a tainted,
+/// unguarded variable. `via` cites the tainting call for propagated
+/// (pass-2) findings.
+fn report_sinks(
+    lint: &'static str,
+    f: &SourceFile,
+    body: &Range<usize>,
+    lt: &LocalTaint,
+    via: Option<&str>,
+    seen: &mut BTreeSet<(String, u32, String)>,
+    out: &mut Vec<Finding>,
+) {
+    if lt.tainted.is_empty() {
+        return;
+    }
+    let t = &f.tokens;
     let mut j = body.start;
     while j < body.end {
-        let arg_range = sink_args(t, j, body.end);
-        if let Some((args, sink)) = arg_range {
+        if let Some((args, sink)) = sink_args(t, j, body.end) {
             let offender = t[args.clone()].iter().find(|x| {
                 x.kind == TokKind::Ident
-                    && tainted.contains(&x.text)
-                    && !guards.iter().any(|(g, name)| *g < j && *name == x.text)
+                    && lt.tainted.contains(&x.text)
+                    && !lt.guards.iter().any(|(g, name)| *g < j && *name == x.text)
             });
             if let Some(x) = offender {
-                if !f.in_test_code(x.line) {
+                if !f.in_test_code(x.line) && seen.insert((f.rel.clone(), x.line, x.text.clone())) {
+                    let via = via
+                        .map(|v| format!(" (tainted via call at {v})"))
+                        .unwrap_or_default();
                     out.push(Finding {
                         lint,
                         file: f.rel.clone(),
                         line: x.line,
                         message: format!(
-                            "`{sink}` sized by wire-derived `{}` with no preceding cap \
+                            "`{sink}` sized by wire-derived `{}`{via} with no preceding cap \
                              check; validate against a limit before allocating",
                             x.text
                         ),
@@ -187,6 +253,40 @@ fn check_fn(
         }
         j += 1;
     }
+}
+
+/// True when a call argument carries unguarded taint into the callee:
+/// it mentions a tainted variable with no cap before the call, or reads
+/// the wire directly — unless the argument itself is `.min`/`.clamp`ed.
+fn arg_is_tainted(t: &[Token], arg: &Range<usize>, lt: &LocalTaint, call_tok: usize) -> bool {
+    let slice = &t[arg.clone()];
+    if sanitized(slice) {
+        return false;
+    }
+    for (i, x) in slice.iter().enumerate() {
+        if x.kind != TokKind::Ident {
+            continue;
+        }
+        if lt.tainted.contains(&x.text)
+            && !lt
+                .guards
+                .iter()
+                .any(|(g, name)| *g < call_tok && *name == x.text)
+        {
+            return true;
+        }
+        if SRC_FNS.contains(&x.text.as_str()) {
+            return true;
+        }
+        if i > 0
+            && slice[i - 1].is_punct('.')
+            && SRC_METHODS.contains(&x.text.as_str())
+            && slice.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            return true;
+        }
+    }
+    false
 }
 
 /// If `t[j]` opens an allocation sink, returns the token range of its
@@ -384,5 +484,70 @@ mod tests {
         let (active, suppressed) = run_lint(&AllocBounds, &ws);
         assert!(active.is_empty());
         assert_eq!(suppressed.len(), 1);
+    }
+
+    #[test]
+    fn taint_flows_one_level_through_calls() {
+        // The ISSUE example: varint length read in frame.rs handed to a
+        // helper that allocates.
+        let ws = workspace(
+            "crates/stream/src/frame.rs",
+            "fn read(cur: &mut Cursor) -> Vec<u8> {\n\
+             \x20   let n = cur.read_varint() as usize;\n\
+             \x20   alloc_buf(n, 0)\n\
+             }\n\
+             fn alloc_buf(len: usize, fill: u8) -> Vec<u8> {\n\
+             \x20   let v = Vec::with_capacity(len);\n\
+             \x20   v\n\
+             }\n",
+        );
+        let (active, _) = run_lint(&AllocBounds, &ws);
+        assert_eq!(active.len(), 1, "{active:?}");
+        assert!(active[0].message.contains("`len`"));
+        assert!(active[0]
+            .message
+            .contains("tainted via call at crates/stream/src/frame.rs:3"));
+    }
+
+    #[test]
+    fn caller_or_callee_caps_stop_propagation() {
+        // Caller guards the argument before the call.
+        let ws = workspace(
+            "crates/stream/src/frame.rs",
+            "fn read(cur: &mut Cursor) -> Vec<u8> {\n\
+             \x20   let n = cur.read_varint() as usize;\n\
+             \x20   if n > MAX {\n        return Vec::new();\n    }\n\
+             \x20   alloc_buf(n, 0)\n\
+             }\n\
+             fn alloc_buf(len: usize, fill: u8) -> Vec<u8> {\n\
+             \x20   Vec::with_capacity(len)\n\
+             }\n",
+        );
+        assert!(run_lint(&AllocBounds, &ws).0.is_empty());
+        // Callee guards the parameter before the sink.
+        let ws = workspace(
+            "crates/stream/src/frame.rs",
+            "fn read(cur: &mut Cursor) -> Vec<u8> {\n\
+             \x20   let n = cur.read_varint() as usize;\n\
+             \x20   alloc_buf(n, 0)\n\
+             }\n\
+             fn alloc_buf(len: usize, fill: u8) -> Vec<u8> {\n\
+             \x20   if len > MAX {\n        return Vec::new();\n    }\n\
+             \x20   Vec::with_capacity(len)\n\
+             }\n",
+        );
+        assert!(run_lint(&AllocBounds, &ws).0.is_empty());
+    }
+
+    #[test]
+    fn extended_scope_params_alone_are_not_tainted() {
+        // Unlike serve/archive, an uncalled frame.rs helper with an
+        // integer parameter is not a finding — taint must arrive via a
+        // wire read or a call edge.
+        let ws = workspace(
+            "crates/stream/src/frame.rs",
+            "fn alloc_buf(len: usize, fill: u8) -> Vec<u8> {\n    Vec::with_capacity(len)\n}\n",
+        );
+        assert!(run_lint(&AllocBounds, &ws).0.is_empty());
     }
 }

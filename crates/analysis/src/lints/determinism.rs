@@ -9,6 +9,7 @@
 //! and process-seeded randomness. Telemetry-only timing is fine — that's
 //! what `// fxrz-lint: allow(determinism): …` is for.
 
+use crate::graph::SymbolGraph;
 use crate::lexer::TokKind;
 use crate::{Finding, Lint, Workspace};
 
@@ -61,7 +62,7 @@ impl Lint for Determinism {
         "no hash-order, clock, or ambient-randomness constructs in output-affecting crates"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _graph: &SymbolGraph, out: &mut Vec<Finding>) {
         for f in &ws.files {
             if !SCOPED_CRATES.contains(&f.crate_name.as_str()) {
                 continue;

@@ -11,6 +11,7 @@
 //! headers are tolerated. Use `.get(…)`, `?`, and dedicated `le_array`
 //! helpers instead. Test code is exempt.
 
+use crate::graph::SymbolGraph;
 use crate::lexer::TokKind;
 use crate::source::SourceFile;
 use crate::{Finding, Lint, Workspace};
@@ -46,7 +47,7 @@ impl Lint for PanicPath {
         "no unwrap/expect/panic!/variable slice-indexing in wire-protocol and archive decode paths"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _graph: &SymbolGraph, out: &mut Vec<Finding>) {
         for f in ws.files.iter().filter(|f| in_scope(f)) {
             let t = &f.tokens;
             for i in 0..t.len() {

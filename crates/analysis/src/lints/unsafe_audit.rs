@@ -14,6 +14,7 @@
 //!    crate outside that allowlist is itself a finding, so the inventory
 //!    cannot drift even before the compiler sees the code.
 
+use crate::graph::SymbolGraph;
 use crate::source::SourceFile;
 use crate::{Finding, Lint, Workspace};
 
@@ -32,7 +33,7 @@ impl Lint for UnsafeAudit {
         "unsafe requires an adjacent SAFETY: comment; crate-root forbid/deny inventory must hold"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _graph: &SymbolGraph, out: &mut Vec<Finding>) {
         for f in &ws.files {
             for t in &f.tokens {
                 if !t.is_ident("unsafe") {

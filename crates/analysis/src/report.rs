@@ -1,8 +1,9 @@
 //! Finding renderers: a human summary for terminals and a stable JSON
 //! document for CI artifacts. JSON is emitted by hand (this crate is
 //! dependency-free); the schema is
-//! `{schema, files_scanned, counts{active, suppressed, baselined},
-//!   findings[], suppressed[], baselined[]}` with each finding as
+//! `{schema, files_scanned, counts{active, suppressed, baselined, stale},
+//!   findings[], suppressed[], baselined[], stale_baseline[],
+//!   timings_ms{}, total_ms}` with each finding as
 //! `{lint, file, line, message}`.
 
 use crate::{AnalysisResult, Finding};
@@ -19,31 +20,44 @@ pub fn human(res: &AnalysisResult) -> String {
     if !res.findings.is_empty() {
         out.push('\n');
     }
+    for entry in &res.stale_baseline {
+        out.push_str(&format!(
+            "stale baseline entry `{entry}` no longer fires — remove it \
+             (or re-run with --update-baseline)\n"
+        ));
+    }
+    if !res.stale_baseline.is_empty() {
+        out.push('\n');
+    }
     out.push_str(&format!(
-        "fxrz-lint: {} finding{} ({} suppressed, {} baselined) across {} files\n",
+        "fxrz-lint: {} finding{} ({} suppressed, {} baselined, {} stale) \
+         across {} files in {:.1}ms\n",
         res.findings.len(),
         if res.findings.len() == 1 { "" } else { "s" },
         res.suppressed.len(),
         res.baselined.len(),
+        res.stale_baseline.len(),
         res.files_scanned,
+        res.total_ms,
     ));
     out
 }
 
 /// Renders the JSON report.
 pub fn json(res: &AnalysisResult) -> String {
-    let mut out = String::from("{\n  \"schema\": \"fxrz-lint/1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"fxrz-lint/2\",\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", res.files_scanned));
     out.push_str(&format!(
-        "  \"counts\": {{\"active\": {}, \"suppressed\": {}, \"baselined\": {}}},\n",
+        "  \"counts\": {{\"active\": {}, \"suppressed\": {}, \"baselined\": {}, \"stale\": {}}},\n",
         res.findings.len(),
         res.suppressed.len(),
-        res.baselined.len()
+        res.baselined.len(),
+        res.stale_baseline.len(),
     ));
-    for (key, list, last) in [
-        ("findings", &res.findings, false),
-        ("suppressed", &res.suppressed, false),
-        ("baselined", &res.baselined, true),
+    for (key, list) in [
+        ("findings", &res.findings),
+        ("suppressed", &res.suppressed),
+        ("baselined", &res.baselined),
     ] {
         out.push_str(&format!("  \"{key}\": ["));
         for (i, f) in list.iter().enumerate() {
@@ -56,8 +70,25 @@ pub fn json(res: &AnalysisResult) -> String {
         if !list.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str(if last { "]\n" } else { "],\n" });
+        out.push_str("],\n");
     }
+    out.push_str("  \"stale_baseline\": [");
+    for (i, entry) in res.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", esc(entry)));
+    }
+    out.push_str("],\n");
+    out.push_str("  \"timings_ms\": {");
+    for (i, (name, ms)) in res.timings_ms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {ms:.3}", esc(name)));
+    }
+    out.push_str("},\n");
+    out.push_str(&format!("  \"total_ms\": {:.3}\n", res.total_ms));
     out.push_str("}\n");
     out
 }
@@ -103,7 +134,10 @@ mod tests {
             }],
             suppressed: vec![],
             baselined: vec![],
+            stale_baseline: vec!["determinism crates/core/src/lib.rs:3".into()],
             files_scanned: 3,
+            timings_ms: vec![("index".into(), 1.25), ("panic_path".into(), 0.5)],
+            total_ms: 1.75,
         }
     }
 
@@ -111,14 +145,20 @@ mod tests {
     fn human_report_lists_findings_and_totals() {
         let text = human(&res());
         assert!(text.contains("crates/serve/src/protocol.rs:7: [panic_path]"));
-        assert!(text.contains("1 finding (0 suppressed, 0 baselined) across 3 files"));
+        assert!(text.contains("stale baseline entry `determinism crates/core/src/lib.rs:3`"));
+        assert!(text.contains("1 finding (0 suppressed, 0 baselined, 1 stale) across 3 files"));
     }
 
     #[test]
     fn json_escapes_quotes_and_counts() {
         let text = json(&res());
-        assert!(text.contains("\"schema\": \"fxrz-lint/1\""));
+        assert!(text.contains("\"schema\": \"fxrz-lint/2\""));
         assert!(text.contains("\\\"hot\\\""));
-        assert!(text.contains("\"counts\": {\"active\": 1, \"suppressed\": 0, \"baselined\": 0}"));
+        assert!(text.contains(
+            "\"counts\": {\"active\": 1, \"suppressed\": 0, \"baselined\": 0, \"stale\": 1}"
+        ));
+        assert!(text.contains("\"stale_baseline\": [\"determinism crates/core/src/lib.rs:3\"]"));
+        assert!(text.contains("\"timings_ms\": {\"index\": 1.250, \"panic_path\": 0.500}"));
+        assert!(text.contains("\"total_ms\": 1.750"));
     }
 }

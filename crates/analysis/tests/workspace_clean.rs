@@ -34,6 +34,33 @@ fn repository_lints_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    assert!(
+        res.stale_baseline.is_empty(),
+        "stale baseline entries (fixed findings whose grandfather lines must \
+         be deleted):\n  {}",
+        res.stale_baseline.join("\n  ")
+    );
+}
+
+#[test]
+fn workspace_lints_include_the_graph_pass() {
+    // The two-pass analysis really ran: the index pass and every
+    // registered lint (including the workspace-graph ones) report a
+    // timing entry, and the whole run stays fast enough to gate CI.
+    let root = repo_root();
+    let res = analyze(root, &Baseline::default()).expect("workspace scan");
+    for pass in ["index", "lock_discipline", "wire_protocol", "alloc_bounds"] {
+        assert!(
+            res.timings_ms.iter().any(|(name, _)| name == pass),
+            "missing timing entry for `{pass}`: {:?}",
+            res.timings_ms
+        );
+    }
+    assert!(
+        res.total_ms < 30_000.0,
+        "lint pass took {:.0}ms — the index pass must not make the gate slow",
+        res.total_ms
+    );
 }
 
 #[test]

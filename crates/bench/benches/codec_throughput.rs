@@ -598,8 +598,7 @@ fn bench_codec(c: &mut Criterion) {
             let frame = i / stream_frame_len;
             let drift = frame as f32 / stream_frames as f32;
             let t = i as f32 * 0.003;
-            let pseudo =
-                ((i as u32).wrapping_mul(2654435761) >> 16) as f32 / 65536.0 - 0.5;
+            let pseudo = ((i as u32).wrapping_mul(2654435761) >> 16) as f32 / 65536.0 - 0.5;
             (1.0 + drift) * t.sin() + 0.4 * drift * pseudo
         })
         .collect();

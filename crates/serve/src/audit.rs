@@ -94,6 +94,7 @@ impl AuditSink {
             return;
         };
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // fxrz-lint: allow(lock_discipline): this lock exists solely to serialize sink writes; callers never hold another lock here (pinned by tests/serve_lock_scope.rs)
         match writeln!(out, "{line}").and_then(|()| out.flush()) {
             Ok(()) => telemetry.incr(crate::names::AUDIT_RECORDS),
             Err(_) => telemetry.incr(crate::names::AUDIT_WRITE_ERRORS),

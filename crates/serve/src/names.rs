@@ -73,6 +73,10 @@ pub const STREAM_CLOSED: &str = "serve.stream.closed";
 /// Stream sessions dropped because the connection went away before
 /// `StreamClose`.
 pub const STREAM_ABANDONED: &str = "serve.stream.abandoned";
+/// Nanoseconds the per-session lock is held while encoding one
+/// `StreamFrame` (HDR). Pinned well below audit-sink latency by
+/// `tests/serve_lock_scope.rs` — audit I/O must stay outside the guard.
+pub const STREAM_LOCK_NS: &str = "serve.stream.lock_ns";
 
 /// Span around one client connection.
 pub const SPAN_CONN: &str = "serve.conn";

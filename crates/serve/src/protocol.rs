@@ -1008,8 +1008,11 @@ mod tests {
             }
             other => panic!("wrong request {other:?}"),
         }
-        match Request::decode(Op::StreamClose, &Request::StreamClose { stream_id: 9 }.encode())
-            .expect("decode")
+        match Request::decode(
+            Op::StreamClose,
+            &Request::StreamClose { stream_id: 9 }.encode(),
+        )
+        .expect("decode")
         {
             Request::StreamClose { stream_id } => assert_eq!(stream_id, 9),
             other => panic!("wrong request {other:?}"),

@@ -916,8 +916,21 @@ fn dispatch_inner(
                 .scheduler
                 .submit(op_byte, req_id, frame.deadline_ms, trace, move |ctx| {
                     let t0 = Instant::now();
-                    let mut session = session.lock().unwrap_or_else(|e| e.into_inner());
-                    match session.encoder.push(field.data()) {
+                    // The session guard covers only the frame compression;
+                    // audit serialization and `--audit-log` I/O below run
+                    // after it drops, so a slow sink never extends the
+                    // per-session critical section.
+                    let (outcome, lock_ns) = {
+                        let mut session = session.lock().unwrap_or_else(|e| e.into_inner());
+                        let held = Instant::now();
+                        let outcome = session.encoder.push(field.data());
+                        (
+                            outcome,
+                            u64::try_from(held.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        )
+                    };
+                    fxrz_telemetry::global().observe_hdr(names::STREAM_LOCK_NS, lock_ns);
+                    match outcome {
                         Ok(outcome) => {
                             let exec_ns =
                                 u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -170,7 +170,11 @@ impl Calibration {
         }
         let point = (eb.ln(), achieved.ln());
         // Skip duplicate coordinates so the secant keeps a usable spread.
-        if self.last.map(|(c, _)| (c - point.0).abs() > 1e-12).unwrap_or(true) {
+        if self
+            .last
+            .map(|(c, _)| (c - point.0).abs() > 1e-12)
+            .unwrap_or(true)
+        {
             self.prev = self.last;
             self.last = Some(point);
         } else {

@@ -243,10 +243,13 @@ pub fn read_header(bytes: &[u8]) -> Result<(StreamHeader, usize), StreamError> {
     if window == 0 || window > MAX_WINDOW {
         return Err(StreamError::Header("window out of range"));
     }
-    Ok((StreamHeader {
-        target_ratio,
-        window,
-    }, pos))
+    Ok((
+        StreamHeader {
+            target_ratio,
+            window,
+        },
+        pos,
+    ))
 }
 
 /// Serializes one frame record (header + payload).
@@ -335,9 +338,8 @@ pub fn scan(bytes: &[u8]) -> Result<StreamScan, StreamError> {
                 reason: "unknown codec tag",
             });
         }
-        let samples = read_varint(bytes, &mut pos).ok_or(StreamError::Truncated(
-            "missing frame sample-count varint",
-        ))?;
+        let samples = read_varint(bytes, &mut pos)
+            .ok_or(StreamError::Truncated("missing frame sample-count varint"))?;
         if samples == 0 || samples > MAX_FRAME_SAMPLES as u64 {
             return Err(StreamError::Frame {
                 index,
@@ -346,10 +348,11 @@ pub fn scan(bytes: &[u8]) -> Result<StreamScan, StreamError> {
         }
         let eb = read_f64_le(bytes, &mut pos)
             .ok_or(StreamError::Truncated("missing frame error bound"))?;
-        let payload_len = read_varint(bytes, &mut pos)
-            .ok_or(StreamError::Truncated("missing frame payload-length varint"))?;
-        let checksum = read_u32_le(bytes, &mut pos)
-            .ok_or(StreamError::Truncated("missing frame checksum"))?;
+        let payload_len = read_varint(bytes, &mut pos).ok_or(StreamError::Truncated(
+            "missing frame payload-length varint",
+        ))?;
+        let checksum =
+            read_u32_le(bytes, &mut pos).ok_or(StreamError::Truncated("missing frame checksum"))?;
         let payload_offset = pos;
         let end = payload_offset
             .checked_add(payload_len as usize)
@@ -415,10 +418,12 @@ pub fn decode_frame(bytes: &[u8], view: &FrameView) -> Result<Vec<f32>, StreamEr
         index: view.index,
         reason: "unrecognized payload stream magic",
     })?;
-    let field = comp.decompress(payload).map_err(|source| StreamError::Codec {
-        index: view.index,
-        source,
-    })?;
+    let field = comp
+        .decompress(payload)
+        .map_err(|source| StreamError::Codec {
+            index: view.index,
+            source,
+        })?;
     if field.dims().len() != view.samples {
         return Err(StreamError::Frame {
             index: view.index,

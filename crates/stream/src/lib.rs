@@ -398,7 +398,11 @@ impl StreamEncoder {
         if let Some(model) = &row.model {
             if !row.calib.is_warm() {
                 let (lo, hi) = model.valid_ratio_range;
-                let acr = if lo < hi { target.clamp(lo, hi) } else { target };
+                let acr = if lo < hi {
+                    target.clamp(lo, hi)
+                } else {
+                    target
+                };
                 let coord = model.predict_coordinate(fv, acr);
                 let vr = if fv.value_range.is_finite() && fv.value_range > 0.0 {
                     fv.value_range
@@ -530,7 +534,10 @@ impl StreamEncoder {
     /// the controller steers matches what actually lands on the wire.
     fn frame_ratio(raw_bytes: u64, samples: u64, payload: &[u8]) -> f64 {
         fn varint_len(v: u64) -> usize {
-            (usize::try_from(64 - v.leading_zeros()).unwrap_or(1).max(1) + 6) / 7
+            usize::try_from(64 - v.leading_zeros())
+                .unwrap_or(1)
+                .max(1)
+                .div_ceil(7)
         }
         let record_len =
             1 + varint_len(samples) + 8 + varint_len(payload.len() as u64) + 4 + payload.len();
@@ -700,13 +707,19 @@ mod tests {
     #[test]
     fn scratch_buffer_is_reused_across_frames() {
         let telemetry = fxrz_telemetry::global();
-        let before = telemetry.snapshot().counter(names::SCRATCH_REUSE).unwrap_or(0);
+        let before = telemetry
+            .snapshot()
+            .counter(names::SCRATCH_REUSE)
+            .unwrap_or(0);
         let mut enc = StreamEncoder::new(StreamConfig::new(6.0)).expect("encoder");
         let chunk: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).cos()).collect();
         for _ in 0..5 {
             enc.push(&chunk).expect("push");
         }
-        let after = telemetry.snapshot().counter(names::SCRATCH_REUSE).unwrap_or(0);
+        let after = telemetry
+            .snapshot()
+            .counter(names::SCRATCH_REUSE)
+            .unwrap_or(0);
         // First push allocates; the other four must reuse the buffer.
         assert!(
             after - before >= 4,

@@ -113,7 +113,10 @@ fn every_truncation_yields_typed_error_never_panic() {
         for cut in 0..stream.len() {
             let prefix = stream[..cut].to_vec();
             let result = std::panic::catch_unwind(move || StreamDecoder::decode(&prefix).is_err());
-            assert!(result.expect("truncation must not panic"), "cut {cut} decoded");
+            assert!(
+                result.expect("truncation must not panic"),
+                "cut {cut} decoded"
+            );
         }
     });
 }
@@ -239,16 +242,22 @@ fn codec_scratch_is_reused_across_the_encode_loop() {
 fn decode_is_bit_identical_across_thread_counts() {
     let mut rng = Lcg::new(23);
     let frames: Vec<Vec<f32>> = (0..24)
-        .map(|f| shape_frame(if f % 3 == 0 { "noisy" } else { "trended" }, f, 256, &mut rng))
+        .map(|f| {
+            shape_frame(
+                if f % 3 == 0 { "noisy" } else { "trended" },
+                f,
+                256,
+                &mut rng,
+            )
+        })
         .collect();
     let stream = encode(&frames, 8.0);
-    let reference: Vec<u32> = fxrz_parallel::with_threads(1, || {
-        StreamDecoder::decode(&stream).expect("decode@1")
-    })
-    .samples
-    .iter()
-    .map(|v| v.to_bits())
-    .collect();
+    let reference: Vec<u32> =
+        fxrz_parallel::with_threads(1, || StreamDecoder::decode(&stream).expect("decode@1"))
+            .samples
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
     for threads in [2usize, 4, 8] {
         let out: Vec<u32> = fxrz_parallel::with_threads(threads, || {
             StreamDecoder::decode(&stream).unwrap_or_else(|e| panic!("decode@{threads}: {e}"))
@@ -257,7 +266,10 @@ fn decode_is_bit_identical_across_thread_counts() {
         .iter()
         .map(|v| v.to_bits())
         .collect();
-        assert_eq!(reference, out, "{threads}-thread decode differs from 1-thread");
+        assert_eq!(
+            reference, out,
+            "{threads}-thread decode differs from 1-thread"
+        );
     }
 }
 

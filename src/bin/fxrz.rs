@@ -89,9 +89,7 @@ fn read_field(path: &str, dims: Dims) -> Result<Field, String> {
 
 /// Opens the streaming-input source: a file path, or stdin for `-` /
 /// no `--input` flag.
-fn open_stream_input(
-    flags: &HashMap<String, String>,
-) -> Result<Box<dyn std::io::Read>, String> {
+fn open_stream_input(flags: &HashMap<String, String>) -> Result<Box<dyn std::io::Read>, String> {
     match flags.get("input").map(String::as_str) {
         None | Some("-") => Ok(Box::new(std::io::stdin())),
         Some(path) => {
@@ -616,8 +614,7 @@ fn run() -> Result<(), String> {
                                 .ok_or("bad --window (want a positive frame count)")?;
                         }
                         if let Some(t) = flags.get("tolerance") {
-                            config.frame_tolerance =
-                                t.parse().map_err(|_| "bad --tolerance")?;
+                            config.frame_tolerance = t.parse().map_err(|_| "bad --tolerance")?;
                         }
                         let mut encoder = match flags.get("models") {
                             Some(list) => {
@@ -649,8 +646,7 @@ fn run() -> Result<(), String> {
                             if n == 0 {
                                 break;
                             }
-                            let outcome =
-                                encoder.push(&buf).map_err(|e| e.to_string())?;
+                            let outcome = encoder.push(&buf).map_err(|e| e.to_string())?;
                             out.write_all(&outcome.bytes)
                                 .map_err(|e| format!("{out_path}: {e}"))?;
                         }
@@ -677,8 +673,7 @@ fn run() -> Result<(), String> {
                         Ok(())
                     }
                     "decompress" => {
-                        let bytes =
-                            std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                        let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
                         let decoded = fxrz::stream::StreamDecoder::decode(&bytes)
                             .map_err(|e| e.to_string())?;
                         let out_path = flag("output")?;
@@ -686,8 +681,7 @@ fn run() -> Result<(), String> {
                         for v in &decoded.samples {
                             raw.extend_from_slice(&v.to_le_bytes());
                         }
-                        std::fs::write(&out_path, raw)
-                            .map_err(|e| format!("{out_path}: {e}"))?;
+                        std::fs::write(&out_path, raw).map_err(|e| format!("{out_path}: {e}"))?;
                         println!(
                             "decoded {} frames ({} samples) at target CR {:.2}",
                             decoded.trailer.frames,
@@ -697,8 +691,7 @@ fn run() -> Result<(), String> {
                         Ok(())
                     }
                     "inspect" => {
-                        let bytes =
-                            std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
+                        let bytes = std::fs::read(flag("input")?).map_err(|e| e.to_string())?;
                         let scan = fxrz::stream::StreamDecoder::inspect(&bytes)
                             .map_err(|e| e.to_string())?;
                         println!(
@@ -929,8 +922,7 @@ fn run() -> Result<(), String> {
                         let (info, header) = client
                             .stream_open(ratio, window, &models)
                             .map_err(|e| e.to_string())?;
-                        let parsed =
-                            serde_json::parse_value(&info).map_err(|e| e.to_string())?;
+                        let parsed = serde_json::parse_value(&info).map_err(|e| e.to_string())?;
                         let stream_id = jget(&parsed, "stream_id")
                             .and_then(serde_json::Value::as_u64)
                             .ok_or("open reply info lacks stream_id")?
@@ -951,8 +943,7 @@ fn run() -> Result<(), String> {
                             if n == 0 {
                                 break;
                             }
-                            let field =
-                                Field::new("stream/frame", Dims::d1(n), buf.clone());
+                            let field = Field::new("stream/frame", Dims::d1(n), buf.clone());
                             let (info, record) = client
                                 .stream_frame(stream_id, &field)
                                 .map_err(|e| e.to_string())?;

@@ -47,7 +47,10 @@ fn stream_session_round_trip_with_audit() {
     let (info, header) = client.stream_open(10.0, 16, &[]).expect("open");
     let info = serde_json::parse_value(&info).expect("open info json");
     let stream_id = get(&info, "stream_id").as_u64().expect("stream_id") as u32;
-    assert!(!header.is_empty(), "open reply must carry the FXRZS1 header");
+    assert!(
+        !header.is_empty(),
+        "open reply must carry the FXRZS1 header"
+    );
 
     let mut file = header;
     for f in 0..FRAMES {
